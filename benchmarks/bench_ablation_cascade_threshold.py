@@ -1,0 +1,78 @@
+"""Ablation: cascade decision-threshold sweep (Section III-B1 open question).
+
+The paper leaves "how to decide whether a larger LLM is needed" open; this
+sweep maps the accuracy/cost frontier the decision threshold controls, plus
+the learned decision model against the best fixed threshold.
+"""
+
+from repro.bench.reporting import format_table
+from repro.core.cascade import CascadeClient, ConfidenceDecisionModel, LearnedDecisionModel
+from repro.core.prompts.templates import qa_prompt
+from repro.datasets import generate_hotpot
+from repro.llm import LLMClient
+from repro.llm.client import default_world
+
+THRESHOLDS = (0.40, 0.52, 0.64, 0.76, 0.88)
+
+
+def sweep():
+    world = default_world()
+    examples = generate_hotpot(world, n=30, seed=21)
+    rows = []
+    for threshold in THRESHOLDS:
+        client = LLMClient()
+        cascade = CascadeClient(
+            client,
+            decision_models=[
+                ConfidenceDecisionModel(threshold),
+                ConfidenceDecisionModel(threshold - 0.02),
+            ],
+        )
+        hits = sum(
+            1 for ex in examples if cascade.complete(qa_prompt(ex.question)).text == ex.answer
+        )
+        rows.append((threshold, hits / len(examples), round(client.meter.cost, 4)))
+    return rows
+
+
+def test_threshold_tradeoff(once):
+    rows = once(sweep)
+    print()
+    print(format_table(["Threshold", "Accuracy", "Cost ($)"], rows, title="Cascade threshold sweep"))
+    costs = [cost for _t, _a, cost in rows]
+    # Higher thresholds escalate more → monotone non-decreasing cost.
+    assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+    # Accuracy band: every configuration stays within a sane range.
+    assert all(0.4 <= acc <= 1.0 for _t, acc, _c in rows)
+
+
+def test_learned_model_competitive_with_best_threshold(once):
+    world = default_world()
+    train = generate_hotpot(world, n=30, seed=22)
+    test = generate_hotpot(world, n=30, seed=23)
+
+    def run():
+        # Train the decision model on gpt-3.5 completions with gold labels.
+        train_client = LLMClient(model="gpt-3.5-turbo")
+        completions, labels = [], []
+        for ex in train:
+            completion = train_client.complete(qa_prompt(ex.question))
+            completions.append(completion)
+            labels.append(completion.text == ex.answer)
+        learned = LearnedDecisionModel(threshold=0.5).fit(completions, labels)
+
+        client = LLMClient()
+        cascade = CascadeClient(
+            client,
+            chain=["gpt-3.5-turbo", "gpt-4"],
+            decision_models=[learned],
+        )
+        hits = sum(1 for ex in test if cascade.complete(qa_prompt(ex.question)).text == ex.answer)
+        return hits / len(test), client.meter.cost
+
+    accuracy, cost = once(run)
+    print(f"\nlearned decision model: accuracy {accuracy:.3f}, cost ${cost:.4f}")
+    gpt4 = LLMClient(model="gpt-4")
+    gpt4_hits = sum(1 for ex in test if gpt4.complete(qa_prompt(ex.question)).text == ex.answer)
+    assert accuracy >= gpt4_hits / len(test) - 0.1
+    assert cost < gpt4.meter.cost

@@ -1,0 +1,87 @@
+"""Ablation: DP noise vs utility vs membership-inference advantage
+(Section III-D: "inject minimal noise ... while maximizing model utility").
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.core.privacy import dp_logistic_regression, membership_inference_advantage
+from repro.core.privacy.federated import (
+    FederatedTrainer,
+    LogisticModel,
+    er_pair_features,
+    split_across_clients,
+)
+from repro.datasets import generate_er_pairs
+
+EPSILONS = (None, 8.0, 2.0, 0.5)
+
+
+def build_features(n=200, seed=11):
+    pairs = generate_er_pairs(n=n, seed=seed)
+    x = np.stack([er_pair_features(p.a, p.b) for p in pairs])
+    y = np.array([1.0 if p.label else 0.0 for p in pairs])
+    return x, y
+
+
+def test_privacy_utility_attack_tradeoff(once):
+    x, y = build_features()
+    # Overfit-prone regime so the attack has signal to lose.
+    train_x, train_y = x[:24], y[:24]
+    test_x, test_y = x[120:], y[120:]
+
+    def run():
+        rows = []
+        for epsilon in EPSILONS:
+            weights = dp_logistic_regression(
+                train_x, train_y, epsilon=epsilon, epochs=200, learning_rate=1.0, seed=2
+            )
+            utility = LogisticModel(weights).accuracy(test_x, test_y)
+            attack = membership_inference_advantage(weights, train_x, train_y, test_x, test_y)
+            rows.append(("none" if epsilon is None else epsilon, round(utility, 3), round(attack.advantage, 3)))
+        return rows
+
+    rows = once(run)
+    print()
+    print(
+        format_table(
+            ["Epsilon", "Test accuracy", "MI advantage"],
+            rows,
+            title="DP utility / attack trade-off",
+        )
+    )
+    utilities = [u for _e, u, _a in rows]
+    advantages = [a for _e, _u, a in rows]
+    # Non-private model: best utility, largest attack surface.
+    assert utilities[0] == max(utilities)
+    assert advantages[0] >= max(advantages[2:]) - 0.15
+    # Strong privacy (eps=0.5) costs utility relative to non-private.
+    assert utilities[-1] <= utilities[0]
+
+
+def test_federated_with_dp_clients(once):
+    x, y = build_features(seed=12)
+
+    def run():
+        rows = []
+        for epsilon in (None, 0.2):
+            # Average over seeds: tiny local models make single runs noisy.
+            accuracies = []
+            for seed in (3, 4, 5):
+                clients = split_across_clients(x[:140], y[:140], n_clients=4, seed=seed)
+                for client in clients:
+                    client.epsilon = epsilon
+                trainer = FederatedTrainer(clients, dim=x.shape[1], seed=seed + 10)
+                model = trainer.train(rounds=4, eval_set=(x[140:], y[140:]))
+                accuracies.append(model.accuracy(x[140:], y[140:]))
+            rows.append(
+                ("none" if epsilon is None else epsilon, sum(accuracies) / len(accuracies))
+            )
+        return rows
+
+    rows = once(run)
+    print()
+    print(format_table(["Client epsilon", "FedAvg accuracy (3-seed mean)"], rows, title="Federated + DP"))
+    accuracies = dict(rows)
+    assert accuracies["none"] >= 0.75  # federation learns the task
+    assert accuracies["none"] > accuracies[0.2]  # strong DP noise costs utility

@@ -1,0 +1,124 @@
+"""Ablation: historical prompt selection (Section III-A).
+
+"The vector with the highest similarity does not necessarily indicate the
+optimal prompt for improving LLM performance." — the prompt store holds a
+mix of *correct* and *mislabeled* example pairs; pure similarity retrieval
+cannot tell them apart (the text looks the same), while performance-aware
+retrieval learns from downstream feedback to avoid the poisoned ones. The
+effect is real in the simulator: the QA engine verifies in-context examples
+and mislabeled ones actively raise query difficulty.
+"""
+
+from repro.bench.reporting import format_table
+from repro.core.prompts.store import PromptStore
+from repro.core.prompts.templates import qa_prompt
+from repro.datasets import generate_hotpot
+from repro.llm import LLMClient
+from repro.llm.client import default_world
+
+
+def build_store(world, seed=51):
+    """A store of QA example pairs, half of them mislabeled."""
+    examples = generate_hotpot(world, n=24, seed=seed)
+    store = PromptStore()
+    records = []
+    for i, ex in enumerate(examples):
+        if i % 2 == 0:
+            text = PromptStore.example_text(ex.question, ex.answer)
+            poisoned = False
+        else:
+            # Mislabeled: pair the question with another example's answer.
+            wrong = examples[(i + 3) % len(examples)].answer
+            text = PromptStore.example_text(ex.question, wrong)
+            poisoned = wrong != ex.answer
+        records.append((store.add(text, task="qa"), poisoned))
+    return store, records
+
+
+def feedback_phase(store, records, world, n_rounds=4, seed=52):
+    """Simulate usage: each stored example is used in a prompt and its
+    downstream success recorded (correct examples help, poisoned ones do
+    not)."""
+    probes = generate_hotpot(world, n=12, seed=seed)
+    client = LLMClient(model="gpt-3.5-turbo")
+    for _round in range(n_rounds):
+        for record, _poisoned in records:
+            examples = store.compose_examples("ignored", k=0) or []
+            # Use exactly this record as the single in-context example.
+            pair = record.text.split(" Answer: ")
+            question, answer = pair[0][len("Question: "):], pair[1]
+            probe = probes[_round % len(probes)]
+            completion = client.complete(
+                qa_prompt(probe.question, examples=[(question, answer)])
+            )
+            store.record_outcome(record.prompt_id, completion.text == probe.answer)
+
+
+def evaluate(strategy, store, world, seed=53):
+    """Downstream QA accuracy with 3 examples chosen by the strategy."""
+    tests = generate_hotpot(world, n=20, seed=seed)
+    client = LLMClient(model="gpt-3.5-turbo")
+    hits = 0
+    for ex in tests:
+        if strategy == "similarity":
+            records = store.search_similar(ex.question, k=3, task="qa")
+        else:
+            records = store.search_performance_aware(
+                ex.question, k=3, task="qa", performance_weight=0.7
+            )
+        examples = []
+        for record in records:
+            head, _sep, answer = record.text.partition(" Answer: ")
+            examples.append((head[len("Question: "):], answer))
+        completion = client.complete(qa_prompt(ex.question, examples=examples))
+        hits += completion.text == ex.answer
+    return hits / len(tests)
+
+
+def test_performance_aware_selection_beats_similarity(once):
+    world = default_world()
+
+    def run():
+        store, records = build_store(world)
+        feedback_phase(store, records, world)
+        return {
+            "similarity": evaluate("similarity", store, world),
+            "performance-aware": evaluate("performance", store, world),
+        }
+
+    results = once(run)
+    print()
+    print(
+        format_table(
+            ["Selection strategy", "Downstream QA accuracy"],
+            list(results.items()),
+            title="Prompt selection ablation (store is half-poisoned)",
+        )
+    )
+    assert results["performance-aware"] >= results["similarity"]
+
+
+def test_poisoned_examples_hurt_downstream(once):
+    """Direct mechanism check: correct examples help, mislabeled ones hurt."""
+    world = default_world()
+    probes = generate_hotpot(world, n=25, seed=54)
+    pool = generate_hotpot(world, n=6, seed=55)
+    good = [(ex.question, ex.answer) for ex in pool[:3]]
+    poisoned = [(ex.question, pool[(i + 1) % 3].answer) for i, ex in enumerate(pool[:3])]
+
+    def run():
+        out = {}
+        for name, examples in (("correct examples", good), ("mislabeled examples", poisoned)):
+            client = LLMClient(model="gpt-3.5-turbo")
+            hits = sum(
+                1
+                for ex in probes
+                if client.complete(qa_prompt(ex.question, examples=examples)).text == ex.answer
+            )
+            out[name] = hits / len(probes)
+        return out
+
+    results = once(run)
+    print()
+    print(format_table(["Prompt contents", "Accuracy"], list(results.items())))
+    assert results["correct examples"] > results["mislabeled examples"]

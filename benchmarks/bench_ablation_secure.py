@@ -1,0 +1,94 @@
+"""Ablation: secure inference deployments (Section III-D, first challenge).
+
+Plaintext vs TEE vs cryptographic inference on the same healthcare-flavored
+prompt stream: identical answers, very different latency / bandwidth /
+exposure — the trade-off the paper says "calls for research".
+"""
+
+from repro.bench.reporting import format_table
+from repro.core.privacy.secure import Deployment, SecureLLMClient
+from repro.core.prompts.templates import qa_prompt
+from repro.datasets import generate_hotpot
+from repro.llm import LLMClient
+from repro.llm.client import default_world
+
+
+def run_deployment(deployment, prompts):
+    secure = SecureLLMClient(LLMClient(model="gpt-4"), deployment=deployment)
+    answers = [secure.complete(p).completion.text for p in prompts]
+    return answers, secure.ledger
+
+
+def test_secure_deployment_tradeoff(once):
+    world = default_world()
+    prompts = [qa_prompt(ex.question) for ex in generate_hotpot(world, n=10, seed=71)]
+
+    def run():
+        return {d: run_deployment(d, prompts) for d in Deployment}
+
+    results = once(run)
+    rows = []
+    for deployment, (answers, ledger) in results.items():
+        rows.append(
+            (
+                deployment.value,
+                round(ledger.total_latency_ms, 1),
+                int(ledger.total_bytes),
+                ledger.plaintext_tokens_disclosed,
+                round(ledger.side_channel_weighted_tokens, 1),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["Deployment", "Latency (ms)", "Bytes", "Plaintext tokens", "Side-channel tokens"],
+            rows,
+            title="Secure inference deployment ablation",
+        )
+    )
+    answer_sets = [tuple(answers) for answers, _l in results.values()]
+    assert len(set(answer_sets)) == 1  # identical answers everywhere
+    ledgers = {d: ledger for d, (_a, ledger) in results.items()}
+    assert (
+        ledgers[Deployment.PLAINTEXT].total_latency_ms
+        < ledgers[Deployment.TEE].total_latency_ms
+        < ledgers[Deployment.CRYPTO].total_latency_ms
+    )
+    assert ledgers[Deployment.PLAINTEXT].plaintext_tokens_disclosed > 0
+    assert ledgers[Deployment.TEE].plaintext_tokens_disclosed == 0
+    assert ledgers[Deployment.CRYPTO].side_channel_weighted_tokens == 0
+    # The crypto deployment's bandwidth blowup is orders of magnitude.
+    assert ledgers[Deployment.CRYPTO].total_bytes > 100 * ledgers[Deployment.PLAINTEXT].total_bytes
+
+
+def test_lrfu_spectrum_subsumes_lru_and_lfu(once):
+    """The paper's ref [77]: LRFU's lambda sweeps between LFU and LRU.
+    Verify the two extremes agree with the dedicated policies on a stream
+    where LRU and LFU disagree."""
+    from repro.core.cache import EvictionPolicy, SemanticCache
+
+    def survivors(policy, lam=0.1):
+        cache = SemanticCache(capacity=2, policy=policy, lrfu_lambda=lam)
+        cache.put("alpha alpha", "1")
+        cache.put("beta beta", "2")
+        for _i in range(6):
+            cache.lookup("alpha alpha")  # frequent, then idle
+        for _i in range(2):
+            cache.lookup("beta beta")  # recent
+        cache.put("gamma gamma", "3")
+        return frozenset(k for k in ("alpha alpha", "beta beta") if k in cache)
+
+    def run():
+        return {
+            "lru": survivors(EvictionPolicy.LRU),
+            "lfu": survivors(EvictionPolicy.LFU),
+            "lrfu(λ→1)": survivors(EvictionPolicy.LRFU, lam=0.99),
+            "lrfu(λ→0)": survivors(EvictionPolicy.LRFU, lam=0.0001),
+        }
+
+    results = once(run)
+    print()
+    print(format_table(["Policy", "Surviving hot entries"], [(k, ", ".join(sorted(v))) for k, v in results.items()]))
+    assert results["lru"] != results["lfu"]  # the stream separates them
+    assert results["lrfu(λ→1)"] == results["lru"]
+    assert results["lrfu(λ→0)"] == results["lfu"]

@@ -1,0 +1,88 @@
+"""Ablation: row serialization quality for table understanding (II-C2).
+
+The paper's first enhancement path: "the serialization of prior works is
+usually simple (e.g., linearization by rows), overlooking the semantic
+information of tabular data. LLMs can enhance this process by transforming
+each row into a natural language description."
+
+The probe: two tables whose rows look identical under naive value
+linearization (both are ``city-name, 4-digit-year`` pairs) but differ in
+*meaning* — team founding records vs mayor birth records. A downstream
+"PLM" (logistic head over the simulated embeddings) must classify a row's
+source table. Naive linearization is inseparable by construction; the NL
+serialization carries the attribute names and separates cleanly.
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro._util import rng_from
+from repro.core.privacy.dp import dp_logistic_regression
+from repro.core.privacy.federated import LogisticModel
+from repro.llm.embeddings import embed_text
+from repro.llm.engines.summarize import serialize_row
+
+
+def build_rows(n_per_table=40, seed=61):
+    rng = rng_from(seed)
+    cities = ["Riverford", "Stoneport", "Greenburg", "Northville", "Goldhaven", "Westdale"]
+    rows = []
+    for _i in range(n_per_table):
+        city = cities[int(rng.integers(0, len(cities)))]
+        year = int(rng.integers(1880, 1990))
+        rows.append(({"home_city": city, "founded_year": year}, "teams"))
+    for _i in range(n_per_table):
+        city = cities[int(rng.integers(0, len(cities)))]
+        year = int(rng.integers(1880, 1990))
+        rows.append(({"birth_city": city, "birth_year": year}, "mayors"))
+    return rows
+
+
+def naive_serialization(row):
+    """Value-only linearization (the "simple" prior-work baseline)."""
+    return " | ".join(str(v) for v in row.values())
+
+
+def nl_serialization(table, row):
+    """The LLM-style NL serialization (attribute names verbalized)."""
+    return serialize_row(table, "; ".join(f"{k}: {v}" for k, v in row.items()))
+
+
+def probe_accuracy(texts, labels, seed=0):
+    """Train/test a logistic head over embeddings; return test accuracy."""
+    rng = rng_from(seed)
+    features = np.stack([embed_text(t, dim=64) for t in texts])
+    y = np.array([1.0 if label == "teams" else 0.0 for label in labels])
+    order = rng.permutation(len(y))
+    features, y = features[order], y[order]
+    split = int(0.7 * len(y))
+    weights = dp_logistic_regression(features[:split], y[:split], epsilon=None, epochs=80)
+    return LogisticModel(weights).accuracy(features[split:], y[split:])
+
+
+def test_nl_serialization_separates_what_naive_cannot(once):
+    rows = build_rows()
+
+    def run():
+        naive_texts = [naive_serialization(row) for row, _table in rows]
+        nl_texts = [nl_serialization(table, row) for row, table in rows]
+        labels = [table for _row, table in rows]
+        return {
+            "naive linearization": probe_accuracy(naive_texts, labels),
+            "NL serialization": probe_accuracy(nl_texts, labels),
+        }
+
+    results = once(run)
+    print()
+    print(
+        format_table(
+            ["Serialization", "Downstream table-id accuracy"],
+            list(results.items()),
+            title="Serialization quality probe (II-C2)",
+        )
+    )
+    # Naive linearization is inseparable by construction (same value space).
+    assert results["naive linearization"] <= 0.75
+    # NL serialization separates near-perfectly (attribute names survive).
+    assert results["NL serialization"] >= 0.9
+    assert results["NL serialization"] > results["naive linearization"] + 0.2

@@ -1,0 +1,105 @@
+"""Ablation: vector index choice — recall vs work (Section III-A indexes).
+
+Compares flat / IVF / HNSW on the same corpus: recall@10 against the exact
+flat baseline, plus raw search latency measured by pytest-benchmark.
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.vectordb import FlatIndex, HNSWIndex, IVFIndex
+
+N, DIM, QUERIES = 600, 24, 25
+
+
+def build_indexes(seed=9):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(N, DIM))
+    flat = FlatIndex(DIM)
+    ivf = IVFIndex(DIM, nlist=24, nprobe=4, seed=1)
+    hnsw = HNSWIndex(DIM, m=8, ef_search=40, seed=1)
+    for i, v in enumerate(data):
+        flat.add(f"v{i}", v)
+        ivf.add(f"v{i}", v)
+        hnsw.add(f"v{i}", v)
+    ivf.train()
+    queries = rng.normal(size=(QUERIES, DIM))
+    return flat, ivf, hnsw, queries
+
+
+def recall_at_10(index, flat, queries):
+    total = 0.0
+    for q in queries:
+        truth = {h[0] for h in flat.search(q, 10)}
+        got = {h[0] for h in index.search(q, 10)}
+        total += len(truth & got) / 10
+    return total / len(queries)
+
+
+def test_recall_comparison(once):
+    flat, ivf, hnsw, queries = build_indexes()
+
+    def run():
+        return {
+            "flat": 1.0,
+            "ivf(nprobe=4)": recall_at_10(ivf, flat, queries),
+            "hnsw(ef=40)": recall_at_10(hnsw, flat, queries),
+        }
+
+    recalls = once(run)
+    print()
+    print(
+        format_table(
+            ["Index", "Recall@10"],
+            [(k, v) for k, v in recalls.items()],
+            title="Vector index recall ablation",
+        )
+    )
+    assert recalls["ivf(nprobe=4)"] >= 0.5
+    assert recalls["hnsw(ef=40)"] >= 0.7
+
+
+def test_knob_autotuning(once):
+    """Refs [72, 73]: learned knob tuning — find the cheapest setting that
+    meets a recall target, in O(log) evaluations."""
+    from repro.vectordb import tune_ef_search, tune_nprobe
+
+    flat, ivf, hnsw, queries = build_indexes()
+
+    def run():
+        return {
+            "ivf": tune_nprobe(ivf, flat, list(queries), target_recall=0.9),
+            "hnsw": tune_ef_search(hnsw, flat, list(queries), target_recall=0.9),
+        }
+
+    results = once(run)
+    rows = [
+        (name, r.knob, r.value, round(r.recall, 3), r.evaluations)
+        for name, r in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Index", "Knob", "Chosen value", "Recall@10", "Settings tried"],
+            rows,
+            title="ANN knob auto-tuning (target recall 0.90)",
+        )
+    )
+    for result in results.values():
+        assert result.met_target
+        assert result.evaluations <= 9  # binary search, not a sweep
+
+
+def test_flat_search_speed(benchmark):
+    flat, _ivf, _hnsw, queries = build_indexes()
+    benchmark(lambda: [flat.search(q, 10) for q in queries])
+
+
+def test_ivf_search_speed(benchmark):
+    _flat, ivf, _hnsw, queries = build_indexes()
+    benchmark(lambda: [ivf.search(q, 10) for q in queries])
+
+
+def test_hnsw_search_speed(benchmark):
+    _flat, _ivf, hnsw, queries = build_indexes()
+    benchmark(lambda: [hnsw.search(q, 10) for q in queries])

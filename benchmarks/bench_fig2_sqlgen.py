@@ -1,0 +1,21 @@
+"""Fig 2 bench: constraint-aware SQL generation with validation."""
+
+from repro.bench import run_fig2
+
+
+def test_fig2_all_kinds_generate_valid_sql(once):
+    result = once(run_fig2, count_per_kind=8)
+    print()
+    print(result.render())
+    for kind in ("simple", "join", "subquery", "aggregate"):
+        assert result.validity(kind) >= 0.5
+
+
+def test_fig2_weak_model_less_valid(once):
+    strong = run_fig2(count_per_kind=8, model="gpt-4")
+    weak = once(run_fig2, count_per_kind=8, model="babbage-002")
+    print()
+    print(weak.render())
+    strong_mean = sum(strong.validity(k) for k in ("simple", "join", "subquery", "aggregate")) / 4
+    weak_mean = sum(weak.validity(k) for k in ("simple", "join", "subquery", "aggregate")) / 4
+    assert weak_mean <= strong_mean

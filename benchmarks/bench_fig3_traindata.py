@@ -1,0 +1,16 @@
+"""Fig 3 bench: execution-time prediction from few-shot examples."""
+
+from repro.bench import run_fig3
+
+
+def test_fig3_examples_help_and_strong_model_wins(once):
+    result = once(run_fig3)
+    print()
+    print(result.render())
+    # More in-context examples reduce (or at worst keep) the error.
+    assert result.error("gpt-3.5-turbo", 16) <= result.error("gpt-3.5-turbo", 2)
+    # The strong model is at least as good at every example count.
+    for n in (2, 4, 8, 16):
+        assert result.error("gpt-4", n) <= result.error("gpt-3.5-turbo", n) + 0.05
+    # Absolute quality: gpt-4 with 16 examples predicts within ~15%.
+    assert result.error("gpt-4", 16) <= 0.15

@@ -1,0 +1,31 @@
+"""Fig 4 bench: semi-structured → relational transformation quality."""
+
+from repro.bench import run_fig4
+
+
+def test_fig4_extraction_f1(once):
+    result = once(run_fig4)
+    print()
+    print(result.render())
+    for source in ("json", "xml"):
+        assert result.f1(source, "gpt-4") >= result.f1(source, "gpt-3.5-turbo")
+        assert result.f1(source, "gpt-4") >= 0.85
+
+
+def test_fig4_program_mode_matches_direct_locally(once):
+    """The code-synthesis path (operator program, applied locally) must
+    relationalize at least as well as the local baseline on spreadsheets."""
+    from repro.apps.transform import relationalize, relationalize_direct
+    from repro.llm import LLMClient
+    from repro.tablekit import Grid
+
+    grid = Grid(
+        [["region", "Q1", "Q2"], ["north", 10, 20], [None, None, None], ["south", 5, 7]]
+    )
+
+    def run():
+        return relationalize(LLMClient(model="gpt-4"), grid)
+
+    result = once(run)
+    baseline = relationalize_direct(grid)
+    assert result.score >= baseline.score - 1e-9

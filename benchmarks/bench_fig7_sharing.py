@@ -1,0 +1,33 @@
+"""Fig 7 bench: sub-query sharing across the paper's Q1-Q5."""
+
+from repro.bench import run_fig7
+from repro.core.decompose import shared_subquery_plan
+from repro.datasets import generate_nl2sql
+
+
+def test_fig7_paper_queries_share_half(once):
+    result = once(run_fig7)
+    print()
+    print(result.render())
+    assert result.total_sub_references == 8
+    assert result.unique_sub_queries == 4
+    assert result.llm_calls_saved == 4
+
+
+def test_fig7_sharing_grows_with_workload(once):
+    """Sharing ratio rises with workload size over a fixed atom pool —
+    the economics that make decomposition pay off at the proxy."""
+
+    def ratios():
+        out = []
+        for n in (8, 16, 32, 64):
+            questions = [
+                e.question
+                for e in generate_nl2sql(n=n, seed=3, compound_fraction=0.9, include_paper=False)
+            ]
+            out.append(shared_subquery_plan(questions).sharing_ratio)
+        return out
+
+    values = once(ratios)
+    print("\nsharing ratios by workload size:", [round(v, 3) for v in values])
+    assert values[-1] > values[0]

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the substrates: SQL engine and prompt embedding."""
+
+from repro.datasets import build_concert_db
+from repro.datasets.workloads import build_analytics_db
+from repro.llm import count_tokens, embed_text
+
+
+def test_sql_join_group_by(benchmark):
+    db = build_analytics_db(seed=0)
+    sql = (
+        "SELECT c.region, COUNT(*), AVG(o.amount) FROM customer c "
+        "JOIN orders o ON c.customer_id = o.customer_id "
+        "WHERE o.amount > 100 GROUP BY c.region ORDER BY c.region"
+    )
+    rows = benchmark(lambda: db.query(sql))
+    assert len(rows) == 4
+
+
+def test_sql_correlated_subquery(benchmark):
+    db = build_concert_db(seed=0)
+    sql = (
+        "SELECT name FROM stadium s WHERE EXISTS "
+        "(SELECT 1 FROM concert c WHERE c.stadium_id = s.stadium_id AND c.year = 2014)"
+    )
+    rows = benchmark(lambda: db.query(sql))
+    assert rows
+
+
+def test_sql_insert_throughput(benchmark):
+    from repro.sqldb import Database
+    from repro.sqldb.types import SQLType
+
+    def insert_block():
+        db = Database()
+        db.create_table("t", [("id", SQLType.INTEGER), ("v", SQLType.REAL)], primary_key="id")
+        db.insert_rows("t", [[i, float(i)] for i in range(2000)])
+        return db.query_scalar("SELECT COUNT(*) FROM t")
+
+    assert benchmark(insert_block) == 2000
+
+
+def test_sql_hash_join_large(benchmark):
+    """Equi-joins take the hash-join path: linear, not quadratic."""
+    from repro.sqldb import Database
+    from repro.sqldb.types import SQLType
+
+    db = Database()
+    db.create_table("l", [("id", SQLType.INTEGER), ("v", SQLType.INTEGER)], primary_key="id")
+    db.create_table("r", [("id", SQLType.INTEGER), ("l_id", SQLType.INTEGER)], primary_key="id")
+    db.insert_rows("l", [[i, i * 3] for i in range(3000)])
+    db.insert_rows("r", [[i, i % 3000] for i in range(6000)])
+    count = benchmark(
+        lambda: db.query_scalar("SELECT COUNT(*) FROM l JOIN r ON l.id = r.l_id")
+    )
+    assert count == 6000
+
+
+def test_sql_nested_loop_join_small(benchmark):
+    """Non-equi joins fall back to the nested loop (kept small on purpose)."""
+    from repro.sqldb import Database
+    from repro.sqldb.types import SQLType
+
+    db = Database()
+    db.create_table("l", [("id", SQLType.INTEGER)], primary_key="id")
+    db.create_table("r", [("id", SQLType.INTEGER)], primary_key="id")
+    db.insert_rows("l", [[i] for i in range(150)])
+    db.insert_rows("r", [[i] for i in range(150)])
+    count = benchmark(lambda: db.query_scalar("SELECT COUNT(*) FROM l JOIN r ON l.id < r.id"))
+    assert count == 150 * 149 // 2
+
+
+def test_embedding_throughput(benchmark):
+    texts = [f"question number {i} about stadium concerts in {2000 + i}" for i in range(50)]
+    benchmark(lambda: [embed_text(t) for t in texts])
+
+
+def test_token_counting_throughput(benchmark):
+    text = "SELECT name FROM stadium WHERE capacity > 50000 ORDER BY name " * 40
+    benchmark(lambda: count_tokens(text))

@@ -1,0 +1,29 @@
+"""Table I bench: LLM cascade accuracy/cost on the HotpotQA-like workload.
+
+Regenerates the paper's Table I rows (babbage-002 / gpt-3.5-turbo / gpt-4 /
+LLM cascade) and prints them. Paper values: babbage-002 27.5%, gpt-4 92.5%,
+cascade ≈ gpt-4 accuracy at significantly lower cost.
+"""
+
+from repro.bench import run_table1
+
+
+def test_table1_cascade(once):
+    result = once(run_table1)
+    print()
+    print(result.render())
+    assert (
+        result.accuracy("babbage-002")
+        < result.accuracy("gpt-3.5-turbo")
+        < result.accuracy("gpt-4")
+    )
+    assert result.accuracy("LLM cascade") >= result.accuracy("gpt-4") - 0.05
+    assert result.cost("LLM cascade") < result.cost("gpt-4")
+
+
+def test_table1_without_context_prompts(once):
+    """Same experiment with bare prompts — accuracy shape must persist."""
+    result = once(run_table1, with_context=False)
+    print()
+    print(result.render())
+    assert result.accuracy("babbage-002") < result.accuracy("gpt-4")

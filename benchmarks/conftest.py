@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs its experiment once per round (``pedantic`` with a
+single round) because the experiments are deterministic — repeated rounds
+would only re-measure identical work. The benchmark value is therefore the
+wall-clock of one full experiment, and every benchmark also asserts the
+experiment's headline *shape* so a regression cannot hide behind a timing
+number.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

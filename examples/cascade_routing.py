@@ -1,0 +1,48 @@
+"""Fig 6 demo: the LLM cascade's routing decisions, query by query.
+
+Shows which model each question is answered by, the decision model's
+confidence at each stage, and the running cost against an all-gpt-4
+baseline. Run with:  python examples/cascade_routing.py
+"""
+
+from repro.core.cascade import CascadeClient, ConfidenceDecisionModel
+from repro.core.prompts.templates import qa_prompt
+from repro.datasets import generate_hotpot
+from repro.llm import LLMClient
+from repro.llm.client import default_world
+
+
+def main() -> None:
+    world = default_world()
+    examples = generate_hotpot(world, n=12, seed=41)
+
+    cascade_client = LLMClient()
+    cascade = CascadeClient(
+        cascade_client,
+        decision_models=[ConfidenceDecisionModel(0.55), ConfidenceDecisionModel(0.52)],
+    )
+    baseline_client = LLMClient(model="gpt-4")
+
+    correct_cascade = correct_baseline = 0
+    print(f"{'model used':14s} {'conf':>5s} {'ok':>3s}  question")
+    for example in examples:
+        prompt = qa_prompt(example.question)
+        result = cascade.complete(prompt)
+        baseline = baseline_client.complete(prompt)
+        ok = result.text == example.answer
+        correct_cascade += ok
+        correct_baseline += baseline.text == example.answer
+        print(
+            f"{result.model:14s} {result.final.confidence:5.2f} {'  y' if ok else '  n'}  "
+            f"{example.question[:58]}"
+        )
+
+    n = len(examples)
+    print(f"\ncascade:  {correct_cascade}/{n} correct, ${cascade_client.meter.cost:.4f}")
+    print(f"gpt-4:    {correct_baseline}/{n} correct, ${baseline_client.meter.cost:.4f}")
+    saving = 1 - cascade_client.meter.cost / baseline_client.meter.cost
+    print(f"cascade saves {saving:.0%} of the gpt-4 bill on this workload")
+
+
+if __name__ == "__main__":
+    main()

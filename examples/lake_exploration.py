@@ -1,0 +1,57 @@
+"""Multi-modal data lake exploration + LLM-as-database (Section II-D).
+
+Includes the paper's Section III-B2 disambiguation scenario verbatim: the
+query "Could Prof. Michael Jordan play basketball" embeds close to a news
+snippet about the basketball player, and only the attribute filter
+(entity_type = professor) retrieves the right record.
+
+Run with:  python examples/lake_exploration.py
+"""
+
+from repro.apps.explore import LLMDatabase, MultiModalLake
+from repro.apps.explore.llmdb import film_virtual_table
+from repro.datasets import generate_lake
+from repro.llm import LLMClient
+from repro.llm.client import default_world
+
+
+def main() -> None:
+    world = default_world()
+    client = LLMClient(model="gpt-4")
+
+    # --- 1. Build the lake -------------------------------------------------
+    lake = MultiModalLake(client)
+    lake.add_items(generate_lake(world, seed=1))
+    print(f"lake holds {len(lake)} items across text / table / image modalities")
+
+    # --- 2. The Michael Jordan ambiguity (Section III-B2) -------------------
+    print("\n== Vector search alone vs hybrid search ==")
+    query = "Could Prof. Michael Jordan play basketball"
+    plain = lake.query(query, k=1)
+    print(" vector-only top hit:   ", plain.items[0].content[:72])
+    hybrid = lake.query(query, k=1, where={"entity_type": "professor"})
+    print(" with attribute filter: ", hybrid.items[0].content[:72])
+    print(" strategy chosen by planner:", hybrid.decision.strategy.value,
+          f"(selectivity {hybrid.decision.estimated_selectivity:.2f})")
+
+    # --- 3. Cross-modal query ----------------------------------------------
+    print("\n== Cross-modal query ==")
+    result = lake.query("a photograph of a city skyline", k=2)
+    for item in result.items:
+        print(f" [{item.modality}]", item.content[:70])
+
+    # --- 4. LLM as a database (Section II-D2) -------------------------------
+    print("\n== SQL over the LLM's knowledge ==")
+    llmdb = LLMDatabase(client)
+    llmdb.register(film_virtual_table(world.films[:8]))
+    rows = llmdb.execute(
+        "SELECT title, director, released FROM films WHERE released > 1990 "
+        "ORDER BY released DESC LIMIT 3"
+    ).rows
+    for title, director, released in rows:
+        print(f" {released}: {title} — directed by {director}")
+    print(f" extraction cost: ${llmdb.extraction_cost():.4f}")
+
+
+if __name__ == "__main__":
+    main()

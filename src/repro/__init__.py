@@ -1,0 +1,21 @@
+"""repro — LLMs for data management (reproduction of Zhang et al., ICDE 2024).
+
+Subpackages:
+
+* :mod:`repro.sqldb` — in-memory relational DBMS (from scratch);
+* :mod:`repro.vectordb` — vector database with hybrid attribute filtering;
+* :mod:`repro.tablekit` — grid tables and restructuring operators;
+* :mod:`repro.llm` — the deterministic simulated LLM service;
+* :mod:`repro.datasets` — synthetic dataset generators;
+* :mod:`repro.core` — the paper's Section III contributions (prompts,
+  cascade, decomposition, cache, hybrid planning, privacy, validation);
+* :mod:`repro.apps` — the Section II application catalog;
+* :mod:`repro.bench` — the experiment harness (``python -m repro.bench``).
+
+See README.md for the tour and DESIGN.md / EXPERIMENTS.md for the
+reproduction methodology and results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""repro.apps — the paper's Section II application catalog.
+
+* :mod:`repro.apps.datagen` — LLM for data generation (II-A): SQL
+  generation, training-data generation, missing-label annotation,
+  synthetic tabular data.
+* :mod:`repro.apps.transform` — LLM for data transformation (II-B):
+  NL2SQL, NL2Transaction, table restructuring, column transformations,
+  data-preparation pipelines.
+* :mod:`repro.apps.integrate` — LLM for data integration (II-C): entity
+  resolution, schema matching, column type annotation, data cleaning,
+  table understanding.
+* :mod:`repro.apps.explore` — LLM for data exploration (II-D): multi-modal
+  data lake management, LLM-as-database.
+"""

@@ -1,0 +1,18 @@
+"""LLM for data generation (Section II-A)."""
+
+from repro.apps.datagen.sqlgen import GeneratedSQL, SQLGenerator, equivalence_check, logic_bug_test
+from repro.apps.datagen.traindata import (
+    AnnotationResult,
+    ExecutionTimePredictor,
+    MissingLabelAnnotator,
+)
+
+__all__ = [
+    "AnnotationResult",
+    "ExecutionTimePredictor",
+    "GeneratedSQL",
+    "MissingLabelAnnotator",
+    "SQLGenerator",
+    "equivalence_check",
+    "logic_bug_test",
+]

@@ -1,0 +1,127 @@
+"""Training data generation (Section II-A2, Fig 3).
+
+* :class:`ExecutionTimePredictor` — the Fig 3 loop: labeled
+  ⟨query features, execution_time⟩ pairs go into the prompt; the LLM
+  predicts the time of an unseen query. Example selection picks the
+  nearest labeled queries in feature space (more relevant examples →
+  measurably better predictions, since the engine's k-NN really uses them).
+* :class:`MissingLabelAnnotator` — missing-field annotation over serialized
+  rows with few-shot ICL, evaluated against the held-back gold labels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.prompts.templates import exec_time_prompt, label_infer_prompt
+from repro.datasets.tabular import TabularDataset
+from repro.datasets.workloads import QueryTimingExample
+from repro.llm.client import LLMClient
+
+
+class ExecutionTimePredictor:
+    """Few-shot execution-time prediction through the LLM."""
+
+    def __init__(
+        self,
+        client: LLMClient,
+        example_pool: Sequence[QueryTimingExample],
+        n_examples: int = 8,
+        model: Optional[str] = None,
+    ) -> None:
+        if not example_pool:
+            raise ValueError("example pool must not be empty")
+        self.client = client
+        self.example_pool = list(example_pool)
+        self.n_examples = n_examples
+        self.model = model
+
+    def _nearest_examples(self, features: Dict[str, float]) -> List[QueryTimingExample]:
+        keys = sorted({k for ex in self.example_pool for k in ex.features} | set(features))
+
+        def distance(example: QueryTimingExample) -> float:
+            return math.sqrt(
+                sum((example.features.get(k, 0.0) - features.get(k, 0.0)) ** 2 for k in keys)
+            )
+
+        ranked = sorted(self.example_pool, key=lambda ex: (distance(ex), ex.sql))
+        return ranked[: self.n_examples]
+
+    def predict(self, features: Dict[str, float]) -> float:
+        """Predict execution time (ms) for a query's feature vector."""
+        examples = self._nearest_examples(features)
+        prompt = exec_time_prompt(
+            [(ex.feature_line(), ex.execution_time_ms) for ex in examples],
+            ", ".join(f"{k}={v:g}" for k, v in sorted(features.items())),
+        )
+        completion = self.client.complete(prompt, model=self.model)
+        try:
+            return float(completion.text)
+        except ValueError:
+            # Unparseable output: fall back to the pool median (and let the
+            # evaluation count the damage).
+            times = sorted(ex.execution_time_ms for ex in self.example_pool)
+            return times[len(times) // 2]
+
+    def evaluate(
+        self, test_examples: Sequence[QueryTimingExample]
+    ) -> Dict[str, float]:
+        """Mean/median absolute relative error over a held-out set."""
+        if not test_examples:
+            raise ValueError("need at least one test example")
+        relative_errors = []
+        for example in test_examples:
+            predicted = self.predict(example.features)
+            truth = example.execution_time_ms
+            relative_errors.append(abs(predicted - truth) / max(abs(truth), 1e-9))
+        relative_errors.sort()
+        n = len(relative_errors)
+        return {
+            "mean_relative_error": sum(relative_errors) / n,
+            "median_relative_error": relative_errors[n // 2],
+            "n": float(n),
+        }
+
+
+@dataclass(frozen=True)
+class AnnotationResult:
+    """Predicted labels for the dataset's masked rows + accuracy."""
+
+    predictions: Tuple[Tuple[int, str], ...]  # (row index, predicted label)
+    accuracy: Optional[float]  # None when gold labels are unavailable
+
+
+class MissingLabelAnnotator:
+    """Fills missing labels in tabular data via few-shot row serialization."""
+
+    def __init__(self, client: LLMClient, n_examples: int = 16, model: Optional[str] = None) -> None:
+        self.client = client
+        self.n_examples = n_examples
+        self.model = model
+
+    def annotate(self, dataset: TabularDataset) -> AnnotationResult:
+        """Fill every missing label; returns predictions + accuracy."""
+        labeled = dataset.labeled_rows()
+        if not labeled:
+            raise ValueError("dataset has no labeled rows to learn from")
+        example_rows = [dataset.serialize_row(r) for r in labeled[: self.n_examples]]
+        predictions: List[Tuple[int, str]] = []
+        for index, row in enumerate(dataset.rows):
+            if row.get(dataset.label_column) is not None:
+                continue
+            prompt = label_infer_prompt(
+                dataset.label_column, example_rows, dataset.serialize_row(row)
+            )
+            completion = self.client.complete(prompt, model=self.model)
+            predictions.append((index, completion.text))
+
+        gold: Dict[int, object] = getattr(dataset, "hidden_labels", {})
+        accuracy: Optional[float] = None
+        if gold:
+            scored = [(i, p) for i, p in predictions if i in gold]
+            if scored:
+                hits = sum(1 for i, p in scored if str(gold[i]) == p)
+                accuracy = hits / len(scored)
+        return AnnotationResult(predictions=tuple(predictions), accuracy=accuracy)

@@ -1,0 +1,12 @@
+"""LLM for data exploration (Section II-D)."""
+
+from repro.apps.explore.lake import LakeQueryResult, MultiModalLake
+from repro.apps.explore.llmdb import LLMDatabase, VirtualColumn, VirtualTable
+
+__all__ = [
+    "LLMDatabase",
+    "LakeQueryResult",
+    "MultiModalLake",
+    "VirtualColumn",
+    "VirtualTable",
+]

@@ -1,0 +1,16 @@
+"""LLM for data integration (Section II-C)."""
+
+from repro.apps.integrate.entity_resolution import EntityResolver, similarity_baseline
+from repro.apps.integrate.schema_matching import SchemaMatcher
+from repro.apps.integrate.column_typing import ColumnTypeAnnotator
+from repro.apps.integrate.cleaning import DataCleaner
+from repro.apps.integrate.understand import TableUnderstanding
+
+__all__ = [
+    "ColumnTypeAnnotator",
+    "DataCleaner",
+    "EntityResolver",
+    "SchemaMatcher",
+    "TableUnderstanding",
+    "similarity_baseline",
+]

@@ -1,0 +1,88 @@
+"""Schema matching with LLMs (Section II-C1).
+
+Matches columns across two tables: every cross pair is scored by the LLM's
+yes/no judgment plus its reported confidence, then a greedy one-to-one
+assignment produces the mapping (classical schema-matching post-processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.prompts.templates import schema_match_prompt
+from repro.llm.client import LLMClient
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """A column: its name and a sample of its values."""
+
+    name: str
+    values: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MatchDecision:
+    """One cross-pair judgment."""
+
+    left: str
+    right: str
+    is_match: bool
+    confidence: float
+
+
+class SchemaMatcher:
+    """LLM-scored, greedily-assigned column mapping between two schemas."""
+
+    def __init__(self, client: LLMClient, model: Optional[str] = None) -> None:
+        self.client = client
+        self.model = model
+
+    def judge(self, left: ColumnSpec, right: ColumnSpec) -> MatchDecision:
+        """Ask the LLM whether two columns denote the same attribute."""
+        prompt = schema_match_prompt(left.name, left.values, right.name, right.values)
+        completion = self.client.complete(prompt, model=self.model)
+        return MatchDecision(
+            left=left.name,
+            right=right.name,
+            is_match=completion.text.strip().lower().startswith("yes"),
+            confidence=completion.confidence,
+        )
+
+    def match(
+        self, left_columns: Sequence[ColumnSpec], right_columns: Sequence[ColumnSpec]
+    ) -> Dict[str, str]:
+        """Produce a one-to-one left→right column mapping."""
+        decisions: List[MatchDecision] = []
+        for left in left_columns:
+            for right in right_columns:
+                decisions.append(self.judge(left, right))
+        # Greedy assignment on (is_match, confidence).
+        decisions.sort(key=lambda d: (-int(d.is_match), -d.confidence, d.left, d.right))
+        mapping: Dict[str, str] = {}
+        used_right = set()
+        for decision in decisions:
+            if not decision.is_match:
+                continue
+            if decision.left in mapping or decision.right in used_right:
+                continue
+            mapping[decision.left] = decision.right
+            used_right.add(decision.right)
+        return mapping
+
+    def evaluate(
+        self,
+        left_columns: Sequence[ColumnSpec],
+        right_columns: Sequence[ColumnSpec],
+        gold_mapping: Dict[str, str],
+    ) -> Dict[str, float]:
+        """Precision/recall/F1 of the produced mapping against gold."""
+        predicted = self.match(left_columns, right_columns)
+        predicted_pairs = set(predicted.items())
+        gold_pairs = set(gold_mapping.items())
+        tp = len(predicted_pairs & gold_pairs)
+        precision = tp / len(predicted_pairs) if predicted_pairs else 0.0
+        recall = tp / len(gold_pairs) if gold_pairs else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+        return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,36 @@
+"""LLM for data transformation (Section II-B)."""
+
+from repro.apps.transform.nl2sql import NL2SQLTranslator
+from repro.apps.transform.transaction import NL2TransactionTranslator, Payment
+from repro.apps.transform.tables import (
+    TableTransformResult,
+    json_to_grid,
+    relationalize,
+    relationalize_direct,
+    xml_to_grid,
+)
+from repro.apps.transform.columns import (
+    ColumnTransform,
+    PatternValidator,
+    mine_column_pattern,
+    synthesize_column_transform,
+)
+from repro.apps.transform.pipeline import PipelineSearcher, PipelineStep, PreparedPipeline
+
+__all__ = [
+    "ColumnTransform",
+    "NL2SQLTranslator",
+    "NL2TransactionTranslator",
+    "PatternValidator",
+    "Payment",
+    "PipelineSearcher",
+    "PipelineStep",
+    "PreparedPipeline",
+    "TableTransformResult",
+    "json_to_grid",
+    "mine_column_pattern",
+    "relationalize",
+    "relationalize_direct",
+    "synthesize_column_transform",
+    "xml_to_grid",
+]

@@ -1,0 +1,234 @@
+"""Transformation for table columns (Section II-B3).
+
+* :func:`mine_column_pattern` — column pattern mining through the LLM
+  (the "Aug <digit>{2} 2023" tightest-pattern example);
+* :func:`synthesize_column_transform` — find the program that maps a source
+  column onto a joinable target column (date / name / phone reformatting),
+  verified against every provided value pair;
+* :class:`PatternValidator` — data-quality validation: mine the pattern of
+  a trusted baseline column, then flag nonconforming values in refreshed
+  data (the schema-drift check the paper describes).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.prompts.templates import pattern_mine_prompt
+from repro.errors import TransformError
+from repro.llm.client import LLMClient
+from repro.llm.engines.patterns import mine_pattern, pattern_matches
+
+_MONTHS = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+]
+
+# ------------------------------------------------------------------ parsers
+
+_DateTuple = Tuple[int, int, int]  # (year, month, day)
+
+
+def _parse_date_mdy(value: str) -> Optional[_DateTuple]:
+    m = re.match(r"^([A-Z][a-z]{2}) (\d{1,2}) (\d{4})$", value.strip())
+    if m and m.group(1) in _MONTHS:
+        return (int(m.group(3)), _MONTHS.index(m.group(1)) + 1, int(m.group(2)))
+    return None
+
+
+def _parse_date_slash(value: str) -> Optional[_DateTuple]:
+    m = re.match(r"^(\d{1,2})/(\d{1,2})/(\d{4})$", value.strip())
+    if m:
+        return (int(m.group(3)), int(m.group(1)), int(m.group(2)))
+    return None
+
+
+def _parse_date_iso(value: str) -> Optional[_DateTuple]:
+    m = re.match(r"^(\d{4})-(\d{2})-(\d{2})$", value.strip())
+    if m:
+        return (int(m.group(1)), int(m.group(2)), int(m.group(3)))
+    return None
+
+
+_DATE_PARSERS = {
+    "mdy": _parse_date_mdy,
+    "slash": _parse_date_slash,
+    "iso": _parse_date_iso,
+}
+_DATE_FORMATTERS: dict = {
+    "mdy": lambda y, m, d: f"{_MONTHS[m - 1]} {d:02d} {y}",
+    "slash": lambda y, m, d: f"{m}/{d}/{y}",
+    "iso": lambda y, m, d: f"{y:04d}-{m:02d}-{d:02d}",
+}
+
+_NameTuple = Tuple[str, str]  # (first, last)
+
+
+def _parse_name_first_last(value: str) -> Optional[_NameTuple]:
+    m = re.match(r"^([A-Z][a-z]+) ([A-Z][a-z]+)$", value.strip())
+    if m:
+        return (m.group(1), m.group(2))
+    return None
+
+
+def _parse_name_last_first(value: str) -> Optional[_NameTuple]:
+    m = re.match(r"^([A-Z][a-z]+), ([A-Z][a-z]+)$", value.strip())
+    if m:
+        return (m.group(2), m.group(1))
+    return None
+
+
+_NAME_PARSERS = {"first_last": _parse_name_first_last, "last_first": _parse_name_last_first}
+_NAME_FORMATTERS: dict = {
+    "first_last": lambda first, last: f"{first} {last}",
+    "last_first": lambda first, last: f"{last}, {first}",
+}
+
+_PhoneTuple = Tuple[str, str, str]
+
+
+def _parse_phone(value: str) -> Optional[_PhoneTuple]:
+    m = re.match(r"^(\d{3})[-. ]?(\d{3})[-. ]?(\d{4})$", value.strip())
+    if m:
+        return (m.group(1), m.group(2), m.group(3))
+    return None
+
+
+_PHONE_FORMATTERS: dict = {
+    "dash": lambda a, b, c: f"{a}-{b}-{c}",
+    "dot": lambda a, b, c: f"{a}.{b}.{c}",
+    "plain": lambda a, b, c: f"{a}{b}{c}",
+}
+
+
+@dataclass(frozen=True)
+class ColumnTransform:
+    """A verified value transformation between two column formats."""
+
+    name: str
+    apply_fn: Callable[[str], Optional[str]]
+
+    def apply(self, value: str) -> str:
+        """Transform one value; raises TransformError when unparseable."""
+        out = self.apply_fn(value)
+        if out is None:
+            raise TransformError(f"{self.name} cannot transform {value!r}")
+        return out
+
+    def apply_all(self, values: Sequence[str]) -> List[str]:
+        return [self.apply(v) for v in values]
+
+
+def _candidates() -> List[ColumnTransform]:
+    transforms: List[ColumnTransform] = []
+    for src_name, parser in _DATE_PARSERS.items():
+        for dst_name, formatter in _DATE_FORMATTERS.items():
+            if src_name == dst_name:
+                continue
+            transforms.append(
+                ColumnTransform(
+                    name=f"date_{src_name}_to_{dst_name}",
+                    apply_fn=lambda v, p=parser, f=formatter: (
+                        f(*p(v)) if p(v) is not None else None
+                    ),
+                )
+            )
+    for src_name, parser in _NAME_PARSERS.items():
+        for dst_name, formatter in _NAME_FORMATTERS.items():
+            if src_name == dst_name:
+                continue
+            transforms.append(
+                ColumnTransform(
+                    name=f"name_{src_name}_to_{dst_name}",
+                    apply_fn=lambda v, p=parser, f=formatter: (
+                        f(*p(v)) if p(v) is not None else None
+                    ),
+                )
+            )
+    for dst_name, formatter in _PHONE_FORMATTERS.items():
+        transforms.append(
+            ColumnTransform(
+                name=f"phone_to_{dst_name}",
+                apply_fn=lambda v, f=formatter: (
+                    f(*_parse_phone(v)) if _parse_phone(v) is not None else None
+                ),
+            )
+        )
+    return transforms
+
+
+def synthesize_column_transform(
+    source_values: Sequence[str], target_values: Sequence[str]
+) -> Optional[ColumnTransform]:
+    """Find a transform mapping every source value to its aligned target.
+
+    Programming-by-example over the transform library; returns None when no
+    candidate is consistent with all pairs."""
+    if len(source_values) != len(target_values) or not source_values:
+        raise ValueError("need equal, non-zero numbers of source and target values")
+    for transform in _candidates():
+        try:
+            if all(
+                transform.apply_fn(s) == t for s, t in zip(source_values, target_values)
+            ):
+                return transform
+        except (TypeError, ValueError):  # defensive: malformed parse output
+            continue
+    return None
+
+
+def columns_joinable(source_values: Sequence[str], target_values: Sequence[str]) -> bool:
+    """Two columns are joinable when some verified transform links them
+    (the paper's definition of joinable columns)."""
+    if len(source_values) != len(target_values) or not source_values:
+        return False
+    return synthesize_column_transform(source_values, target_values) is not None
+
+
+def mine_column_pattern(
+    client: LLMClient, values: Sequence[str], model: Optional[str] = None
+) -> str:
+    """Mine a column's pattern through the LLM (Section II-B3)."""
+    completion = client.complete(pattern_mine_prompt(values), model=model)
+    return completion.text
+
+
+@dataclass
+class PatternValidator:
+    """Pattern-based data-quality validation for refreshed columns."""
+
+    pattern: str
+
+    @classmethod
+    def from_baseline(cls, baseline_values: Sequence[str]) -> "PatternValidator":
+        """Mine the pattern of a trusted baseline column locally."""
+        pattern = mine_pattern(list(baseline_values))
+        if pattern is None:
+            raise TransformError("baseline column has no consistent pattern")
+        return cls(pattern=pattern)
+
+    @classmethod
+    def from_llm(
+        cls, client: LLMClient, baseline_values: Sequence[str], model: Optional[str] = None
+    ) -> "PatternValidator":
+        """Mine the baseline pattern through the LLM."""
+        pattern = mine_column_pattern(client, baseline_values, model=model)
+        if pattern == "no common pattern":
+            raise TransformError("LLM found no consistent pattern")
+        return cls(pattern=pattern)
+
+    def conforming(self, value: str) -> bool:
+        return pattern_matches(self.pattern, value)
+
+    def drift_rate(self, values: Sequence[str]) -> float:
+        """Fraction of values violating the baseline pattern."""
+        if not values:
+            return 0.0
+        bad = sum(1 for v in values if not self.conforming(v))
+        return bad / len(values)
+
+    def validate_batch(self, values: Sequence[str], tolerance: float = 0.05) -> bool:
+        """Accept a refreshed batch when drift stays under tolerance."""
+        return self.drift_rate(values) <= tolerance

@@ -1,0 +1,86 @@
+"""NL2SQL translation (Section II-B1): the DAIL-SQL-style pipeline.
+
+Builds prompts with schema + similarity-selected few-shot examples,
+translates through the LLM, and optionally validates/executes against the
+database. The decomposition/combination regimes for the same workload live
+in :class:`repro.core.decompose.QueryOptimizer`; this class is the
+per-question application API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.prompts.selector import similarity_select
+from repro.core.prompts.templates import nl2sql_prompt
+from repro.core.validation import SQLValidator, ValidationReport
+from repro.datasets.spider import NLExample, execution_match
+from repro.llm.client import LLMClient
+from repro.sqldb import Database
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """SQL plus validation for one translated question."""
+
+    question: str
+    sql: str
+    report: Optional[ValidationReport] = None
+
+    @property
+    def valid(self) -> bool:
+        return self.report is None or self.report.valid
+
+
+class NL2SQLTranslator:
+    """Schema-aware, few-shot NL2SQL translation."""
+
+    def __init__(
+        self,
+        client: LLMClient,
+        db: Database,
+        example_pool: Sequence[Tuple[str, str]] = (),
+        n_examples: int = 3,
+        model: Optional[str] = None,
+        validate: bool = True,
+    ) -> None:
+        self.client = client
+        self.db = db
+        self.example_pool = list(example_pool)
+        self.n_examples = n_examples
+        self.model = model
+        self.validator = SQLValidator(db) if validate else None
+
+    def _select_examples(self, question: str) -> List[Tuple[str, str]]:
+        if not self.example_pool or self.n_examples <= 0:
+            return []
+        return similarity_select(
+            question,
+            self.example_pool,
+            k=self.n_examples,
+            text_of=lambda pair: pair[0],
+        )
+
+    def translate(self, question: str) -> TranslationResult:
+        """Translate one question; validates when a validator is set."""
+        prompt = nl2sql_prompt(question, self.db.schema_text(), self._select_examples(question))
+        completion = self.client.complete(prompt, model=self.model)
+        report = self.validator.validate(completion.text) if self.validator else None
+        return TranslationResult(question=question, sql=completion.text, report=report)
+
+    def evaluate(self, examples: Sequence[NLExample]) -> dict:
+        """Execution accuracy + cost over a workload."""
+        if not examples:
+            raise ValueError("need at least one example")
+        cost_before = self.client.meter.cost
+        hits = 0
+        for example in examples:
+            result = self.translate(example.question)
+            if execution_match(self.db, result.sql, example.gold_sql):
+                hits += 1
+        return {
+            "execution_accuracy": hits / len(examples),
+            "api_cost": self.client.meter.cost - cost_before,
+            "n": len(examples),
+        }

@@ -1,0 +1,51 @@
+"""CLI: ``python -m repro.bench [table1|table2|table3|fig1..fig7|all]``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+_RUNNERS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+}
+
+
+def main(argv: list) -> int:
+    """Run the requested experiment targets; returns an exit code."""
+    targets = argv or ["all"]
+    if targets == ["all"]:
+        targets = list(_RUNNERS)
+    unknown = [t for t in targets if t not in _RUNNERS]
+    if unknown:
+        print(f"unknown target(s): {', '.join(unknown)}; choose from {', '.join(_RUNNERS)} or 'all'")
+        return 2
+    for target in targets:
+        result = _RUNNERS[target]()
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned ASCII table (the harness's stdout format)."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) < 0.01 and cell != 0:
+            return f"{cell:.5f}"
+        return f"{cell:.3f}"
+    return str(cell)

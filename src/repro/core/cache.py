@@ -1,0 +1,326 @@
+"""The semantic LLM cache (Section III-C, Table III).
+
+Differences from a conventional exact-match cache, following the paper:
+
+* **Similarity matching** — queries are embedded; a cached entry hits when
+  its cosine similarity to the new query clears a configurable threshold
+  (1.0 degenerates to exact matching).
+* **Two hit tiers** — a *reuse* hit (similarity ≥ ``reuse_threshold``)
+  returns the cached response without calling the LLM; an *augment* hit
+  (similarity ≥ ``augment_threshold``) cannot be returned directly but the
+  cached (query, response) pair is offered as an extra few-shot example for
+  the new prompt. The two tiers carry different eviction weights, exactly
+  the paper's case-(1)/case-(2) distinction.
+* **Weighted eviction** — LRU and LFU are provided as baselines; the
+  ``WEIGHTED`` policy scores entries by hit-type-weighted frequency with
+  recency decay and evicts the lowest score.
+* **Sub-query caching** — entries are tagged ``original`` or ``sub`` so the
+  Table III Cache(O)/Cache(A) comparison can be reproduced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._util import cosine
+from repro.llm.client import Completion, LLMClient
+from repro.llm.embeddings import EmbeddingModel
+
+REUSE_WEIGHT = 3.0  # case (1): no LLM call needed — most valuable
+AUGMENT_WEIGHT = 1.0  # case (2): still calls the LLM
+
+
+class EvictionPolicy(enum.Enum):
+    LRU = "lru"
+    LFU = "lfu"
+    # LRFU (Lee et al., the paper's ref [77]): a spectrum subsuming LRU and
+    # LFU via a decay parameter — see SemanticCache(lrfu_lambda=...).
+    LRFU = "lrfu"
+    WEIGHTED = "weighted"
+
+
+@dataclass
+class CacheEntry:
+    """One cached (query, response) pair with usage statistics."""
+
+    key: str
+    embedding: np.ndarray
+    response: str
+    kind: str = "original"  # 'original' | 'sub'
+    cost_of_miss: float = 0.0  # what the original call cost
+    reuse_hits: int = 0
+    augment_hits: int = 0
+    last_access: int = 0
+    inserted_at: int = 0
+    crf: float = 0.0  # LRFU "combined recency and frequency" value
+    crf_updated_at: int = 0
+
+    def touch_lrfu(self, clock: int, lrfu_lambda: float) -> None:
+        """Record one reference under LRFU: decay the CRF then add 1.
+
+        ``lrfu_lambda`` in (0, 1]: values near 1 forget fast (≈ LRU),
+        values near 0 never forget (≈ LFU)."""
+        age = max(0, clock - self.crf_updated_at)
+        self.crf = self.crf * ((1.0 - lrfu_lambda) ** age) + 1.0
+        self.crf_updated_at = clock
+
+    def lrfu_score(self, clock: int, lrfu_lambda: float) -> float:
+        age = max(0, clock - self.crf_updated_at)
+        return self.crf * ((1.0 - lrfu_lambda) ** age)
+
+    def weighted_score(self, clock: int, half_life: int = 64) -> float:
+        """Eviction score: hit-type-weighted frequency with recency decay."""
+        age = max(0, clock - self.last_access)
+        decay = 0.5 ** (age / half_life)
+        base = REUSE_WEIGHT * self.reuse_hits + AUGMENT_WEIGHT * self.augment_hits
+        return (base + 0.5) * decay
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache statistics."""
+
+    lookups: int = 0
+    reuse_hits: int = 0
+    augment_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    cost_saved: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return (self.reuse_hits + self.augment_hits) / self.lookups
+
+
+@dataclass
+class CacheLookup:
+    """Result of one cache probe."""
+
+    tier: str  # 'reuse' | 'augment' | 'miss'
+    entry: Optional[CacheEntry] = None
+    similarity: float = 0.0
+
+
+class AdmissionPredictor:
+    """Predicts whether a candidate entry will be accessed again
+    (Section III-C: "decide whether to cache ... or refrain from caching
+    based on the likelihood of future access").
+
+    TinyLFU-style doorkeeper: a bounded history of recent query embeddings.
+    A query is predicted re-accessible when something similar has already
+    been seen before (one-hit wonders have not), or when it is a sub-query
+    (sub-queries are shared across originals by construction — the Fig 7
+    overlap). The predictor is trained online by its own traffic.
+    """
+
+    def __init__(
+        self,
+        history: int = 256,
+        similarity_threshold: float = 0.92,
+        admit_subqueries: bool = True,
+        embedding_dim: int = 64,
+    ) -> None:
+        if history <= 0:
+            raise ValueError("history must be positive")
+        self.history = history
+        self.similarity_threshold = similarity_threshold
+        self.admit_subqueries = admit_subqueries
+        self.embedder = EmbeddingModel(dim=embedding_dim)
+        self._seen: List[np.ndarray] = []
+
+    def observe(self, query: str) -> None:
+        """Record one query occurrence."""
+        self._seen.append(self.embedder.embed(query))
+        if len(self._seen) > self.history:
+            del self._seen[0]
+
+    def seen_similar(self, query: str) -> bool:
+        vec = self.embedder.embed(query)
+        return any(cosine(vec, other) >= self.similarity_threshold for other in self._seen)
+
+    def should_admit(self, query: str, kind: str = "original") -> bool:
+        """Admission decision; also records the occurrence."""
+        if self.admit_subqueries and kind == "sub":
+            self.observe(query)
+            return True
+        admit = self.seen_similar(query)
+        self.observe(query)
+        return admit
+
+
+class SemanticCache:
+    """Similarity-matched, budget-bounded LLM response cache."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        reuse_threshold: float = 0.95,
+        augment_threshold: float = 0.75,
+        policy: EvictionPolicy = EvictionPolicy.WEIGHTED,
+        embedding_dim: int = 64,
+        lrfu_lambda: float = 0.1,
+        admission: Optional[AdmissionPredictor] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not (0.0 < augment_threshold <= reuse_threshold <= 1.0):
+            raise ValueError("need 0 < augment_threshold <= reuse_threshold <= 1")
+        if not (0.0 < lrfu_lambda <= 1.0):
+            raise ValueError("lrfu_lambda must be in (0, 1]")
+        self.capacity = capacity
+        self.reuse_threshold = reuse_threshold
+        self.augment_threshold = augment_threshold
+        self.policy = policy
+        self.lrfu_lambda = lrfu_lambda
+        self.admission = admission
+        self.admission_rejects = 0
+        self.embedder = EmbeddingModel(dim=embedding_dim)
+        self.entries: Dict[str, CacheEntry] = {}
+        self.stats = CacheStats()
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    # ------------------------------------------------------------- lookups
+
+    def lookup(self, query: str) -> CacheLookup:
+        """Probe the cache; updates hit statistics."""
+        self._clock += 1
+        self.stats.lookups += 1
+        if not self.entries:
+            self.stats.misses += 1
+            return CacheLookup(tier="miss")
+        query_vec = self.embedder.embed(query)
+        best_entry: Optional[CacheEntry] = None
+        best_sim = -1.0
+        for entry in self.entries.values():
+            sim = cosine(query_vec, entry.embedding)
+            if sim > best_sim:
+                best_sim, best_entry = sim, entry
+        assert best_entry is not None
+        if best_sim >= self.reuse_threshold:
+            best_entry.reuse_hits += 1
+            best_entry.last_access = self._clock
+            best_entry.touch_lrfu(self._clock, self.lrfu_lambda)
+            self.stats.reuse_hits += 1
+            self.stats.cost_saved += best_entry.cost_of_miss
+            return CacheLookup(tier="reuse", entry=best_entry, similarity=best_sim)
+        if best_sim >= self.augment_threshold:
+            best_entry.augment_hits += 1
+            best_entry.last_access = self._clock
+            best_entry.touch_lrfu(self._clock, self.lrfu_lambda)
+            self.stats.augment_hits += 1
+            return CacheLookup(tier="augment", entry=best_entry, similarity=best_sim)
+        self.stats.misses += 1
+        return CacheLookup(tier="miss")
+
+    # ------------------------------------------------------------- updates
+
+    def put(
+        self, query: str, response: str, kind: str = "original", cost: float = 0.0
+    ) -> Optional[CacheEntry]:
+        """Insert (or refresh) an entry, evicting if over capacity.
+
+        With an :class:`AdmissionPredictor` configured, entries predicted
+        to never be re-accessed are refused (returns None)."""
+        self._clock += 1
+        if query in self.entries:
+            entry = self.entries[query]
+            entry.response = response
+            entry.last_access = self._clock
+            return entry
+        if self.admission is not None and not self.admission.should_admit(query, kind=kind):
+            self.admission_rejects += 1
+            return None
+        while len(self.entries) >= self.capacity:
+            self._evict()
+        entry = CacheEntry(
+            key=query,
+            embedding=self.embedder.embed(query),
+            response=response,
+            kind=kind,
+            cost_of_miss=cost,
+            last_access=self._clock,
+            inserted_at=self._clock,
+        )
+        entry.touch_lrfu(self._clock, self.lrfu_lambda)
+        self.entries[query] = entry
+        return entry
+
+    def _evict(self) -> None:
+        if not self.entries:
+            return
+        if self.policy is EvictionPolicy.LRU:
+            victim = min(self.entries.values(), key=lambda e: (e.last_access, e.key))
+        elif self.policy is EvictionPolicy.LFU:
+            victim = min(
+                self.entries.values(),
+                key=lambda e: (e.reuse_hits + e.augment_hits, e.last_access, e.key),
+            )
+        elif self.policy is EvictionPolicy.LRFU:
+            victim = min(
+                self.entries.values(),
+                key=lambda e: (e.lrfu_score(self._clock, self.lrfu_lambda), e.key),
+            )
+        else:
+            victim = min(
+                self.entries.values(),
+                key=lambda e: (e.weighted_score(self._clock), e.key),
+            )
+        del self.entries[victim.key]
+        self.stats.evictions += 1
+
+
+class CachedLLMClient:
+    """LLM client wrapper that consults a :class:`SemanticCache` first.
+
+    On a *reuse* hit the cached text is returned with zero cost. On an
+    *augment* hit the cached (query, response) pair is appended to the
+    prompt as an extra example before calling the LLM (the paper's case
+    (2): cached queries augment the new query).
+    """
+
+    def __init__(
+        self,
+        client: LLMClient,
+        cache: Optional[SemanticCache] = None,
+        cache_kind: str = "original",
+    ) -> None:
+        self.client = client
+        self.cache = cache if cache is not None else SemanticCache()
+        self.cache_kind = cache_kind
+
+    def complete(
+        self,
+        prompt: str,
+        model: Optional[str] = None,
+        cache_key: Optional[str] = None,
+    ) -> Tuple[str, str]:
+        """Returns ``(text, source)`` where source is 'cache' or 'llm'.
+
+        ``cache_key`` defaults to the full prompt; passing the bare question
+        makes matching robust to prompt framing differences.
+        """
+        key = cache_key if cache_key is not None else prompt
+        lookup = self.cache.lookup(key)
+        if lookup.tier == "reuse" and lookup.entry is not None:
+            return lookup.entry.response, "cache"
+        effective_prompt = prompt
+        if lookup.tier == "augment" and lookup.entry is not None:
+            effective_prompt = (
+                f"Example: Question: {lookup.entry.key} Answer: {lookup.entry.response}\n"
+                + prompt
+            )
+        completion = self.client.complete(effective_prompt, model=model)
+        self.cache.put(key, completion.text, kind=self.cache_kind, cost=completion.cost)
+        return completion.text, "llm"

@@ -1,0 +1,446 @@
+"""Query decomposition & combination (Section III-B1, Fig 7, Table II).
+
+Two task families get decomposition support:
+
+**NL2SQL** — compound stadium questions split into atomic sub-questions on
+the connector phrases ("or had" → UNION, "and had" → INTERSECT, "but did
+not have" → EXCEPT). Across a workload, identical sub-questions are
+translated **once** (the Fig 7 sharing), and *combination* additionally
+shares one prompt prefix (schema + few-shot examples) across all
+sub-questions of a batch via :meth:`LLMClient.complete_batch`.
+
+**Multi-hop QA** — bridge questions become a two-step chain (answer of step
+one is substituted into step two); comparison questions become two
+attribute lookups recombined by a comparator. This is the decomposition the
+sub-query cache (Table III, Cache(A)) stores.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.llm.client import LLMClient
+
+# --------------------------------------------------------------------------
+# NL2SQL decomposition
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DecomposedQuery:
+    """A compound NL question split into atomic sub-questions."""
+
+    question: str
+    sub_questions: Tuple[str, ...]
+    recompose_op: Optional[str]  # None = not decomposable (atomic)
+
+    @property
+    def is_compound(self) -> bool:
+        return self.recompose_op is not None
+
+
+def decompose_nl_question(question: str) -> DecomposedQuery:
+    """Split a registered-domain NL question on its connector phrase.
+
+    Domains come from :data:`repro.llm.engines.nl2sql.DOMAINS`, so the
+    decomposer and the translator always agree on the grammar."""
+    from repro.llm.engines.nl2sql import DOMAINS
+
+    text = question.strip().rstrip("?")
+    for domain in DOMAINS:
+        prefix_match = domain.prefix_pattern().match(text + " ")
+        if prefix_match is None:
+            continue
+        remainder = (text + " ")[prefix_match.end():].strip()
+        for connector, op, event in sorted(
+            domain.connectors(), key=lambda c: ("EXCEPT", "INTERSECT", "UNION").index(c[1])
+        ):
+            idx = remainder.lower().find(connector)
+            if idx < 0:
+                continue
+            left = remainder[:idx].strip()
+            right = remainder[idx + len(connector):].strip()
+            left_q = (
+                f"What are the names of {domain.entity_phrase} "
+                f"{_normalize_clause(domain, left)}?"
+            )
+            right_q = (
+                f"What are the names of {domain.entity_phrase} that {event.verb} {right}?"
+            )
+            return DecomposedQuery(
+                question=question, sub_questions=(left_q, right_q), recompose_op=op
+            )
+        break  # prefix matched but no connector: atomic domain question
+    return DecomposedQuery(question=question, sub_questions=(question,), recompose_op=None)
+
+
+def _normalize_clause(domain, clause: str) -> str:
+    clause = clause.strip()
+    lowered = clause.lower()
+    verbs = {event.verb for event in domain.events}
+    if any(lowered.startswith(f"that {verb}") for verb in verbs):
+        return clause
+    if any(lowered.startswith(verb) for verb in verbs):
+        return "that " + clause
+    default_verb = domain.events[0].verb
+    return f"that {default_verb} " + clause
+
+
+def recompose_sql(sub_sqls: Sequence[str], op: str) -> str:
+    """Stitch translated sub-queries back together with the set operator."""
+    if len(sub_sqls) < 2:
+        return sub_sqls[0] if sub_sqls else ""
+    return f" {op} ".join(sub_sqls)
+
+
+@dataclass
+class CombinedPlan:
+    """What :func:`shared_subquery_plan` computes for a workload (Fig 7)."""
+
+    questions: List[str]
+    decompositions: List[DecomposedQuery]
+    unique_sub_questions: List[str]
+    total_sub_references: int
+
+    @property
+    def llm_calls_saved(self) -> int:
+        """Calls avoided by answering each shared sub-question once."""
+        return self.total_sub_references - len(self.unique_sub_questions)
+
+    @property
+    def sharing_ratio(self) -> float:
+        if self.total_sub_references == 0:
+            return 0.0
+        return self.llm_calls_saved / self.total_sub_references
+
+
+def shared_subquery_plan(questions: Sequence[str]) -> CombinedPlan:
+    """Decompose a workload and compute the sub-query sharing structure."""
+    decompositions = [decompose_nl_question(q) for q in questions]
+    unique: List[str] = []
+    seen = set()
+    total = 0
+    for decomposition in decompositions:
+        for sub in decomposition.sub_questions:
+            total += 1
+            key = sub.lower()
+            if key not in seen:
+                seen.add(key)
+                unique.append(sub)
+    return CombinedPlan(
+        questions=list(questions),
+        decompositions=decompositions,
+        unique_sub_questions=unique,
+        total_sub_references=total,
+    )
+
+
+class QueryOptimizer:
+    """Runs an NL2SQL workload under the three Table II regimes.
+
+    Parameters
+    ----------
+    client:
+        The LLM client (its meter accumulates the workload cost).
+    schema:
+        CREATE TABLE text included in every prompt.
+    examples:
+        Few-shot (question, SQL) pairs included in every prompt.
+    model:
+        Model name (Table II uses the gpt-4 class, as DAIL-SQL does).
+    """
+
+    def __init__(
+        self,
+        client: LLMClient,
+        schema: str,
+        examples: Sequence[Tuple[str, str]] = (),
+        model: str = "gpt-4",
+    ) -> None:
+        self.client = client
+        self.schema = schema
+        self.examples = list(examples)
+        self.model = model
+
+    # -- prompt construction -------------------------------------------------
+
+    def _prefix(self) -> str:
+        from repro.core.prompts.templates import nl2sql_prompt
+
+        # Render the shared prefix by templating an empty question and
+        # stripping the trailing marker.
+        rendered = nl2sql_prompt("\x00", self.schema, self.examples)
+        return rendered[: rendered.index("Question: \x00")]
+
+    def _full_prompt(self, question: str) -> str:
+        from repro.core.prompts.templates import nl2sql_prompt
+
+        return nl2sql_prompt(question, self.schema, self.examples)
+
+    # -- regimes ---------------------------------------------------------
+
+    def translate_origin(self, questions: Sequence[str]) -> List[str]:
+        """Baseline: one full prompt per original question."""
+        return [self.client.complete(self._full_prompt(q), model=self.model).text for q in questions]
+
+    def translate_decomposed(self, questions: Sequence[str]) -> List[str]:
+        """Decomposition: translate unique sub-questions once, recompose."""
+        plan = shared_subquery_plan(questions)
+        sub_sql: Dict[str, str] = {}
+        for sub in plan.unique_sub_questions:
+            sub_sql[sub.lower()] = self.client.complete(
+                self._full_prompt(sub), model=self.model
+            ).text
+        return self._recompose_all(plan, sub_sql)
+
+    def translate_decomposed_combined(self, questions: Sequence[str]) -> List[str]:
+        """Decomposition + combination: sub-questions share one prompt
+        prefix (schema + examples), eliminating redundant example tokens."""
+        plan = shared_subquery_plan(questions)
+        prefix = self._prefix()
+        items = [f"Question: {sub}" for sub in plan.unique_sub_questions]
+        completions = self.client.complete_batch(prefix, items, model=self.model)
+        sub_sql = {
+            sub.lower(): completion.text
+            for sub, completion in zip(plan.unique_sub_questions, completions)
+        }
+        return self._recompose_all(plan, sub_sql)
+
+    def translate_min_cost(self, questions: Sequence[str]) -> Tuple[List[str], Dict[str, int]]:
+        """Min-cost covering-set regime (Section III-B1's open algorithm).
+
+        "The total costs of decomposed sub-queries is larger than the
+        original query ... query decomposition may even increase the LLM
+        costs" — so decomposition must be chosen per query. This greedy
+        algorithm covers each original question either by its own direct
+        translation or by its sub-questions, whichever adds fewer *marginal*
+        prompt tokens given the sub-questions already selected by other
+        queries (shared sub-questions are free after their first use).
+
+        Returns ``(sql_per_question, {"decomposed": n, "direct": m})``.
+        """
+        from repro.llm.tokenizer import count_tokens
+
+        decompositions = [decompose_nl_question(q) for q in questions]
+        prefix_tokens = count_tokens(self._prefix())
+
+        def question_tokens(text: str) -> int:
+            # Every new LLM call pays the shared prefix (schema + examples)
+            # plus its own question line.
+            return prefix_tokens + count_tokens(f"Question: {text}")
+
+        # Amortized covering: count how often each sub-question is
+        # referenced across the whole workload, then decompose a compound
+        # iff its amortized share of the sub-question calls is cheaper than
+        # its direct translation. Shared sub-questions split their cost
+        # across every query that references them.
+        reference_counts: Dict[str, int] = {}
+        for decomposition in decompositions:
+            if decomposition.is_compound:
+                for sub in decomposition.sub_questions:
+                    key = sub.lower()
+                    reference_counts[key] = reference_counts.get(key, 0) + 1
+
+        selected_subs: Dict[str, int] = {}
+        plan_choice: List[bool] = []  # True = decompose
+        for decomposition in decompositions:
+            if not decomposition.is_compound:
+                plan_choice.append(False)
+                continue
+            direct_cost = question_tokens(decomposition.question)
+            amortized = sum(
+                question_tokens(sub) / reference_counts[sub.lower()]
+                for sub in decomposition.sub_questions
+            )
+            if amortized <= direct_cost:
+                plan_choice.append(True)
+                for sub in decomposition.sub_questions:
+                    selected_subs[sub.lower()] = selected_subs.get(sub.lower(), 0) + 1
+            else:
+                plan_choice.append(False)
+
+        # Execute: unique selected sub-questions once, direct questions once.
+        sub_sql: Dict[str, str] = {}
+        for sub in selected_subs:
+            # Recover original casing from any decomposition that carries it.
+            original = next(
+                s
+                for d in decompositions
+                for s in d.sub_questions
+                if s.lower() == sub
+            )
+            sub_sql[sub] = self.client.complete(self._full_prompt(original), model=self.model).text
+
+        out: List[str] = []
+        stats = {"decomposed": 0, "direct": 0}
+        for decomposition, decomposed in zip(decompositions, plan_choice):
+            if decomposed and decomposition.is_compound:
+                stats["decomposed"] += 1
+                sqls = [sub_sql[s.lower()] for s in decomposition.sub_questions]
+                out.append(recompose_sql(sqls, decomposition.recompose_op))
+            else:
+                stats["direct"] += 1
+                out.append(
+                    self.client.complete(
+                        self._full_prompt(decomposition.question), model=self.model
+                    ).text
+                )
+        return out, stats
+
+    @staticmethod
+    def _recompose_all(plan: CombinedPlan, sub_sql: Dict[str, str]) -> List[str]:
+        out = []
+        for decomposition in plan.decompositions:
+            sqls = [sub_sql[s.lower()] for s in decomposition.sub_questions]
+            if decomposition.is_compound:
+                out.append(recompose_sql(sqls, decomposition.recompose_op))
+            else:
+                out.append(sqls[0])
+        return out
+
+
+# --------------------------------------------------------------------------
+# Multi-hop QA decomposition
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QAChainStep:
+    """One step in a QA chain; ``{answer}`` is filled from the prior step."""
+
+    template: str
+
+    def render(self, previous_answer: Optional[str]) -> str:
+        if "{answer}" in self.template:
+            if previous_answer is None:
+                raise ValueError("step requires a previous answer")
+            return self.template.format(answer=previous_answer)
+        return self.template
+
+
+@dataclass(frozen=True)
+class QAPlan:
+    """Decomposition plan for a multi-hop question."""
+
+    question: str
+    kind: str  # 'bridge' | 'comparison' | 'atomic'
+    steps: Tuple[QAChainStep, ...] = field(default_factory=tuple)
+    operands: Tuple[str, ...] = field(default_factory=tuple)  # comparisons
+    # 'chain' = answer of the last step; 'min_value' = operand with the
+    # smaller numeric sub-answer.
+    recompose: str = "chain"
+
+
+_BRIDGE_RULES: List[Tuple[re.Pattern, Callable[[str], Tuple[str, str]]]] = [
+    (
+        re.compile(r"(?i)^who directed the film that starred (.+?)\?$"),
+        lambda e: (f"Which film starred {e}?", "Who directed {answer}?"),
+    ),
+    # Paraphrased forms decompose into the same canonical sub-questions —
+    # which is exactly why sub-query caching raises the hit rate (III-C).
+    (
+        re.compile(r"(?i)^the film starring (.+?) was directed by whom\?$"),
+        lambda e: (f"Which film starred {e}?", "Who directed {answer}?"),
+    ),
+    (
+        re.compile(r"(?i)^the city where (.+?) was born is located in which country\?$"),
+        lambda e: (f"In which city was {e} born?", "In which country is {answer} located?"),
+    ),
+    (
+        re.compile(r"(?i)^the team that (.+?) plays for is based in which city\?$"),
+        lambda e: (f"Which team does {e} play for?", "In which city is {answer} based?"),
+    ),
+    (
+        re.compile(r"(?i)^which sport is played by the team that (.+?) plays for\?$"),
+        lambda e: (f"Which team does {e} play for?", "What sport does {answer} play?"),
+    ),
+    (
+        re.compile(r"(?i)^in which country is the city where (.+?) was born(?: located)?\?$"),
+        lambda e: (f"In which city was {e} born?", "In which country is {answer} located?"),
+    ),
+    (
+        re.compile(r"(?i)^in which city is the team that (.+?) plays for based\?$"),
+        lambda e: (f"Which team does {e} play for?", "In which city is {answer} based?"),
+    ),
+    (
+        re.compile(r"(?i)^what sport does the team that (.+?) plays for play\?$"),
+        lambda e: (f"Which team does {e} play for?", "What sport does {answer} play?"),
+    ),
+]
+
+_COMPARISON_RULES: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"(?i)^who was born earlier, (.+?) or (.+?)\?$"), "In which year was {0} born?"),
+    (
+        re.compile(r"(?i)^which film was released first, (.+?) or (.+?)\?$"),
+        "In which year was {0} released?",
+    ),
+    (re.compile(r"(?i)^between (.+?) and (.+?), who was born earlier\?$"), "In which year was {0} born?"),
+    (
+        re.compile(r"(?i)^between (.+?) and (.+?), which film was released first\?$"),
+        "In which year was {0} released?",
+    ),
+]
+
+
+def decompose_qa_question(question: str) -> QAPlan:
+    """Build a decomposition plan for a HotpotQA-style question."""
+    normalized = question.strip()
+    if not normalized.endswith("?"):
+        normalized += "?"
+    for pattern, make in _BRIDGE_RULES:
+        m = pattern.match(normalized)
+        if m:
+            first, second = make(m.group(1).strip())
+            return QAPlan(
+                question=question,
+                kind="bridge",
+                steps=(QAChainStep(first), QAChainStep(second)),
+                recompose="chain",
+            )
+    for pattern, template in _COMPARISON_RULES:
+        m = pattern.match(normalized)
+        if m:
+            a, b = m.group(1).strip(), m.group(2).strip()
+            return QAPlan(
+                question=question,
+                kind="comparison",
+                steps=(QAChainStep(template.format(a)), QAChainStep(template.format(b))),
+                operands=(a, b),
+                recompose="min_value",
+            )
+    return QAPlan(question=question, kind="atomic", steps=(QAChainStep(normalized),))
+
+
+def answer_via_decomposition(
+    client: LLMClient,
+    question: str,
+    model: Optional[str] = None,
+    sub_answer_fn: Optional[Callable[[str], str]] = None,
+) -> str:
+    """Answer a question by executing its decomposition plan.
+
+    ``sub_answer_fn`` lets callers intercept sub-question answering (the
+    sub-query cache wraps it); default goes straight to the client.
+    """
+    from repro.core.prompts.templates import qa_prompt
+
+    plan = decompose_qa_question(question)
+
+    def answer_sub(sub_question: str) -> str:
+        if sub_answer_fn is not None:
+            return sub_answer_fn(sub_question)
+        return client.complete(qa_prompt(sub_question), model=model).text
+
+    if plan.recompose == "chain":
+        previous: Optional[str] = None
+        for step in plan.steps:
+            previous = answer_sub(step.render(previous))
+        return previous or ""
+    # min_value comparison
+    answers = [answer_sub(step.render(None)) for step in plan.steps]
+    try:
+        values = [float(a) for a in answers]
+    except ValueError:
+        return answers[0]
+    return plan.operands[0] if values[0] <= values[1] else plan.operands[1]

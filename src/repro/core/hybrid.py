@@ -1,0 +1,156 @@
+"""Multi-modal hybrid query planning (Section III-B2).
+
+Three pieces, matching the paper's discussion:
+
+* :class:`HybridPlanner` — chooses the order of attribute filtering vs
+  vector search per query (rule-based on estimated selectivity, or via a
+  learned router) and executes against a :class:`repro.vectordb.Collection`;
+* :class:`LearnedOrderRouter` — a logistic model over (selectivity, k,
+  collection size) trained from observed per-strategy costs, the paper's
+  "train a classification model to predict which order to use";
+* :class:`AdaptiveKPredictor` — predicts how much to widen ``k`` for
+  vector-first search so the post-filter still returns ``k`` items (the
+  paper's "predict an appropriate k value" against the null-result
+  pathology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.vectordb import Collection, FilterStrategy, MetadataFilter, SearchReport
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's choice and its rationale for one query."""
+
+    strategy: FilterStrategy
+    estimated_selectivity: float
+    widened_k: int
+
+
+class AdaptiveKPredictor:
+    """Learns the over-fetch factor for vector-first filtered search.
+
+    Maintains a running quantile-style estimate of the factor
+    ``needed_k / requested_k`` observed on past queries; predicts with a
+    safety margin. Falls back to ``1.5 / selectivity`` before any feedback.
+    """
+
+    def __init__(self, safety: float = 1.3, max_factor: float = 50.0) -> None:
+        self.safety = safety
+        self.max_factor = max_factor
+        self._observed: List[float] = []
+
+    def predict_k(self, requested_k: int, selectivity: float) -> int:
+        """Widened k for vector-first search at this selectivity."""
+        if self._observed:
+            # 90th percentile of observed factors, with safety margin.
+            factor = float(np.quantile(self._observed, 0.9)) * self.safety
+        else:
+            factor = self.safety / max(selectivity, 1e-3)
+        factor = min(max(factor, 1.0), self.max_factor)
+        return max(requested_k, int(np.ceil(requested_k * factor)))
+
+    def observe(self, requested_k: int, scanned_k: int, returned: int) -> None:
+        """Record how deep the scan had to go to fill the result."""
+        if returned <= 0 or requested_k <= 0:
+            # A null result: remember a pessimistic factor.
+            self._observed.append(min(self.max_factor, 2.0 * max(1, scanned_k) / max(1, requested_k)))
+            return
+        effective = scanned_k * (requested_k / returned) / requested_k
+        self._observed.append(min(self.max_factor, max(1.0, effective)))
+
+
+class LearnedOrderRouter:
+    """Logistic router: predict whether PRE beats POST for a query.
+
+    Features: estimated selectivity, log collection size, requested k.
+    Trained from observed (features, pre_cost < post_cost) pairs gathered
+    by running both strategies on a sample workload.
+    """
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 400) -> None:
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.weights: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _features(selectivity: float, collection_size: int, k: int) -> np.ndarray:
+        return np.array(
+            [1.0, selectivity, np.log1p(collection_size) / 10.0, min(k, 100) / 100.0]
+        )
+
+    def fit(self, samples: Sequence[Tuple[float, int, int, bool]]) -> "LearnedOrderRouter":
+        """``samples``: (selectivity, collection_size, k, pre_was_better)."""
+        if not samples:
+            raise ValueError("need at least one training sample")
+        x = np.stack([self._features(s, n, k) for s, n, k, _label in samples])
+        y = np.array([1.0 if label else 0.0 for _s, _n, _k, label in samples])
+        weights = np.zeros(x.shape[1])
+        for _epoch in range(self.epochs):
+            p = 1.0 / (1.0 + np.exp(-(x @ weights)))
+            weights -= self.learning_rate * (x.T @ (p - y)) / len(y)
+        self.weights = weights
+        return self
+
+    def prefer_pre(self, selectivity: float, collection_size: int, k: int) -> bool:
+        """True when the model predicts PRE beats POST here."""
+        if self.weights is None:
+            raise RuntimeError("router is not fitted")
+        logit = float(self._features(selectivity, collection_size, k) @ self.weights)
+        return logit >= 0.0
+
+
+class HybridPlanner:
+    """Per-query strategy selection + execution over a Collection."""
+
+    def __init__(
+        self,
+        collection: Collection,
+        router: Optional[LearnedOrderRouter] = None,
+        k_predictor: Optional[AdaptiveKPredictor] = None,
+        selectivity_cutoff: float = 0.25,
+    ) -> None:
+        self.collection = collection
+        self.router = router
+        self.k_predictor = k_predictor or AdaptiveKPredictor()
+        self.selectivity_cutoff = selectivity_cutoff
+
+    def plan(self, where: Optional[Mapping[str, object]], k: int) -> PlanDecision:
+        """Decide strategy and widened k for a query."""
+        metadata_filter = MetadataFilter(where)
+        metadatas = [self.collection.get_metadata(i) for i in self.collection.ids()]
+        selectivity = metadata_filter.selectivity(metadatas) if metadata_filter else 1.0
+        if not metadata_filter:
+            return PlanDecision(strategy=FilterStrategy.POST, estimated_selectivity=1.0, widened_k=k)
+        if self.router is not None and self.router.weights is not None:
+            pre = self.router.prefer_pre(selectivity, len(self.collection), k)
+        else:
+            pre = selectivity <= self.selectivity_cutoff
+        strategy = FilterStrategy.PRE if pre else FilterStrategy.POST
+        widened = k if pre else self.k_predictor.predict_k(k, selectivity)
+        return PlanDecision(strategy=strategy, estimated_selectivity=selectivity, widened_k=widened)
+
+    def search(
+        self,
+        query_vector: np.ndarray,
+        k: int,
+        where: Optional[Mapping[str, object]] = None,
+    ) -> Tuple[SearchReport, PlanDecision]:
+        """Plan, execute, and feed the outcome back to the k predictor."""
+        decision = self.plan(where, k)
+        previous_overfetch = self.collection.overfetch
+        if decision.strategy is FilterStrategy.POST and where:
+            self.collection.overfetch = max(1.0, decision.widened_k / max(k, 1))
+        try:
+            report = self.collection.search(query_vector, k=k, where=where, strategy=decision.strategy)
+        finally:
+            self.collection.overfetch = previous_overfetch
+        if decision.strategy is FilterStrategy.POST and where:
+            self.k_predictor.observe(k, report.candidates_scanned, len(report.hits))
+        return report, decision

@@ -1,0 +1,55 @@
+"""Prompt optimization (Section III-A).
+
+* :mod:`repro.core.prompts.templates` — the prompt template library every
+  application uses (the engines' routing patterns match these templates).
+* :mod:`repro.core.prompts.store` — historical prompt store over the vector
+  database, with similarity-based and performance-aware retrieval.
+* :mod:`repro.core.prompts.selector` — few-shot example selection
+  (similarity, diversity-aware MMR).
+* :mod:`repro.core.prompts.budget` — budget-constrained prompt retention
+  (greedy value/size and an epsilon-greedy bandit, the paper's envisioned
+  RL direction).
+"""
+
+from repro.core.prompts.budget import BanditPromptSelector, greedy_budget_selection
+from repro.core.prompts.selector import mmr_select, similarity_select
+from repro.core.prompts.store import PromptRecord, PromptStore
+from repro.core.prompts.templates import (
+    PromptTemplate,
+    column_type_prompt,
+    entity_match_prompt,
+    exec_time_prompt,
+    label_infer_prompt,
+    nl2sql_prompt,
+    pattern_mine_prompt,
+    qa_prompt,
+    row_serialize_prompt,
+    schema_match_prompt,
+    sql2nl_prompt,
+    sqlgen_prompt,
+    table_extract_prompt,
+    transaction_prompt,
+)
+
+__all__ = [
+    "BanditPromptSelector",
+    "PromptRecord",
+    "PromptStore",
+    "PromptTemplate",
+    "column_type_prompt",
+    "entity_match_prompt",
+    "exec_time_prompt",
+    "greedy_budget_selection",
+    "label_infer_prompt",
+    "mmr_select",
+    "nl2sql_prompt",
+    "pattern_mine_prompt",
+    "qa_prompt",
+    "row_serialize_prompt",
+    "schema_match_prompt",
+    "similarity_select",
+    "sql2nl_prompt",
+    "sqlgen_prompt",
+    "table_extract_prompt",
+    "transaction_prompt",
+]

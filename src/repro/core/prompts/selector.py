@@ -1,0 +1,73 @@
+"""Few-shot example selection: similarity and diversity-aware (MMR).
+
+Selecting which examples to put in a prompt is the operational half of
+prompt optimization: similar examples help the model most, but redundant
+ones waste tokens (the observation behind query combination's example
+dedup). ``mmr_select`` implements maximal marginal relevance over the
+simulated embedding space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+import numpy as np
+
+from repro._util import cosine
+from repro.llm.embeddings import EmbeddingModel
+
+T = TypeVar("T")
+
+
+def similarity_select(
+    query: str,
+    candidates: Sequence[T],
+    k: int,
+    text_of: Callable[[T], str],
+    embedder: EmbeddingModel = None,
+) -> List[T]:
+    """Top-k candidates by embedding similarity to the query."""
+    if k <= 0 or not candidates:
+        return []
+    embedder = embedder or EmbeddingModel()
+    query_vec = embedder.embed(query)
+    scored = [
+        (cosine(query_vec, embedder.embed(text_of(c))), i, c)
+        for i, c in enumerate(candidates)
+    ]
+    scored.sort(key=lambda t: (-t[0], t[1]))
+    return [c for _s, _i, c in scored[:k]]
+
+
+def mmr_select(
+    query: str,
+    candidates: Sequence[T],
+    k: int,
+    text_of: Callable[[T], str],
+    lambda_relevance: float = 0.7,
+    embedder: EmbeddingModel = None,
+) -> List[T]:
+    """Maximal-marginal-relevance selection: relevant *and* diverse.
+
+    Score of a candidate = ``λ·sim(query, c) − (1−λ)·max sim(c, selected)``.
+    """
+    if k <= 0 or not candidates:
+        return []
+    embedder = embedder or EmbeddingModel()
+    query_vec = embedder.embed(query)
+    vectors = [embedder.embed(text_of(c)) for c in candidates]
+    relevance = [cosine(query_vec, v) for v in vectors]
+
+    selected: List[int] = []
+    remaining = list(range(len(candidates)))
+    while remaining and len(selected) < k:
+        def mmr_score(idx: int) -> float:
+            redundancy = max(
+                (cosine(vectors[idx], vectors[j]) for j in selected), default=0.0
+            )
+            return lambda_relevance * relevance[idx] - (1 - lambda_relevance) * redundancy
+
+        best = max(remaining, key=lambda idx: (mmr_score(idx), -idx))
+        selected.append(best)
+        remaining.remove(best)
+    return [candidates[i] for i in selected]

@@ -1,0 +1,50 @@
+"""repro.datasets — deterministic synthetic dataset generators.
+
+Substitutes for the external datasets the paper's experiments use (see
+DESIGN.md §2): a HotpotQA-like multi-hop QA set, a Spider-like NL2SQL
+benchmark (including the paper's own Q1–Q5), entity-resolution pairs, a
+column-type corpus, tabular data with missing labels, query/execution-time
+workloads and an EMR-style multi-modal data lake.
+"""
+
+from repro.datasets.hotpot import QAExample, generate_hotpot
+from repro.datasets.spider import (
+    NLExample,
+    build_concert_db,
+    generate_nl2sql,
+    paper_queries,
+)
+from repro.datasets.retail import build_retail_db, generate_retail_nl2sql
+from repro.datasets.entities import ERPair, generate_er_pairs
+from repro.datasets.columns import (
+    ColumnExample,
+    JoinableColumnPair,
+    generate_column_corpus,
+    generate_joinable_pairs,
+)
+from repro.datasets.tabular import TabularDataset, generate_patients
+from repro.datasets.lake import LakeItem, generate_lake
+from repro.datasets.workloads import QueryTimingExample, generate_timing_workload
+
+__all__ = [
+    "ColumnExample",
+    "ERPair",
+    "JoinableColumnPair",
+    "LakeItem",
+    "NLExample",
+    "QAExample",
+    "QueryTimingExample",
+    "TabularDataset",
+    "build_concert_db",
+    "build_retail_db",
+    "generate_column_corpus",
+    "generate_er_pairs",
+    "generate_hotpot",
+    "generate_joinable_pairs",
+    "generate_lake",
+    "generate_nl2sql",
+    "generate_patients",
+    "generate_retail_nl2sql",
+    "generate_timing_workload",
+    "paper_queries",
+]

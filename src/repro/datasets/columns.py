@@ -1,0 +1,144 @@
+"""Column-type corpus and joinable-column pairs (Sections II-C1, II-B3).
+
+``generate_column_corpus`` emits labeled value columns for the column-type
+annotation task, drawing entity values from the shared synthetic world so
+the simulated LLM's gazetteer knowledge is exercised rather than bypassed.
+
+``generate_joinable_pairs`` emits column pairs that denote the same values
+under different formats — the paper's "Aug 14 2023" vs "8/14/2023" example —
+with the gold transformation name attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro._util import rng_from
+from repro.llm.knowledge import World
+
+_MONTHS = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+]
+_SPORTS = [
+    "Basketball", "Football", "Baseball", "Hockey", "Tennis",
+    "Volleyball", "Rugby", "Cricket", "Badminton", "Table Tennis",
+]
+
+
+@dataclass(frozen=True)
+class ColumnExample:
+    """A value column with its gold semantic type."""
+
+    values: Tuple[str, ...]
+    column_type: str
+
+
+@dataclass(frozen=True)
+class JoinableColumnPair:
+    """Two columns denoting the same values in different formats."""
+
+    source: Tuple[str, ...]
+    target: Tuple[str, ...]
+    transform_name: str  # gold transformation id
+
+
+def generate_column_corpus(
+    world: World, n: int = 60, seed: int = 0, values_per_column: int = 4
+) -> Tuple[List[str], List[ColumnExample]]:
+    """Returns (candidate type list, labeled examples)."""
+    rng = rng_from(seed)
+
+    def sample(pool: List[str]) -> Tuple[str, ...]:
+        idx = rng.choice(len(pool), size=min(values_per_column, len(pool)), replace=False)
+        return tuple(pool[int(i)] for i in idx)
+
+    def dates() -> Tuple[str, ...]:
+        return tuple(
+            f"{_MONTHS[int(rng.integers(0, 12))]} {int(rng.integers(1, 29)):02d} "
+            f"{int(rng.integers(1990, 2024))}"
+            for _ in range(values_per_column)
+        )
+
+    def years() -> Tuple[str, ...]:
+        return tuple(str(int(rng.integers(1900, 2024))) for _ in range(values_per_column))
+
+    generators: Dict[str, Callable[[], Tuple[str, ...]]] = {
+        "country": lambda: sample(world.countries),
+        "city": lambda: sample(world.cities),
+        "person": lambda: sample(world.people),
+        "movie": lambda: sample(world.films),
+        "team": lambda: sample(world.teams),
+        "sports": lambda: sample(_SPORTS),
+        "date": dates,
+        "year": years,
+    }
+    types = sorted(generators)
+    examples = []
+    for i in range(n):
+        column_type = types[i % len(types)]
+        examples.append(ColumnExample(values=generators[column_type](), column_type=column_type))
+    rng.shuffle(examples)
+    return types, examples
+
+
+# ------------------------------------------------------------ joinable pairs
+
+_TRANSFORMS: Dict[str, Callable[[int, int, int], Tuple[str, str]]] = {
+    # name -> (year, month, day) -> (source_value, target_value)
+    "date_mdy_to_slash": lambda y, m, d: (f"{_MONTHS[m - 1]} {d:02d} {y}", f"{m}/{d}/{y}"),
+    "date_slash_to_iso": lambda y, m, d: (f"{m}/{d}/{y}", f"{y:04d}-{m:02d}-{d:02d}"),
+    "date_iso_to_mdy": lambda y, m, d: (f"{y:04d}-{m:02d}-{d:02d}", f"{_MONTHS[m - 1]} {d:02d} {y}"),
+}
+
+_NAME_TRANSFORMS = {
+    "name_last_first_to_first_last": lambda first, last: (f"{last}, {first}", f"{first} {last}"),
+    "name_first_last_to_last_first": lambda first, last: (f"{first} {last}", f"{last}, {first}"),
+}
+
+_PHONE_TRANSFORMS = {
+    "phone_dash_to_dot": lambda a, b, c: (f"{a}-{b}-{c}", f"{a}.{b}.{c}"),
+    "phone_plain_to_dash": lambda a, b, c: (f"{a}{b}{c}", f"{a}-{b}-{c}"),
+}
+
+
+def transform_names() -> List[str]:
+    """All gold transformation ids the generator can emit."""
+    return sorted(list(_TRANSFORMS) + list(_NAME_TRANSFORMS) + list(_PHONE_TRANSFORMS))
+
+
+def generate_joinable_pairs(
+    n: int = 24, seed: int = 0, values_per_column: int = 5
+) -> List[JoinableColumnPair]:
+    """Generate joinable-column pairs covering dates, names and phones."""
+    rng = rng_from(seed)
+    pairs: List[JoinableColumnPair] = []
+    first_names = ["Alice", "Bruno", "Clara", "Diego", "Elena", "Felix", "Grace", "Henry"]
+    last_names = ["Marsh", "Okafor", "Petrov", "Quinn", "Reyes", "Sato", "Turner", "Ueda"]
+    kinds = list(_TRANSFORMS) + list(_NAME_TRANSFORMS) + list(_PHONE_TRANSFORMS)
+    for i in range(n):
+        kind = kinds[i % len(kinds)]
+        source, target = [], []
+        for _j in range(values_per_column):
+            if kind in _TRANSFORMS:
+                y = int(rng.integers(1990, 2024))
+                m = int(rng.integers(1, 13))
+                d = int(rng.integers(1, 29))
+                s, t = _TRANSFORMS[kind](y, m, d)
+            elif kind in _NAME_TRANSFORMS:
+                first = first_names[int(rng.integers(0, len(first_names)))]
+                last = last_names[int(rng.integers(0, len(last_names)))]
+                s, t = _NAME_TRANSFORMS[kind](first, last)
+            else:
+                a = int(rng.integers(200, 999))
+                b = int(rng.integers(200, 999))
+                c = int(rng.integers(1000, 9999))
+                s, t = _PHONE_TRANSFORMS[kind](a, b, c)
+            source.append(s)
+            target.append(t)
+        pairs.append(
+            JoinableColumnPair(source=tuple(source), target=tuple(target), transform_name=kind)
+        )
+    rng.shuffle(pairs)
+    return pairs

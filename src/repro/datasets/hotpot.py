@@ -1,0 +1,277 @@
+"""HotpotQA-like multi-hop QA generator (Table I / Table III workload).
+
+Questions come in the two HotpotQA families:
+
+* **bridge** — two chained hops ("Who directed the film that starred X?");
+  each carries its decomposition into two one-hop sub-questions, which is
+  what the sub-query cache (Cache(A), Table III) stores;
+* **comparison** — compare an attribute of two entities ("Who was born
+  earlier, A or B?"), decomposable into two attribute lookups.
+
+Generation only emits *unambiguous* questions (e.g. the actor in a bridge
+question stars in exactly one film), so the gold answer equals the unique
+KB derivation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro._util import rng_from
+from repro.llm.knowledge import World
+
+
+@dataclass(frozen=True)
+class QAExample:
+    """One QA item with gold answer and its decomposition."""
+
+    question: str
+    answer: str
+    kind: str  # 'bridge' | 'comparison'
+    sub_questions: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+    # For comparisons: how to recombine sub-answers ('min_year' picks the
+    # entity with the smaller year; 'max_value' the larger value).
+    recompose: Optional[str] = None
+    # Entities the comparison is about, aligned with sub_questions.
+    operands: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def _bridge_candidates(world: World) -> List[QAExample]:
+    kb = world.kb
+    out: List[QAExample] = []
+
+    star_count: Counter = Counter()
+    for film in world.films:
+        for fact in kb.query(subject=film, relation="starred"):
+            star_count[fact.object] += 1
+
+    for film in world.films:
+        director = kb.one(film, "directed_by")
+        if director is None:
+            continue
+        for fact in kb.query(subject=film, relation="starred"):
+            actor = str(fact.object)
+            if star_count[actor] != 1:
+                continue
+            out.append(
+                QAExample(
+                    question=f"Who directed the film that starred {actor}?",
+                    answer=str(director),
+                    kind="bridge",
+                    sub_questions=(
+                        (f"Which film starred {actor}?", film),
+                        (f"Who directed {film}?", str(director)),
+                    ),
+                )
+            )
+
+    for person in world.people:
+        city = kb.one(person, "born_in")
+        if city is None:
+            continue
+        country = kb.one(str(city), "located_in")
+        if country is None:
+            continue
+        out.append(
+            QAExample(
+                question=f"In which country is the city where {person} was born located?",
+                answer=str(country),
+                kind="bridge",
+                sub_questions=(
+                    (f"In which city was {person} born?", str(city)),
+                    (f"In which country is {city} located?", str(country)),
+                ),
+            )
+        )
+
+    for person in world.people:
+        team = kb.one(person, "plays_for")
+        if team is None:
+            continue
+        city = kb.one(str(team), "based_in")
+        sport = kb.one(str(team), "plays_sport")
+        if city is not None:
+            out.append(
+                QAExample(
+                    question=f"In which city is the team that {person} plays for based?",
+                    answer=str(city),
+                    kind="bridge",
+                    sub_questions=(
+                        (f"Which team does {person} play for?", str(team)),
+                        (f"In which city is {team} based?", str(city)),
+                    ),
+                )
+            )
+        if sport is not None:
+            out.append(
+                QAExample(
+                    question=f"What sport does the team that {person} plays for play?",
+                    answer=str(sport),
+                    kind="bridge",
+                    sub_questions=(
+                        (f"Which team does {person} play for?", str(team)),
+                        (f"What sport does {team} play?", str(sport)),
+                    ),
+                )
+            )
+    return out
+
+
+def _comparison_candidates(world: World, rng) -> List[QAExample]:
+    kb = world.kb
+    out: List[QAExample] = []
+
+    people = list(world.people)
+    rng.shuffle(people)
+    for a, b in zip(people[0::2], people[1::2]):
+        ya, yb = kb.one(a, "born_year"), kb.one(b, "born_year")
+        if ya is None or yb is None or ya == yb:
+            continue
+        answer = a if ya < yb else b
+        out.append(
+            QAExample(
+                question=f"Who was born earlier, {a} or {b}?",
+                answer=answer,
+                kind="comparison",
+                sub_questions=(
+                    (f"In which year was {a} born?", str(ya)),
+                    (f"In which year was {b} born?", str(yb)),
+                ),
+                recompose="min_year",
+                operands=(a, b),
+            )
+        )
+
+    films = list(world.films)
+    rng.shuffle(films)
+    for f1, f2 in zip(films[0::2], films[1::2]):
+        y1, y2 = kb.one(f1, "released_in"), kb.one(f2, "released_in")
+        if y1 is None or y2 is None or y1 == y2:
+            continue
+        answer = f1 if y1 < y2 else f2
+        out.append(
+            QAExample(
+                question=f"Which film was released first, {f1} or {f2}?",
+                answer=answer,
+                kind="comparison",
+                sub_questions=(
+                    (f"In which year was {f1} released?", str(y1)),
+                    (f"In which year was {f2} released?", str(y2)),
+                ),
+                recompose="min_year",
+                operands=(f1, f2),
+            )
+        )
+    return out
+
+
+def generate_hotpot(
+    world: World,
+    n: int = 40,
+    seed: int = 0,
+    bridge_fraction: float = 0.7,
+) -> List[QAExample]:
+    """Sample ``n`` unambiguous QA examples (~70% bridge by default)."""
+    rng = rng_from(seed)
+    bridges = _bridge_candidates(world)
+    comparisons = _comparison_candidates(world, rng)
+    rng.shuffle(bridges)
+    n_bridge = min(len(bridges), int(round(n * bridge_fraction)))
+    n_comparison = min(len(comparisons), n - n_bridge)
+    picked = bridges[:n_bridge] + comparisons[:n_comparison]
+    # Top up with whichever pool has leftovers.
+    deficit = n - len(picked)
+    if deficit > 0:
+        leftovers = bridges[n_bridge:] + comparisons[n_comparison:]
+        picked.extend(leftovers[:deficit])
+    rng.shuffle(picked)
+    return picked
+
+
+def _entity_passage(world: World, entity: str) -> Optional[str]:
+    """One encyclopedia-style paragraph about an entity, from KB facts."""
+    kb = world.kb
+    facts = kb.query(subject=entity)
+    if not facts:
+        return None
+    clauses = [f"its {f.relation.replace('_', ' ')} is {f.object}" for f in facts[:5]]
+    return f"{entity}: " + "; ".join(clauses) + "."
+
+
+def context_passages(
+    world: World, question: str, n_distractors: int = 6, seed: int = 0
+) -> List[str]:
+    """Supporting + distractor passages for a question (HotpotQA style).
+
+    Real HotpotQA prompts carry ~10 paragraphs of context; reproducing that
+    prompt size is what makes the Table I/III dollar costs land in the
+    paper's magnitude range. Passages are built from KB facts: the
+    question's entities (supporting) plus random others (distractors)."""
+    rng = rng_from(f"context|{seed}|{question}")
+    passages: List[str] = []
+    mentioned = [e for e in world.people + world.films + world.teams + world.cities
+                 if e in question]
+    for entity in mentioned:
+        passage = _entity_passage(world, entity)
+        if passage:
+            passages.append(passage)
+    pool = world.people + world.films + world.teams
+    picks = rng.choice(len(pool), size=min(n_distractors, len(pool)), replace=False)
+    for i in picks:
+        passage = _entity_passage(world, pool[int(i)])
+        if passage and passage not in passages:
+            passages.append(passage)
+    rng.shuffle(passages)
+    return passages
+
+
+_PARAPHRASES = [
+    # (canonical pattern, paraphrase template)
+    (r"^Who directed the film that starred (.+?)\?$", "The film starring {0} was directed by whom?"),
+    (
+        r"^In which country is the city where (.+?) was born located\?$",
+        "The city where {0} was born is located in which country?",
+    ),
+    (
+        r"^In which city is the team that (.+?) plays for based\?$",
+        "The team that {0} plays for is based in which city?",
+    ),
+    (
+        r"^What sport does the team that (.+?) plays for play\?$",
+        "Which sport is played by the team that {0} plays for?",
+    ),
+    (r"^Who was born earlier, (.+?) or (.+?)\?$", "Between {0} and {1}, who was born earlier?"),
+    (
+        r"^Which film was released first, (.+?) or (.+?)\?$",
+        "Between {0} and {1}, which film was released first?",
+    ),
+]
+
+
+def paraphrase(question: str) -> str:
+    """A meaning-preserving re-phrasing of a canonical question.
+
+    Used by the Table III cache experiment: the second round of queries
+    arrives re-phrased, so semantic (not exact) matching is what gets
+    exercised. Returns the question unchanged when no template applies.
+    """
+    import re as _re
+
+    for pattern, template in _PARAPHRASES:
+        m = _re.match(pattern, question.strip())
+        if m:
+            return template.format(*[g.strip() for g in m.groups()])
+    return question
+
+
+def recompose_comparison(example: QAExample, sub_answers: List[str]) -> Optional[str]:
+    """Combine sub-question answers back into the comparison answer."""
+    if example.recompose != "min_year" or len(sub_answers) != 2:
+        return None
+    try:
+        values = [float(a) for a in sub_answers]
+    except ValueError:
+        return None
+    return example.operands[0] if values[0] <= values[1] else example.operands[1]

@@ -1,0 +1,152 @@
+"""EMR-style multi-modal data lake generator (Sections II-D1, III-B2).
+
+Items span three modalities: free-text documents, relational table rows and
+"images" (caption + feature vector — we cannot ship pixels offline, but the
+lake only ever touches the embedding, so a captioned feature vector
+exercises the identical code path).
+
+The generator plants the paper's ambiguity scenario: a famous basketball
+player and a professor sharing the same name ("Michael Jordan"), so that
+pure vector search confuses them and attribute filtering (entity_type)
+resolves the query — exactly the Section III-B2 discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._util import rng_from
+from repro.llm.knowledge import World
+
+
+@dataclass(frozen=True)
+class LakeItem:
+    """One item in the multi-modal lake."""
+
+    item_id: str
+    modality: str  # 'text' | 'table' | 'image'
+    content: str  # text body / rendered row / image caption
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def embedding_text(self) -> str:
+        """The text surrogate used to place this item in the joint space."""
+        return self.content
+
+
+def _person_doc(world: World, person: str, rng) -> Optional[str]:
+    kb = world.kb
+    profession = kb.one(person, "profession")
+    city = kb.one(person, "born_in")
+    year = kb.one(person, "born_year")
+    if profession is None or city is None:
+        return None
+    extra = ""
+    if profession == "athlete":
+        team = kb.one(person, "plays_for")
+        if team is not None:
+            sport = kb.one(str(team), "plays_sport")
+            extra = f" They play {str(sport).lower()} for the {team}."
+    elif profession == "actor":
+        films = kb.subjects_with("starred", person)
+        if films:
+            extra = f" They starred in {films[0]}."
+    elif profession == "director":
+        films = kb.subjects_with("directed_by", person)
+        if films:
+            extra = f" They directed {films[0]}."
+    return (
+        f"{person} is a {profession} born in {city} in {year}.{extra}"
+    )
+
+
+def generate_lake(world: World, seed: int = 0, n_docs: int = 30, n_rows: int = 30, n_images: int = 20) -> List[LakeItem]:
+    """Build the multi-modal lake, including the name-collision scenario."""
+    rng = rng_from(seed)
+    items: List[LakeItem] = []
+
+    # Text documents about people.
+    people = list(world.people)
+    rng.shuffle(people)
+    count = 0
+    for person in people:
+        if count >= n_docs:
+            break
+        doc = _person_doc(world, person, rng)
+        if doc is None:
+            continue
+        profession = world.kb.one(person, "profession")
+        items.append(
+            LakeItem(
+                item_id=f"doc-{count}",
+                modality="text",
+                content=doc,
+                metadata={"entity": person, "entity_type": str(profession), "source": "biography"},
+            )
+        )
+        count += 1
+
+    # Table rows about teams (rendered as serialized relational rows).
+    for i, team in enumerate(world.teams[: n_rows // 2]):
+        kb = world.kb
+        city = kb.one(team, "based_in")
+        sport = kb.one(team, "plays_sport")
+        founded = kb.one(team, "founded_in")
+        items.append(
+            LakeItem(
+                item_id=f"row-team-{i}",
+                modality="table",
+                content=f"team: {team}; city: {city}; sport: {sport}; founded: {founded}",
+                metadata={"entity": team, "entity_type": "team", "table": "teams"},
+            )
+        )
+    for i, film in enumerate(world.films[: n_rows - n_rows // 2]):
+        kb = world.kb
+        director = kb.one(film, "directed_by")
+        year = kb.one(film, "released_in")
+        items.append(
+            LakeItem(
+                item_id=f"row-film-{i}",
+                modality="table",
+                content=f"film: {film}; director: {director}; released: {year}",
+                metadata={"entity": film, "entity_type": "film", "table": "films"},
+            )
+        )
+
+    # "Images": captioned feature items about cities and stadium events.
+    for i, city in enumerate(world.cities[:n_images]):
+        country = world.kb.one(city, "located_in")
+        items.append(
+            LakeItem(
+                item_id=f"img-{i}",
+                modality="image",
+                content=f"A photograph of the skyline of {city}, {country}.",
+                metadata={"entity": city, "entity_type": "city", "format": "jpeg"},
+            )
+        )
+
+    # The paper's ambiguity scenario (Section III-B2), verbatim entities.
+    items.append(
+        LakeItem(
+            item_id="doc-jordan-player",
+            modality="text",
+            content=(
+                "Michael Jordan, the greatest basketball player of all time, "
+                "found the secret to success."
+            ),
+            metadata={"entity": "Michael Jordan", "entity_type": "athlete", "source": "news"},
+        )
+    )
+    items.append(
+        LakeItem(
+            item_id="row-jordan-professor",
+            modality="table",
+            content=(
+                "professor: Michael Jordan; department: Computer Science; "
+                "university: Berkeley; field: machine learning"
+            ),
+            metadata={"entity": "Michael Jordan", "entity_type": "professor", "table": "professors"},
+        )
+    )
+    return items

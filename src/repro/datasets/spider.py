@@ -1,0 +1,223 @@
+"""Spider-like NL2SQL benchmark: the paper's stadium/concert domain.
+
+The paper's Section III-B1 examples Q1–Q5 are Spider ``concert_singer``
+queries; :func:`paper_queries` returns them verbatim. :func:`generate_nl2sql`
+produces a larger workload in the same grammar with deliberately overlapping
+sub-queries (the property query decomposition exploits, Fig 7).
+
+Gold SQL executes on :func:`build_concert_db`; evaluation is execution
+accuracy (result-set equality), so any semantically correct SQL counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro._util import rng_from
+from repro.sqldb import Database
+from repro.sqldb.types import SQLType
+
+YEARS = (2013, 2014, 2015, 2016)
+EVENTS = ("concerts", "sports meetings")
+
+_EVENT_TABLE = {"concerts": "concert", "sports meetings": "sports_meeting"}
+
+
+@dataclass(frozen=True)
+class NLExample:
+    """One NL question with gold SQL and its decomposition structure."""
+
+    question: str
+    gold_sql: str
+    category: str  # 'atomic' | 'superlative' | 'compound'
+    # Atomic NL sub-questions (for compound queries) and how to recombine.
+    sub_questions: Tuple[str, ...] = field(default_factory=tuple)
+    recompose_op: Optional[str] = None  # 'UNION' | 'INTERSECT' | 'EXCEPT'
+
+
+# ---------------------------------------------------------------- database
+
+
+def build_concert_db(seed: int = 0, n_stadiums: int = 20, n_events: int = 56) -> Database:
+    """A populated stadium/concert/sports_meeting database."""
+    rng = rng_from(seed)
+    db = Database()
+    db.create_table(
+        "stadium",
+        [
+            ("stadium_id", SQLType.INTEGER),
+            ("name", SQLType.TEXT),
+            ("location", SQLType.TEXT),
+            ("capacity", SQLType.INTEGER),
+        ],
+        primary_key="stadium_id",
+    )
+    db.create_table(
+        "concert",
+        [
+            ("concert_id", SQLType.INTEGER),
+            ("concert_name", SQLType.TEXT),
+            ("stadium_id", SQLType.INTEGER),
+            ("year", SQLType.INTEGER),
+        ],
+        primary_key="concert_id",
+    )
+    db.create_table(
+        "sports_meeting",
+        [
+            ("meeting_id", SQLType.INTEGER),
+            ("meeting_name", SQLType.TEXT),
+            ("stadium_id", SQLType.INTEGER),
+            ("year", SQLType.INTEGER),
+        ],
+        primary_key="meeting_id",
+    )
+    locations = ["North District", "South District", "East Side", "West Side", "Harbor"]
+    stadium_names = [
+        "Apollo Arena", "Beacon Field", "Crescent Dome", "Delta Park", "Echo Grounds",
+        "Falcon Bowl", "Granite Court", "Horizon Stadium", "Ivory Hall", "Juno Garden",
+        "Keystone Yard", "Lyra Pavilion",
+    ]
+    for i in range(n_stadiums):
+        base_name = stadium_names[i % len(stadium_names)]
+        name = base_name if i < len(stadium_names) else f"{base_name} {i // len(stadium_names) + 1}"
+        db.insert_rows(
+            "stadium",
+            [[i + 1, name, locations[int(rng.integers(0, len(locations)))],
+              int(rng.integers(5, 90)) * 1000]],
+        )
+    for i in range(n_events):
+        stadium = int(rng.integers(1, n_stadiums + 1))
+        year = int(YEARS[int(rng.integers(0, len(YEARS)))])
+        if rng.random() < 0.55:
+            db.insert_rows("concert", [[i + 1, f"Concert {i + 1}", stadium, year]])
+        else:
+            db.insert_rows("sports_meeting", [[i + 1, f"Meeting {i + 1}", stadium, year]])
+    return db
+
+
+# ------------------------------------------------------------------- gold SQL
+
+
+def _atomic_sql(event: str, year: int, superlative: bool = False) -> str:
+    table = _EVENT_TABLE[event]
+    alias = "e"
+    if superlative:
+        return (
+            f"SELECT s.name FROM stadium s JOIN {table} {alias} "
+            f"ON s.stadium_id = {alias}.stadium_id WHERE {alias}.year = {year} "
+            f"GROUP BY s.name ORDER BY COUNT(*) DESC LIMIT 1"
+        )
+    return (
+        f"SELECT DISTINCT s.name FROM stadium s JOIN {table} {alias} "
+        f"ON s.stadium_id = {alias}.stadium_id WHERE {alias}.year = {year}"
+    )
+
+
+def _atomic_question(event: str, year: int, superlative: bool = False) -> str:
+    if superlative:
+        return f"What are the names of stadiums that had the most number of {event} in {year}?"
+    return f"What are the names of stadiums that had {event} in {year}?"
+
+
+def _compound(
+    left: Tuple[str, int], right: Tuple[str, int], op: str, lead: str = "What are"
+) -> NLExample:
+    connectors = {"UNION": "or had", "INTERSECT": "and had", "EXCEPT": "but did not have"}
+    (ev_l, y_l), (ev_r, y_r) = left, right
+    question = (
+        f"{lead} the names of stadiums that had {ev_l} in {y_l} "
+        f"{connectors[op]} {ev_r} in {y_r}?"
+    )
+    gold = f"{_atomic_sql(ev_l, y_l)} {op} {_atomic_sql(ev_r, y_r)}"
+    return NLExample(
+        question=question,
+        gold_sql=gold,
+        category="compound",
+        sub_questions=(_atomic_question(ev_l, y_l), _atomic_question(ev_r, y_r)),
+        recompose_op=op,
+    )
+
+
+def paper_queries() -> List[NLExample]:
+    """The paper's Q1–Q5 (Section III-B1), in order."""
+    concerts_2014 = ("concerts", 2014)
+    meetings_2015 = ("sports meetings", 2015)
+    q1 = _compound(concerts_2014, meetings_2015, "UNION")
+    q2 = NLExample(
+        question="What are the names of stadiums that had the most number of concerts in 2014?",
+        gold_sql=_atomic_sql("concerts", 2014, superlative=True),
+        category="superlative",
+    )
+    q3 = NLExample(
+        question="Show the names of stadiums that had the most number of sports meetings in 2015?",
+        gold_sql=_atomic_sql("sports meetings", 2015, superlative=True),
+        category="superlative",
+    )
+    q4 = _compound(concerts_2014, meetings_2015, "INTERSECT", lead="Show")
+    q5 = _compound(concerts_2014, meetings_2015, "EXCEPT", lead="Show")
+    return [q1, q2, q3, q4, q5]
+
+
+def generate_nl2sql(
+    n: int = 24,
+    seed: int = 0,
+    include_paper: bool = True,
+    compound_fraction: float = 0.6,
+) -> List[NLExample]:
+    """Generate an NL2SQL workload with overlapping sub-queries.
+
+    Uses a small pool of (event, year) atoms so that compound questions
+    share sub-queries — the overlap query decomposition exploits. By
+    default roughly 60% compound, 20% superlative, 20% atomic; the paper's
+    own crafted set is decomposition-heavy, so Table II uses a higher
+    ``compound_fraction``.
+    """
+    rng = rng_from(seed)
+    atoms = [(event, year) for event in EVENTS for year in YEARS]
+    examples: List[NLExample] = list(paper_queries()) if include_paper else []
+    ops = ("UNION", "INTERSECT", "EXCEPT")
+    remaining_split = (1.0 - compound_fraction) / 2.0
+    while len(examples) < n:
+        roll = rng.random()
+        if roll < compound_fraction:
+            left = atoms[int(rng.integers(0, len(atoms)))]
+            right = atoms[int(rng.integers(0, len(atoms)))]
+            if left == right:
+                continue
+            op = ops[int(rng.integers(0, len(ops)))]
+            lead = "Show" if rng.random() < 0.5 else "What are"
+            examples.append(_compound(left, right, op, lead=lead))
+        elif roll < compound_fraction + remaining_split:
+            event, year = atoms[int(rng.integers(0, len(atoms)))]
+            examples.append(
+                NLExample(
+                    question=_atomic_question(event, year, superlative=True),
+                    gold_sql=_atomic_sql(event, year, superlative=True),
+                    category="superlative",
+                )
+            )
+        else:
+            event, year = atoms[int(rng.integers(0, len(atoms)))]
+            examples.append(
+                NLExample(
+                    question=_atomic_question(event, year),
+                    gold_sql=_atomic_sql(event, year),
+                    category="atomic",
+                )
+            )
+    return examples[:n]
+
+
+def execution_match(db: Database, predicted_sql: str, gold_sql: str) -> bool:
+    """Execution accuracy: both queries run and return the same row multiset
+    (order-insensitive). A failing predicted query counts as a miss."""
+    from repro.errors import SQLError
+
+    try:
+        predicted = db.execute(predicted_sql).rows
+    except SQLError:
+        return False
+    gold = db.execute(gold_sql).rows
+    return sorted(map(repr, predicted)) == sorted(map(repr, gold))

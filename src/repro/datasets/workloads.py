@@ -1,0 +1,112 @@
+"""⟨query, execution_time⟩ workload generator (Fig 3 / Section II-A2).
+
+Queries are generated over a populated database; each is timed with the
+analytic cost model from :mod:`repro.sqldb.planner` plus bounded
+deterministic noise — the substitute for the authors' measured DBMS (see
+DESIGN.md §2). The feature extraction used in prompts is
+:func:`repro.sqldb.planner.query_features`, so the learnable signal is a
+genuine function of query structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro._util import rng_from, stable_hash
+from repro.sqldb import Database, estimate_cost, query_features
+from repro.sqldb.types import SQLType
+
+
+@dataclass(frozen=True)
+class QueryTimingExample:
+    """One query with its features and measured execution time (ms)."""
+
+    sql: str
+    features: Dict[str, float]
+    execution_time_ms: float
+
+    def feature_line(self) -> str:
+        """Render features for the value-prediction prompt format."""
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self.features.items()))
+        return inner
+
+
+def build_analytics_db(seed: int = 0, n_customers: int = 200, n_orders: int = 600) -> Database:
+    """A two-table analytics schema used by the timing workload."""
+    rng = rng_from(seed)
+    db = Database()
+    db.create_table(
+        "customer",
+        [
+            ("customer_id", SQLType.INTEGER),
+            ("name", SQLType.TEXT),
+            ("region", SQLType.TEXT),
+            ("age", SQLType.INTEGER),
+        ],
+        primary_key="customer_id",
+    )
+    db.create_table(
+        "orders",
+        [
+            ("order_id", SQLType.INTEGER),
+            ("customer_id", SQLType.INTEGER),
+            ("amount", SQLType.REAL),
+            ("year", SQLType.INTEGER),
+        ],
+        primary_key="order_id",
+    )
+    regions = ["north", "south", "east", "west"]
+    for i in range(n_customers):
+        db.insert_rows(
+            "customer",
+            [[i + 1, f"customer_{i + 1}", regions[int(rng.integers(0, 4))], int(rng.integers(18, 80))]],
+        )
+    for i in range(n_orders):
+        db.insert_rows(
+            "orders",
+            [[i + 1, int(rng.integers(1, n_customers + 1)), round(float(rng.uniform(5, 500)), 2),
+              int(rng.integers(2018, 2024))]],
+        )
+    return db
+
+
+_TEMPLATES = [
+    "SELECT name FROM customer WHERE age > {age}",
+    "SELECT COUNT(*) FROM orders WHERE year = {year}",
+    "SELECT region, COUNT(*) FROM customer GROUP BY region",
+    "SELECT c.name, o.amount FROM customer c JOIN orders o ON c.customer_id = o.customer_id "
+    "WHERE o.amount > {amount}",
+    "SELECT c.region, SUM(o.amount) FROM customer c JOIN orders o ON c.customer_id = o.customer_id "
+    "WHERE o.year = {year} GROUP BY c.region",
+    "SELECT name FROM customer WHERE customer_id IN "
+    "(SELECT customer_id FROM orders WHERE amount > {amount})",
+    "SELECT name FROM customer c WHERE age > {age} ORDER BY name",
+    "SELECT AVG(amount) FROM orders WHERE year = {year} AND amount > {amount}",
+]
+
+
+def generate_timing_workload(
+    db: Database, n: int = 40, seed: int = 0, noise: float = 0.08
+) -> List[QueryTimingExample]:
+    """Generate ``n`` timed queries over ``db`` (deterministic)."""
+    rng = rng_from(seed)
+    out: List[QueryTimingExample] = []
+    for i in range(n):
+        template = _TEMPLATES[i % len(_TEMPLATES)]
+        sql = template.format(
+            age=int(rng.integers(20, 75)),
+            year=int(rng.integers(2018, 2024)),
+            amount=int(rng.integers(10, 450)),
+        )
+        base_ms = estimate_cost(sql, db.catalog).total_ms
+        # Deterministic bounded noise keyed on the SQL text.
+        jitter = ((stable_hash("timing:" + sql) % 10_000) / 10_000.0 * 2 - 1) * noise
+        out.append(
+            QueryTimingExample(
+                sql=sql,
+                features=query_features(sql, db.catalog),
+                execution_time_ms=round(base_ms * (1 + jitter), 6),
+            )
+        )
+    return out

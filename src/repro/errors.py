@@ -1,0 +1,76 @@
+"""Exception hierarchy shared across the :mod:`repro` library.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch a single base class at application boundaries while still being able to
+distinguish failure modes programmatically.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the relational engine."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SQLCatalogError(SQLError):
+    """A referenced table or column does not exist (or already exists)."""
+
+
+class SQLTypeError(SQLError):
+    """An expression was applied to values of incompatible types."""
+
+
+class SQLIntegrityError(SQLError):
+    """A constraint (primary key, NOT NULL) would be violated."""
+
+
+class SQLTransactionError(SQLError):
+    """Invalid transaction state transition (e.g. COMMIT with no BEGIN)."""
+
+
+class VectorDBError(ReproError):
+    """Base class for vector database errors."""
+
+
+class DimensionMismatchError(VectorDBError):
+    """A vector's dimensionality does not match the collection's."""
+
+
+class CollectionError(VectorDBError):
+    """Invalid collection operation (duplicate id, unknown id, ...)."""
+
+
+class LLMError(ReproError):
+    """Base class for simulated-LLM errors."""
+
+
+class UnknownModelError(LLMError):
+    """The requested model name is not in the registry."""
+
+
+class ContextLengthExceededError(LLMError):
+    """The prompt exceeds the model's context window."""
+
+
+class BudgetExceededError(LLMError):
+    """A spending cap configured on the client would be exceeded."""
+
+
+class ValidationError(ReproError):
+    """An LLM output failed validation (Section III-E)."""
+
+
+class TransformError(ReproError):
+    """A data transformation (Section II-B) could not be applied."""
+
+
+class PipelineError(ReproError):
+    """Data-preparation pipeline search or execution failed."""

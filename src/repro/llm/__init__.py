@@ -1,0 +1,52 @@
+"""repro.llm — a deterministic simulated LLM service.
+
+The paper's experiments run against the OpenAI API (babbage-002,
+gpt-3.5-turbo, gpt-4). This environment is offline, so we substitute a
+**capability-graded simulator** (see DESIGN.md §2):
+
+* Every request is routed to a *task engine* — a real, deterministic solver
+  for that task family (multi-hop QA, NL2SQL, entity matching, column
+  typing, value prediction, table transformation, ...). Engines compute the
+  genuinely correct answer from the prompt (plus an optional knowledge base)
+  — there is no lookup of hidden gold labels.
+* A *capability model* then decides whether the simulated model of the given
+  strength answers correctly: models have a capability score in [0, 1],
+  queries have a difficulty score, in-context examples add a bonus, and a
+  seeded RNG keyed on (model, prompt) injects plausible wrong answers at the
+  implied error rate. The same prompt to the same model always yields the
+  same answer — exactly the property the paper's cache experiment relies on.
+* Token usage is metered with the paper's quoted prices ($0.001/1k input
+  tokens for the gpt-3.5-turbo class, $0.03/1k for the gpt-4 class), so all
+  "API cost" numbers are real token-accounting outputs, not constants.
+
+Public API:
+
+>>> from repro.llm import LLMClient
+>>> client = LLMClient(model="gpt-4")
+>>> reply = client.complete("Q: What is 2 + 2?\\nA:")
+>>> isinstance(reply.text, str) and reply.cost > 0
+True
+"""
+
+from repro.llm.client import Completion, LLMClient, Usage, UsageMeter
+from repro.llm.embeddings import EmbeddingModel, embed_text
+from repro.llm.knowledge import Fact, KnowledgeBase
+from repro.llm.models import MODEL_REGISTRY, ModelSpec, get_model, list_models
+from repro.llm.tokenizer import count_tokens, tokenize_text
+
+__all__ = [
+    "Completion",
+    "EmbeddingModel",
+    "Fact",
+    "KnowledgeBase",
+    "LLMClient",
+    "MODEL_REGISTRY",
+    "ModelSpec",
+    "Usage",
+    "UsageMeter",
+    "count_tokens",
+    "embed_text",
+    "get_model",
+    "list_models",
+    "tokenize_text",
+]

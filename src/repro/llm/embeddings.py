@@ -1,0 +1,94 @@
+"""Deterministic text embeddings (the simulated embedding model).
+
+Uses the feature-hashing trick: every word unigram and character trigram is
+mapped to a stable pseudo-random Gaussian direction (seeded by a blake2b
+hash of the feature), and a text's embedding is the TF-weighted mean of its
+feature directions, L2-normalized. Properties that matter here:
+
+* texts sharing words/roots get high cosine similarity (semantic-ish);
+* fully deterministic across processes (no :func:`hash` randomization);
+* cheap enough to embed thousands of prompts in tests.
+
+This stands in for the LLM-produced embeddings the paper assumes for prompt
+stores, semantic caches and multi-modal lakes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro._util import stable_hash, words
+
+DEFAULT_DIM = 64
+
+_STOPWORDS = frozenset(
+    """
+    a an and are as at be by for from had has have in is it of on or that the
+    this to was were what which who whom with
+    """.split()
+)
+
+_direction_cache: Dict[str, np.ndarray] = {}
+
+
+def _direction(feature: str, dim: int) -> np.ndarray:
+    key = f"{dim}:{feature}"
+    cached = _direction_cache.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(stable_hash(key, bits=63))
+    vec = rng.standard_normal(dim)
+    vec /= np.linalg.norm(vec)
+    if len(_direction_cache) < 200_000:
+        _direction_cache[key] = vec
+    return vec
+
+
+def _features(text: str) -> Iterable[tuple]:
+    """Yield (feature, weight) pairs for a text."""
+    tokens = [w.lower() for w in words(text)]
+    for token in tokens:
+        weight = 0.25 if token in _STOPWORDS else 1.0
+        yield f"w:{token}", weight
+        if len(token) >= 5:
+            for i in range(len(token) - 2):
+                yield f"t:{token[i : i + 3]}", 0.3
+    # Bigrams capture a little word order.
+    for a, b in zip(tokens, tokens[1:]):
+        if a not in _STOPWORDS or b not in _STOPWORDS:
+            yield f"b:{a}_{b}", 0.5
+
+
+def embed_text(text: str, dim: int = DEFAULT_DIM) -> np.ndarray:
+    """Embed ``text`` into a unit vector of dimension ``dim``."""
+    acc = np.zeros(dim, dtype=np.float64)
+    any_feature = False
+    for feature, weight in _features(text):
+        acc += weight * _direction(feature, dim)
+        any_feature = True
+    if not any_feature:
+        return np.zeros(dim, dtype=np.float64)
+    norm = np.linalg.norm(acc)
+    if norm > 0:
+        acc /= norm
+    return acc
+
+
+class EmbeddingModel:
+    """Object-style wrapper so callers can inject alternative embedders."""
+
+    def __init__(self, dim: int = DEFAULT_DIM) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+
+    def embed(self, text: str) -> np.ndarray:
+        return embed_text(text, dim=self.dim)
+
+    def embed_batch(self, texts: List[str]) -> np.ndarray:
+        """Embed several texts; returns an (n, dim) matrix."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed(t) for t in texts])

@@ -1,0 +1,39 @@
+"""Task engines: the deterministic solvers behind the simulated LLM.
+
+Each engine recognizes one family of prompts (the router tries them in
+order) and *derives* the correct answer from the prompt content — parsing
+questions, reading schemas, traversing the knowledge base, fitting few-shot
+examples. The capability model in :mod:`repro.llm.client` then decides
+whether the simulated model actually returns that correct answer.
+"""
+
+from repro.llm.engines.base import Engine, EngineResult, TaskContext, default_engines
+from repro.llm.engines.classify import ColumnTypeEngine, LabelInferEngine
+from repro.llm.engines.codegen import CodegenEngine
+from repro.llm.engines.generate import SQLGenEngine
+from repro.llm.engines.match import EntityMatchEngine, SchemaMatchEngine
+from repro.llm.engines.nl2sql import NL2SQLEngine
+from repro.llm.engines.patterns import PatternMineEngine
+from repro.llm.engines.qa import QAEngine
+from repro.llm.engines.regress import ValuePredictEngine
+from repro.llm.engines.summarize import SummarizeEngine
+from repro.llm.engines.transform import TableExtractEngine
+
+__all__ = [
+    "CodegenEngine",
+    "ColumnTypeEngine",
+    "Engine",
+    "EngineResult",
+    "EntityMatchEngine",
+    "LabelInferEngine",
+    "NL2SQLEngine",
+    "PatternMineEngine",
+    "QAEngine",
+    "SQLGenEngine",
+    "SchemaMatchEngine",
+    "SummarizeEngine",
+    "TableExtractEngine",
+    "TaskContext",
+    "ValuePredictEngine",
+    "default_engines",
+]

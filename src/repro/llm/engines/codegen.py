@@ -1,0 +1,204 @@
+"""Code synthesis engine: operator programs and data-prep snippets.
+
+Two prompt families (Sections II-B2 and II-B4):
+
+* "Synthesize the operator sequence to relationalize the following table"
+  — runs the real program synthesis from :mod:`repro.tablekit.synthesis`
+  on the grid rendered in the prompt and returns the textual program.
+* "Write Python code for the data preparation operation: <name>" — returns
+  a snippet from a curated library (what the paper means by helping
+  non-technical experts synthesize per-operation code).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.llm.engines.base import Engine, EngineResult, TaskContext, count_examples
+from repro.tablekit.grid import Grid
+from repro.tablekit.synthesis import program_to_text, synthesize_program
+
+_SYNTH_RE = re.compile(r"(?i)synthesize the operator sequence")
+_SNIPPET_RE = re.compile(r"(?i)write python code for the data preparation operation\s*:\s*([\w ]+)")
+_GRID_RE = re.compile(r"(?is)table\s*:\s*\n(.+?)(?:\n\s*\n|\Z)")
+_RECOMMEND_RE = re.compile(
+    r"(?i)recommend a data preparation pipeline for a dataset with the following profile\s*:\s*(.+)"
+)
+
+
+def recommend_ops_from_profile(profile: dict) -> list:
+    """Canonical dataset-profile → candidate-operations mapping.
+
+    Shared by the LLM engine (as the derived correct answer) and the direct
+    :mod:`repro.apps.transform.pipeline` API, so both paths agree."""
+    ops = []
+    if profile.get("has_missing"):
+        ops.append("impute_mean")
+    if profile.get("skewed"):
+        ops.append("log_transform")
+    if profile.get("outliers"):
+        ops.append("clip_outliers")
+    if profile.get("scale_spread"):
+        ops.extend(["standardize", "normalize"])
+    if not ops:
+        ops.append("standardize")
+    return ops
+
+SNIPPET_LIBRARY = {
+    "normalize": (
+        "def normalize(values):\n"
+        "    lo, hi = min(values), max(values)\n"
+        "    span = (hi - lo) or 1.0\n"
+        "    return [(v - lo) / span for v in values]"
+    ),
+    "standardize": (
+        "def standardize(values):\n"
+        "    mean = sum(values) / len(values)\n"
+        "    var = sum((v - mean) ** 2 for v in values) / len(values)\n"
+        "    std = var ** 0.5 or 1.0\n"
+        "    return [(v - mean) / std for v in values]"
+    ),
+    "impute_mean": (
+        "def impute_mean(values):\n"
+        "    known = [v for v in values if v is not None]\n"
+        "    fill = sum(known) / len(known) if known else 0.0\n"
+        "    return [fill if v is None else v for v in values]"
+    ),
+    "impute_mode": (
+        "def impute_mode(values):\n"
+        "    from collections import Counter\n"
+        "    known = [v for v in values if v is not None]\n"
+        "    fill = Counter(known).most_common(1)[0][0] if known else None\n"
+        "    return [fill if v is None else v for v in values]"
+    ),
+    "drop_duplicates": (
+        "def drop_duplicates(rows):\n"
+        "    seen, out = set(), []\n"
+        "    for row in rows:\n"
+        "        key = tuple(row)\n"
+        "        if key not in seen:\n"
+        "            seen.add(key)\n"
+        "            out.append(row)\n"
+        "    return out"
+    ),
+    "one_hot": (
+        "def one_hot(values):\n"
+        "    categories = sorted(set(values))\n"
+        "    return [[1 if v == c else 0 for c in categories] for v in values]"
+    ),
+    "feature_select_variance": (
+        "def feature_select_variance(columns, threshold=0.0):\n"
+        "    def variance(col):\n"
+        "        mean = sum(col) / len(col)\n"
+        "        return sum((v - mean) ** 2 for v in col) / len(col)\n"
+        "    return [i for i, col in enumerate(columns) if variance(col) > threshold]"
+    ),
+    "clip_outliers": (
+        "def clip_outliers(values, k=3.0):\n"
+        "    mean = sum(values) / len(values)\n"
+        "    std = (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5\n"
+        "    lo, hi = mean - k * std, mean + k * std\n"
+        "    return [min(max(v, lo), hi) for v in values]"
+    ),
+    "log_transform": (
+        "def log_transform(values):\n"
+        "    import math\n"
+        "    return [math.log1p(max(v, 0.0)) for v in values]"
+    ),
+    "bin_numeric": (
+        "def bin_numeric(values, n_bins=5):\n"
+        "    lo, hi = min(values), max(values)\n"
+        "    width = (hi - lo) / n_bins or 1.0\n"
+        "    return [min(int((v - lo) / width), n_bins - 1) for v in values]"
+    ),
+}
+
+
+class CodegenEngine(Engine):
+    """Synthesizes operator programs and data-prep code snippets."""
+
+    name = "codegen"
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        snippet_match = _SNIPPET_RE.search(prompt)
+        if snippet_match is not None:
+            return self._snippet(snippet_match.group(1).strip().lower().replace(" ", "_"), prompt)
+        if _SYNTH_RE.search(prompt) is not None:
+            return self._synthesize(prompt)
+        recommend_match = _RECOMMEND_RE.search(prompt)
+        if recommend_match is not None:
+            return self._recommend(recommend_match.group(1), prompt)
+        return None
+
+    def _recommend(self, profile_text: str, prompt: str) -> EngineResult:
+        """Pipeline recommendation (II-B4): profile flags → operation list."""
+        profile = {}
+        for piece in profile_text.split(","):
+            if "=" not in piece:
+                continue
+            key, value = piece.split("=", 1)
+            profile[key.strip().lower()] = value.strip().lower() in ("yes", "true", "1")
+        ops = recommend_ops_from_profile(profile)
+        answer = ", ".join(ops)
+        # Corruptions: an irrelevant op recommended / a needed op dropped.
+        irrelevant = [op for op in SNIPPET_LIBRARY if op not in ops][:1]
+        wrongs = [", ".join(ops + irrelevant)]
+        if len(ops) > 1:
+            wrongs.append(", ".join(ops[:-1]))
+        return EngineResult(
+            answer=answer,
+            difficulty=0.3 + 0.04 * len(ops),
+            wrong_answers=wrongs,
+            engine=self.name,
+            n_examples=count_examples(prompt),
+            metadata={"profile": profile},
+        )
+
+    def _snippet(self, operation: str, prompt: str) -> Optional[EngineResult]:
+        if operation not in SNIPPET_LIBRARY:
+            candidates = ", ".join(sorted(SNIPPET_LIBRARY))
+            return EngineResult(
+                answer=f"# unknown operation {operation!r}; known: {candidates}",
+                difficulty=0.6,
+                wrong_answers=["# TODO"],
+                engine=self.name,
+            )
+        answer = SNIPPET_LIBRARY[operation]
+        # Subtly broken variant (off-by-one / missing guard).
+        broken = answer.replace("or 1.0", "").replace("max(v, 0.0)", "v")
+        if broken == answer:
+            broken = answer.replace("return", "return  # FIXME\n    return", 1)
+        return EngineResult(
+            answer=answer,
+            difficulty=0.22,
+            wrong_answers=[broken],
+            engine=self.name,
+            n_examples=count_examples(prompt),
+            metadata={"operation": operation},
+        )
+
+    def _synthesize(self, prompt: str) -> Optional[EngineResult]:
+        grid_match = _GRID_RE.search(prompt)
+        if grid_match is None:
+            return None
+        has_header = "has header: yes" in prompt.lower()
+        grid = Grid.from_render(grid_match.group(1), has_header=has_header)
+        program, _result, score = synthesize_program(grid)
+        answer = program_to_text(program) or "promote_header"
+        wrongs = []
+        if program:
+            # Truncated program and a spuriously transposed one.
+            wrongs.append(program_to_text(program[:-1]) or "transpose")
+            wrongs.append("transpose; " + program_to_text(program))
+        else:
+            wrongs.append("transpose")
+        difficulty = min(0.9, 0.35 + 0.12 * len(program))
+        return EngineResult(
+            answer=answer,
+            difficulty=difficulty,
+            wrong_answers=wrongs,
+            engine=self.name,
+            n_examples=count_examples(prompt),
+            metadata={"program_length": len(program), "score": score},
+        )

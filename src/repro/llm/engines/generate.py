@@ -1,0 +1,183 @@
+"""SQL generation engine (Section II-A1, Fig 2).
+
+Prompts carry the database schema (CREATE TABLE text) and a constraint line
+("kinds=simple,join,subquery; count=5"). The engine parses the schema with
+the real SQL parser, infers join keys from ``<table>_id`` naming, and emits
+the requested number of queries of the requested kinds — including
+semantically-equivalent pairs for DBMS logic-bug testing (the pivoted/
+ternary-style rewrites of ref [20]).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro._util import rng_from, stable_hash
+from repro.errors import SQLError
+from repro.llm.engines.base import Engine, EngineResult, TaskContext, count_examples
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_sql
+from repro.sqldb.types import SQLType
+
+_INSTRUCTION_RE = re.compile(r"(?i)generate\s+(\d+)\s+sql quer(?:y|ies)")
+_CONSTRAINT_RE = re.compile(r"(?im)^\s*constraints\s*:\s*(.+)$")
+
+KINDS = ("simple", "join", "subquery", "aggregate", "equivalent_pair")
+
+
+def _parse_schema(prompt: str) -> Dict[str, List[Tuple[str, SQLType]]]:
+    """Pull CREATE TABLE statements out of the prompt and parse them."""
+    tables: Dict[str, List[Tuple[str, SQLType]]] = {}
+    for match in re.finditer(r"(?is)(CREATE TABLE .*?\))\s*;", prompt):
+        try:
+            statements = parse_sql(match.group(1))
+        except SQLError:
+            continue
+        for stmt in statements:
+            if isinstance(stmt, ast.CreateTable):
+                tables[stmt.name] = [(c.name, c.sql_type) for c in stmt.columns]
+    return tables
+
+
+def _numeric_columns(columns: List[Tuple[str, SQLType]]) -> List[str]:
+    return [n for n, t in columns if t in (SQLType.INTEGER, SQLType.REAL)]
+
+
+def _text_columns(columns: List[Tuple[str, SQLType]]) -> List[str]:
+    return [n for n, t in columns if t is SQLType.TEXT]
+
+
+def _join_pairs(tables: Dict[str, List[Tuple[str, SQLType]]]) -> List[Tuple[str, str, str]]:
+    """(left, right, key) pairs where left has a column named right+'_id'."""
+    pairs = []
+    for left, columns in tables.items():
+        names = {n for n, _t in columns}
+        for right in tables:
+            if right == left:
+                continue
+            key = f"{right}_id"
+            right_names = {n for n, _t in tables[right]}
+            if key in names and key in right_names:
+                pairs.append((left, right, key))
+    return pairs
+
+
+class SQLGenEngine(Engine):
+    """Generates constraint-satisfying SQL over the prompt's schema."""
+
+    name = "sql_gen"
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        instruction = _INSTRUCTION_RE.search(prompt)
+        if instruction is None:
+            return None
+        count = max(1, min(50, int(instruction.group(1))))
+        tables = _parse_schema(prompt)
+        if not tables:
+            return None
+        constraint_match = _CONSTRAINT_RE.search(prompt)
+        kinds = list(KINDS[:4])
+        if constraint_match:
+            m = re.search(r"kinds\s*=\s*([\w,\s]+)", constraint_match.group(1))
+            if m:
+                requested = [k.strip() for k in m.group(1).split(",") if k.strip()]
+                kinds = [k for k in requested if k in KINDS] or kinds
+
+        rng = rng_from(stable_hash("sqlgen:" + prompt))
+        queries: List[str] = []
+        for i in range(count):
+            kind = kinds[i % len(kinds)]
+            sql = self._generate(kind, tables, rng)
+            if sql is None:
+                sql = self._generate("simple", tables, rng)
+            queries.append(sql or "SELECT 1")
+        answer = ";\n".join(queries) + ";"
+
+        difficulty = min(0.9, 0.28 + 0.05 * sum(k in ("subquery", "equivalent_pair") for k in kinds))
+        wrongs = self._corruptions(queries)
+        return EngineResult(
+            answer=answer,
+            difficulty=difficulty,
+            wrong_answers=wrongs,
+            engine=self.name,
+            n_examples=count_examples(prompt),
+            metadata={"count": count, "kinds": kinds},
+        )
+
+    # ------------------------------------------------------------ generators
+
+    def _generate(self, kind: str, tables: Dict[str, List[Tuple[str, SQLType]]], rng) -> Optional[str]:
+        names = sorted(tables)
+        table = names[int(rng.integers(0, len(names)))]
+        columns = tables[table]
+        numeric = _numeric_columns(columns)
+        if kind == "simple":
+            col = columns[int(rng.integers(0, len(columns)))][0]
+            if numeric:
+                ncol = numeric[int(rng.integers(0, len(numeric)))]
+                bound = int(rng.integers(1, 1000))
+                return f"SELECT {col} FROM {table} WHERE {ncol} > {bound}"
+            return f"SELECT {col} FROM {table}"
+        if kind == "aggregate":
+            if not numeric:
+                return None
+            ncol = numeric[int(rng.integers(0, len(numeric)))]
+            group_candidates = _text_columns(columns)
+            agg = ["COUNT", "SUM", "AVG", "MIN", "MAX"][int(rng.integers(0, 5))]
+            if group_candidates:
+                gcol = group_candidates[int(rng.integers(0, len(group_candidates)))]
+                return (
+                    f"SELECT {gcol}, {agg}({ncol}) FROM {table} GROUP BY {gcol}"
+                )
+            return f"SELECT {agg}({ncol}) FROM {table}"
+        if kind == "join":
+            pairs = _join_pairs(tables)
+            if not pairs:
+                return None
+            left, right, key = pairs[int(rng.integers(0, len(pairs)))]
+            lcol = tables[left][1][0] if len(tables[left]) > 1 else tables[left][0][0]
+            rcol = tables[right][1][0] if len(tables[right]) > 1 else tables[right][0][0]
+            return (
+                f"SELECT a.{lcol}, b.{rcol} FROM {left} a "
+                f"JOIN {right} b ON a.{key} = b.{key}"
+            )
+        if kind == "subquery":
+            pairs = _join_pairs(tables)
+            if not pairs:
+                return None
+            left, right, key = pairs[int(rng.integers(0, len(pairs)))]
+            rnumeric = _numeric_columns(tables[right])
+            rcol = [n for n in rnumeric if n != key]
+            out = tables[right][1][0] if len(tables[right]) > 1 else tables[right][0][0]
+            if rcol:
+                pick = rcol[int(rng.integers(0, len(rcol)))]
+                return (
+                    f"SELECT {out} FROM {right} WHERE {key} IN "
+                    f"(SELECT {key} FROM {left}) AND {pick} > "
+                    f"(SELECT AVG({pick}) FROM {right})"
+                )
+            return (
+                f"SELECT {out} FROM {right} WHERE {key} IN (SELECT {key} FROM {left})"
+            )
+        if kind == "equivalent_pair":
+            if not numeric:
+                return None
+            ncol = numeric[int(rng.integers(0, len(numeric)))]
+            col = columns[0][0]
+            bound = int(rng.integers(1, 1000))
+            q1 = f"SELECT {col} FROM {table} WHERE {ncol} > {bound}"
+            q2 = f"SELECT {col} FROM {table} WHERE NOT ({ncol} <= {bound}) AND {ncol} IS NOT NULL"
+            return f"{q1};\n{q2}"
+        return None
+
+    def _corruptions(self, queries: List[str]) -> List[str]:
+        """Broken variants: syntax error, unknown column, dangling join."""
+        base = ";\n".join(queries)
+        wrongs = [
+            base.replace("SELECT", "SELCT", 1),  # syntax error
+            base.replace("FROM", "FROM missing_table --", 1),  # unknown table
+        ]
+        if " > " in base:
+            wrongs.append(base.replace(" > ", " >> ", 1))
+        return wrongs

@@ -1,0 +1,125 @@
+"""Entity resolution and schema matching engines (Section II-C1).
+
+The entity-match engine implements the paper's canonical prompt — "Are the
+following two entity descriptions the same real-world entity?" — with a
+real matcher: normalized token/edit similarity over the two serialized
+records. Difficulty is the proximity to the decision boundary, so borderline
+pairs are exactly the ones weak models get wrong.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro._util import jaccard, levenshtein_ratio, normalize_text, words
+from repro.llm.engines.base import (
+    Engine,
+    EngineResult,
+    TaskContext,
+    count_examples,
+    difficulty_jitter,
+)
+
+_ENTITY_RE = re.compile(
+    r"(?is)entity\s*a\s*:\s*(.+?)\n\s*entity\s*b\s*:\s*(.+?)(?:\n\s*\n|\n\s*answer|\Z)"
+)
+_COLUMN_RE = re.compile(
+    r"(?is)column\s*a\s*\(([^)]*)\)\s*:\s*(.+?)\n\s*column\s*b\s*\(([^)]*)\)\s*:\s*(.+?)(?:\n\s*\n|\n\s*answer|\Z)"
+)
+
+_ABBREVIATIONS = {
+    "st": "street", "rd": "road", "ave": "avenue", "dr": "drive",
+    "inc": "incorporated", "corp": "corporation", "co": "company",
+    "intl": "international", "dept": "department", "univ": "university",
+    "dr.": "doctor", "mt": "mount",
+}
+
+
+def _expand(text: str) -> str:
+    out = []
+    for token in words(normalize_text(text)):
+        out.append(_ABBREVIATIONS.get(token, token))
+    return " ".join(out)
+
+
+def record_similarity(a: str, b: str) -> float:
+    """Blend of token Jaccard and edit similarity on normalized text."""
+    na, nb = _expand(a), _expand(b)
+    return 0.6 * jaccard(words(na), words(nb)) + 0.4 * levenshtein_ratio(na, nb)
+
+
+class EntityMatchEngine(Engine):
+    """Answers "same real-world entity?" prompts with yes/no."""
+
+    name = "entity_match"
+    threshold = 0.52
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        if "same real-world entity" not in prompt.lower():
+            return None
+        m = _ENTITY_RE.search(prompt)
+        if m is None:
+            return None
+        a, b = m.group(1).strip(), m.group(2).strip()
+        sim = record_similarity(a, b)
+        is_match = sim >= self.threshold
+        answer = "yes" if is_match else "no"
+        # Borderline pairs are hard; clear pairs are easy.
+        boundary_distance = abs(sim - self.threshold)
+        difficulty = max(0.08, min(0.9, 0.78 - 1.6 * boundary_distance))
+        difficulty = max(0.05, min(0.95, difficulty + difficulty_jitter(a + b, 0.04)))
+        return EngineResult(
+            answer=answer,
+            difficulty=difficulty,
+            wrong_answers=["no" if is_match else "yes"],
+            engine=self.name,
+            n_examples=count_examples(prompt),
+            metadata={"similarity": round(sim, 4)},
+        )
+
+
+class SchemaMatchEngine(Engine):
+    """Answers "same attribute?" prompts for column pairs.
+
+    Uses both the column names and sampled values: name similarity (with
+    abbreviation expansion) plus value-overlap, mirroring classical schema
+    matchers the LLM is standing in for.
+    """
+
+    name = "schema_match"
+    threshold = 0.45
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        if "same attribute" not in prompt.lower():
+            return None
+        m = _COLUMN_RE.search(prompt)
+        if m is None:
+            return None
+        name_a, values_a, name_b, values_b = (g.strip() for g in m.groups())
+        # Column names use snake_case; split it before comparing.
+        name_a = name_a.replace("_", " ")
+        name_b = name_b.replace("_", " ")
+        name_sim = levenshtein_ratio(_expand(name_a), _expand(name_b))
+        # Token containment: "phone" vs "phone number" should score high.
+        tokens_name_a = set(words(_expand(name_a)))
+        tokens_name_b = set(words(_expand(name_b)))
+        if tokens_name_a and tokens_name_b and (
+            tokens_name_a <= tokens_name_b or tokens_name_b <= tokens_name_a
+        ):
+            name_sim = max(name_sim, 0.9)
+        tokens_a = [v.strip().lower() for v in values_a.split("||") if v.strip()]
+        tokens_b = [v.strip().lower() for v in values_b.split("||") if v.strip()]
+        value_sim = jaccard(tokens_a, tokens_b)
+        sim = 0.55 * name_sim + 0.45 * value_sim
+        is_match = sim >= self.threshold
+        boundary_distance = abs(sim - self.threshold)
+        difficulty = max(0.08, min(0.9, 0.72 - 1.5 * boundary_distance))
+        return EngineResult(
+            answer="yes" if is_match else "no",
+            difficulty=difficulty,
+            wrong_answers=["no" if is_match else "yes"],
+            engine=self.name,
+            n_examples=count_examples(prompt),
+            metadata={"similarity": round(sim, 4)},
+        )

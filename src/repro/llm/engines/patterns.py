@@ -1,0 +1,136 @@
+"""Column pattern mining engine (Section II-B3).
+
+Implements the paper's pattern language: values are abstracted into token
+classes — ``<letter>{n}``, ``<digit>{n}`` and literal separators — and the
+engine mines the *tightest* pattern consistent with all sampled values,
+preferring literal tokens when a token is constant across the column (the
+paper's "Aug <digit>{2} 2023" beats "<letter>{3} <digit>{2} <digit>{4}"
+example). The mining algorithm itself is real; see
+:mod:`repro.apps.transform.columns` for the non-LLM API to the same code.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.llm.engines.base import Engine, EngineResult, TaskContext, count_examples
+
+_INSTRUCTION_RE = re.compile(r"(?i)mine the pattern of the following column values")
+_VALUES_RE = re.compile(r"(?im)^\s*values\s*:\s*(.+)$")
+
+_TOKEN_SPLIT_RE = re.compile(r"[A-Za-z]+|[0-9]+|[^A-Za-z0-9]")
+
+
+def tokenize_value(value: str) -> List[str]:
+    """Split a value into letter runs, digit runs and single separators."""
+    return _TOKEN_SPLIT_RE.findall(value)
+
+
+def _token_class(token: str) -> Tuple[str, int]:
+    # ASCII-only classes: the tokenizer splits on [A-Za-z]/[0-9], so a
+    # non-ASCII letter (e.g. 'µ') arrives as a separator token and must be
+    # classified 'literal' here too, or mining and matching disagree.
+    if token.isascii() and token.isalpha():
+        return "letter", len(token)
+    if token.isascii() and token.isdigit():
+        return "digit", len(token)
+    return "literal", len(token)
+
+
+def mine_pattern(values: List[str]) -> Optional[str]:
+    """Mine the tightest shared pattern, or None when shapes disagree.
+
+    For each token position: if all values share the identical literal
+    token, emit it verbatim (tighter); otherwise emit ``<class>{len}`` when
+    class and length agree, ``<class>+`` when only the class agrees.
+    """
+    token_lists = [tokenize_value(v) for v in values if v]
+    if not token_lists:
+        return None
+    length = len(token_lists[0])
+    if any(len(tl) != length for tl in token_lists):
+        return None
+    pieces: List[str] = []
+    for position in range(length):
+        tokens = [tl[position] for tl in token_lists]
+        if all(t == tokens[0] for t in tokens):
+            pieces.append(tokens[0])
+            continue
+        classes = {_token_class(t)[0] for t in tokens}
+        if len(classes) != 1:
+            return None
+        cls = classes.pop()
+        if cls == "literal":
+            # Differing separator characters have no abstraction in the
+            # pattern language; the column has no common pattern.
+            return None
+        lengths = {len(t) for t in tokens}
+        if len(lengths) == 1:
+            pieces.append(f"<{cls}>{{{lengths.pop()}}}")
+        else:
+            pieces.append(f"<{cls}>+")
+    return "".join(pieces)
+
+
+def pattern_matches(pattern: str, value: str) -> bool:
+    """Check a value against a mined pattern (for data-quality validation)."""
+    regex_parts: List[str] = []
+    piece_re = re.compile(r"<(letter|digit)>(?:\{(\d+)\}|(\+))")
+    pos = 0
+    while pos < len(pattern):
+        m = piece_re.match(pattern, pos)
+        if m:
+            cls = "[A-Za-z]" if m.group(1) == "letter" else "[0-9]"
+            if m.group(2):
+                regex_parts.append(f"{cls}{{{m.group(2)}}}")
+            else:
+                regex_parts.append(f"{cls}+")
+            pos = m.end()
+        else:
+            regex_parts.append(re.escape(pattern[pos]))
+            pos += 1
+    return re.match("^" + "".join(regex_parts) + "$", value) is not None
+
+
+def _loosen(pattern: str) -> str:
+    """Produce a looser (still valid-looking but less useful) pattern."""
+    return re.sub(r"\{\d+\}", "+", pattern)
+
+
+class PatternMineEngine(Engine):
+    """Mines the tightest token-class pattern for a value sample."""
+
+    name = "pattern_mine"
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        if _INSTRUCTION_RE.search(prompt) is None:
+            return None
+        values_match = None
+        for values_match in _VALUES_RE.finditer(prompt):
+            pass
+        if values_match is None:
+            return None
+        values = [v.strip() for v in values_match.group(1).split("||") if v.strip()]
+        if not values:
+            return None
+        pattern = mine_pattern(values)
+        if pattern is None:
+            answer = "no common pattern"
+            wrongs = ["<letter>+"]
+            difficulty = 0.5
+        else:
+            answer = pattern
+            loose = _loosen(pattern)
+            fully_abstract = mine_pattern([re.sub(r"[A-Za-z]", "x", v) for v in values]) or "<letter>+"
+            wrongs = [w for w in (loose, fully_abstract) if w != pattern] or ["<letter>+"]
+            # Columns with many distinct token shapes are harder.
+            difficulty = min(0.85, 0.25 + 0.04 * pattern.count("<"))
+        return EngineResult(
+            answer=answer,
+            difficulty=difficulty,
+            wrong_answers=wrongs,
+            engine=self.name,
+            n_examples=count_examples(prompt),
+            metadata={"values": len(values)},
+        )

@@ -1,0 +1,239 @@
+"""Multi-hop question answering over the knowledge base.
+
+Recognizes the question templates produced by
+:mod:`repro.datasets.hotpot` (and their decomposed sub-questions) and
+answers them by *traversing* the knowledge base — one KB lookup per hop, the
+way the dataset intends the reasoning to happen. Difficulty scales with the
+number of hops, which is what makes weak models fail predominantly on
+bridge questions (reproducing the Table I accuracy spread).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro._util import rng_from, stable_hash
+from repro.llm.engines.base import (
+    Engine,
+    EngineResult,
+    TaskContext,
+    count_examples,
+    difficulty_jitter,
+    last_line_question,
+)
+from repro.llm.knowledge import KnowledgeBase
+
+# Difficulty anchors per reasoning depth.
+_ONE_HOP = 0.34
+_TWO_HOP = 0.57
+_COMPARISON = 0.50
+
+_UNKNOWN = "unknown"
+
+
+class QAEngine(Engine):
+    """Answers entity questions; multi-hop bridge and comparison forms."""
+
+    name = "qa"
+
+    # (regex, handler-name, difficulty) — checked in order.
+    _PATTERNS = [
+        # Paraphrased forms (see repro.datasets.hotpot.paraphrase).
+        (re.compile(r"the film starring (.+?) was directed by whom\?", re.I), "_film_director_of_actor", _TWO_HOP),
+        (re.compile(r"the city where (.+?) was born is located in which country\?", re.I), "_country_of_birth", _TWO_HOP),
+        (re.compile(r"the team that (.+?) plays for is based in which city\?", re.I), "_city_of_team", _TWO_HOP),
+        (re.compile(r"which sport is played by the team that (.+?) plays for\?", re.I), "_sport_of_player", _TWO_HOP),
+        (re.compile(r"between (.+?) and (.+?), who was born earlier\?", re.I), "_born_earlier", _COMPARISON),
+        (re.compile(r"between (.+?) and (.+?), which film was released first\?", re.I), "_released_first", _COMPARISON),
+        # Two-hop bridge questions.
+        (re.compile(r"who directed the film that starred (.+?)\?", re.I), "_film_director_of_actor", _TWO_HOP),
+        (re.compile(r"in which country is the city where (.+?) was born(?: located)?\?", re.I), "_country_of_birth", _TWO_HOP),
+        (re.compile(r"in which city is the team that (.+?) plays for based\?", re.I), "_city_of_team", _TWO_HOP),
+        (re.compile(r"what sport does the team that (.+?) plays for play\?", re.I), "_sport_of_player", _TWO_HOP),
+        (re.compile(r"in which country is the team that (.+?) plays for based\?", re.I), "_country_of_team", 0.72),
+        # Comparisons.
+        (re.compile(r"who was born earlier, (.+?) or (.+?)\?", re.I), "_born_earlier", _COMPARISON),
+        (re.compile(r"which film was released first, (.+?) or (.+?)\?", re.I), "_released_first", _COMPARISON),
+        (re.compile(r"which city has a larger population, (.+?) or (.+?)\?", re.I), "_larger_city", _COMPARISON),
+        # One-hop questions (decomposed sub-questions).
+        (re.compile(r"which film starred (.+?)\?", re.I), "_film_of_actor", _ONE_HOP),
+        (re.compile(r"who directed (.+?)\?", re.I), "_director_of_film", _ONE_HOP),
+        (re.compile(r"in which city was (.+?) born\?", re.I), "_birth_city", _ONE_HOP),
+        (re.compile(r"in which country is (.+?) located\?", re.I), "_country_of_city", _ONE_HOP),
+        (re.compile(r"which team does (.+?) play for\?", re.I), "_team_of_player", _ONE_HOP),
+        (re.compile(r"in which city is (.+?) based\?", re.I), "_city_of_team_direct", _ONE_HOP),
+        (re.compile(r"what sport does (.+?) play\?", re.I), "_sport_of_team", _ONE_HOP),
+        (re.compile(r"in which year was (.+?) born\?", re.I), "_birth_year", _ONE_HOP),
+        (re.compile(r"in which year was (.+?) released\?", re.I), "_release_year", _ONE_HOP),
+    ]
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        question = last_line_question(prompt)
+        # Strip common QA framing.
+        question = re.sub(r"(?i)^(question|q)\s*[:.]\s*", "", question).strip()
+        for pattern, handler_name, base_difficulty in self._PATTERNS:
+            match = pattern.search(question)
+            if match is None:
+                continue
+            handler = getattr(self, handler_name)
+            kb = context.knowledge
+            answer, distractor_type = handler(kb, *[g.strip() for g in match.groups()])
+            answer_text = str(answer) if answer is not None else _UNKNOWN
+            wrongs = self._distractors(kb, answer_text, distractor_type, question)
+            good_examples, bad_examples = self._assess_examples(prompt, kb)
+            difficulty = base_difficulty + difficulty_jitter(question)
+            # Misleading in-context examples actively hurt (the reason
+            # prompt selection — Section III-A — matters downstream).
+            difficulty += 0.05 * bad_examples
+            difficulty = min(0.95, max(0.05, difficulty))
+            return EngineResult(
+                answer=answer_text,
+                difficulty=difficulty,
+                wrong_answers=wrongs,
+                engine=self.name,
+                n_examples=good_examples,
+                metadata={"question": question, "bad_examples": bad_examples},
+            )
+        return None
+
+    def _assess_examples(self, prompt: str, kb: KnowledgeBase):
+        """Verify few-shot example pairs against the KB: the ICL bonus only
+        counts examples whose stated answer is actually correct; examples
+        with wrong answers are mislabeled context and count against."""
+        from repro.llm.engines.base import parse_qa_example_pairs
+
+        pairs = parse_qa_example_pairs(prompt)
+        if not pairs:
+            return count_examples(prompt), 0
+        good = bad = 0
+        for example_question, example_answer in pairs:
+            derived = self.answer_only(example_question, kb)
+            if derived is None:
+                good += 1  # unverifiable examples get the benefit of doubt
+            elif derived == example_answer:
+                good += 1
+            else:
+                bad += 1
+        return good, bad
+
+    def answer_only(self, question: str, kb: KnowledgeBase) -> Optional[str]:
+        """Derive just the answer for a question (no result envelope)."""
+        question = question.strip()
+        if not question.endswith("?"):
+            question += "?"
+        for pattern, handler_name, _difficulty in self._PATTERNS:
+            match = pattern.search(question)
+            if match is None:
+                continue
+            answer, _distractor_type = getattr(self, handler_name)(
+                kb, *[g.strip() for g in match.groups()]
+            )
+            return str(answer) if answer is not None else _UNKNOWN
+        return None
+
+    # -- handlers: (kb, *groups) -> (answer, distractor entity type) -------
+
+    def _film_of_actor(self, kb: KnowledgeBase, actor: str):
+        films = kb.subjects_with("starred", actor)
+        return (films[0] if films else None), "film"
+
+    def _director_of_film(self, kb: KnowledgeBase, film: str):
+        return kb.one(film, "directed_by"), "person"
+
+    def _film_director_of_actor(self, kb: KnowledgeBase, actor: str):
+        films = kb.subjects_with("starred", actor)
+        if not films:
+            return None, "person"
+        return kb.one(films[0], "directed_by"), "person"
+
+    def _birth_city(self, kb: KnowledgeBase, person: str):
+        return kb.one(person, "born_in"), "city"
+
+    def _birth_year(self, kb: KnowledgeBase, person: str):
+        return kb.one(person, "born_year"), "year"
+
+    def _release_year(self, kb: KnowledgeBase, film: str):
+        return kb.one(film, "released_in"), "year"
+
+    def _country_of_city(self, kb: KnowledgeBase, city: str):
+        return kb.one(city, "located_in"), "country"
+
+    def _country_of_birth(self, kb: KnowledgeBase, person: str):
+        city = kb.one(person, "born_in")
+        if city is None:
+            return None, "country"
+        return kb.one(str(city), "located_in"), "country"
+
+    def _team_of_player(self, kb: KnowledgeBase, player: str):
+        return kb.one(player, "plays_for"), "team"
+
+    def _city_of_team_direct(self, kb: KnowledgeBase, team: str):
+        return kb.one(team, "based_in"), "city"
+
+    def _city_of_team(self, kb: KnowledgeBase, player: str):
+        team = kb.one(player, "plays_for")
+        if team is None:
+            return None, "city"
+        return kb.one(str(team), "based_in"), "city"
+
+    def _country_of_team(self, kb: KnowledgeBase, player: str):
+        team = kb.one(player, "plays_for")
+        if team is None:
+            return None, "country"
+        city = kb.one(str(team), "based_in")
+        if city is None:
+            return None, "country"
+        return kb.one(str(city), "located_in"), "country"
+
+    def _sport_of_team(self, kb: KnowledgeBase, team: str):
+        return kb.one(team, "plays_sport"), "sport"
+
+    def _sport_of_player(self, kb: KnowledgeBase, player: str):
+        team = kb.one(player, "plays_for")
+        if team is None:
+            return None, "sport"
+        return kb.one(str(team), "plays_sport"), "sport"
+
+    def _born_earlier(self, kb: KnowledgeBase, a: str, b: str):
+        ya, yb = kb.one(a, "born_year"), kb.one(b, "born_year")
+        if ya is None or yb is None:
+            return None, "person"
+        return (a if ya <= yb else b), "person"
+
+    def _released_first(self, kb: KnowledgeBase, a: str, b: str):
+        ya, yb = kb.one(a, "released_in"), kb.one(b, "released_in")
+        if ya is None or yb is None:
+            return None, "film"
+        return (a if ya <= yb else b), "film"
+
+    def _larger_city(self, kb: KnowledgeBase, a: str, b: str):
+        pa, pb = kb.one(a, "population"), kb.one(b, "population")
+        if pa is None or pb is None:
+            return None, "city"
+        return (a if pa >= pb else b), "city"
+
+    # -- distractors --------------------------------------------------------
+
+    _SPORTS = ["Basketball", "Football", "Baseball", "Hockey", "Tennis"]
+
+    def _distractors(
+        self, kb: KnowledgeBase, answer: str, entity_type: str, question: str
+    ) -> List[str]:
+        """Plausible wrong answers: same-type entities, deterministic pick."""
+        rng = rng_from(stable_hash("distractor:" + question))
+        if entity_type == "year":
+            try:
+                year = int(answer)
+            except ValueError:
+                year = 1980
+            offsets = [int(rng.integers(1, 15)) for _ in range(3)]
+            return [str(year - o) for o in offsets] or ["1970"]
+        if entity_type == "sport":
+            pool = [s for s in self._SPORTS if s != answer]
+        else:
+            pool = [e for e in kb.entities_of_type(entity_type) if e != answer]
+        if not pool:
+            return [_UNKNOWN]
+        picks = rng.choice(len(pool), size=min(3, len(pool)), replace=False)
+        return [pool[int(i)] for i in picks]

@@ -1,0 +1,88 @@
+"""Numeric value prediction from few-shot examples (Fig 3 scenario).
+
+The training-data generation application (Section II-A2) feeds the LLM
+⟨query features, execution_time⟩ pairs and asks it to predict the time for
+a new query. This engine implements that with distance-weighted k-NN over
+the in-prompt examples, so prediction quality *really* improves with more
+examples. The capability model corrupts numeric answers with multiplicative
+noise instead of swapping in a discrete wrong answer.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.llm.engines.base import Engine, EngineResult, TaskContext, difficulty_jitter
+
+_EXAMPLE_RE = re.compile(
+    r"(?im)^\s*features\s*:\s*(.+?)\s*->\s*(?:execution_time|target|value)\s*:\s*([-0-9.eE]+)"
+)
+_QUERY_RE = re.compile(r"(?im)^\s*features\s*:\s*(.+?)\s*->\s*(?:execution_time|target|value)\s*:\s*\?\s*$")
+
+
+def _parse_features(text: str) -> Dict[str, float]:
+    features: Dict[str, float] = {}
+    for piece in text.split(","):
+        if "=" not in piece:
+            continue
+        key, value = piece.split("=", 1)
+        try:
+            features[key.strip()] = float(value.strip())
+        except ValueError:
+            continue
+    return features
+
+
+class ValuePredictEngine(Engine):
+    """Distance-weighted k-NN regression over few-shot feature lines."""
+
+    name = "value_predict"
+    k = 4
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        query_match = _QUERY_RE.search(prompt)
+        if query_match is None:
+            return None
+        examples: List[Tuple[Dict[str, float], float]] = []
+        for m in _EXAMPLE_RE.finditer(prompt):
+            features = _parse_features(m.group(1))
+            if features:
+                examples.append((features, float(m.group(2))))
+        if not examples:
+            return None
+        query = _parse_features(query_match.group(1))
+        if not query:
+            return None
+
+        # Normalize each feature by its example-set spread.
+        keys = sorted({k for f, _t in examples for k in f} | set(query))
+        spans: Dict[str, float] = {}
+        for key in keys:
+            values = [f.get(key, 0.0) for f, _t in examples] + [query.get(key, 0.0)]
+            spans[key] = max(values) - min(values) or 1.0
+
+        def distance(features: Dict[str, float]) -> float:
+            return math.sqrt(
+                sum(
+                    ((features.get(k, 0.0) - query.get(k, 0.0)) / spans[k]) ** 2
+                    for k in keys
+                )
+            )
+
+        ranked = sorted(examples, key=lambda ft: distance(ft[0]))[: self.k]
+        weights = [1.0 / (distance(f) + 1e-6) for f, _t in ranked]
+        total = sum(weights)
+        prediction = sum(w * t for w, (_f, t) in zip(weights, ranked)) / total
+
+        difficulty = max(0.05, min(0.9, 0.5 - 0.025 * len(examples) + difficulty_jitter(prompt, 0.05)))
+        return EngineResult(
+            answer=f"{prediction:.4f}",
+            difficulty=difficulty,
+            wrong_answers=[],
+            engine=self.name,
+            numeric=True,
+            n_examples=len(examples),
+            metadata={"neighbors": len(ranked)},
+        )

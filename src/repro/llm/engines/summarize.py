@@ -1,0 +1,117 @@
+"""Summarization engine: SQL→NL descriptions and row serialization.
+
+Backs the table understanding application (Section II-C2): the paper's
+example — SQL ``SELECT AVG(SALARY) FROM EMPLOYEE`` with result 500 becomes
+"the average salary of all the employees in the EMPLOYEE table is 500" —
+is generated here by template over the parsed SQL AST. Row serialization
+("serialize the row into a natural language sentence") backs the missing-
+label annotation flow (Section II-A2).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.errors import SQLError
+from repro.llm.engines.base import Engine, EngineResult, TaskContext, count_examples
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_statement
+
+_SQL2NL_RE = re.compile(r"(?is)describe the following sql.*?sql\s*:\s*(.+?)\s*(?:result\s*:\s*(.+?))?\s*\Z")
+_ROW_RE = re.compile(r"(?is)serialize the following row.*?table\s*:\s*(\w+).*?row\s*:\s*(.+?)\s*\Z")
+
+_AGG_PHRASES = {
+    "AVG": "the average {col}",
+    "SUM": "the total {col}",
+    "COUNT": "the number of rows",
+    "MIN": "the minimum {col}",
+    "MAX": "the maximum {col}",
+}
+
+
+def describe_sql(sql: str, result: Optional[str] = None) -> Optional[str]:
+    """Template-based SQL→NL; returns None for unsupported shapes."""
+    try:
+        stmt = parse_statement(sql)
+    except SQLError:
+        return None
+    if not isinstance(stmt, ast.Select) or stmt.source is None:
+        return None
+    if not isinstance(stmt.source, ast.TableName):
+        return None
+    table = stmt.source.name
+    phrases: List[str] = []
+    for item in stmt.items:
+        expr = item.expr
+        if isinstance(expr, ast.FuncCall) and expr.name in _AGG_PHRASES:
+            if expr.args and isinstance(expr.args[0], ast.ColumnRef):
+                col = expr.args[0].name.lower()
+            else:
+                col = "rows"
+            phrases.append(_AGG_PHRASES[expr.name].format(col=col))
+        elif isinstance(expr, ast.ColumnRef):
+            phrases.append(f"the {expr.name.lower()}")
+        elif isinstance(expr, ast.Star):
+            phrases.append("all columns")
+    if not phrases:
+        return None
+    subject = " and ".join(phrases)
+    scope = f"of all the rows in the {table} table"
+    condition = f" where {stmt.where}" if stmt.where is not None else ""
+    if result is not None and result != "":
+        return f"{subject} {scope}{condition} is {result}".strip()
+    return f"this query computes {subject} {scope}{condition}".strip()
+
+
+def serialize_row(table: str, row_text: str) -> str:
+    """"attr: value; ..." → one NL sentence (the paper's serialization)."""
+    pairs = []
+    for piece in row_text.split(";"):
+        if ":" not in piece:
+            continue
+        key, value = piece.split(":", 1)
+        pairs.append((key.strip(), value.strip()))
+    if not pairs:
+        return f"a row of the {table} table"
+    clauses = [f"the {k} is {v}" for k, v in pairs]
+    return f"In the {table} table, " + ", and ".join(clauses) + "."
+
+
+class SummarizeEngine(Engine):
+    """SQL→NL description and row serialization prompts."""
+
+    name = "summarize"
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        m = _SQL2NL_RE.search(prompt)
+        if m is not None:
+            sql = m.group(1).strip().rstrip(";")
+            result = m.group(2).strip() if m.group(2) else None
+            answer = describe_sql(sql, result)
+            if answer is None:
+                return None
+            wrongs = [
+                answer.replace("average", "total").replace("minimum", "maximum"),
+                f"this query reads the table",
+            ]
+            wrongs = [w for w in wrongs if w != answer]
+            return EngineResult(
+                answer=answer,
+                difficulty=0.25,
+                wrong_answers=wrongs or ["unable to describe the query"],
+                engine=self.name,
+                n_examples=count_examples(prompt),
+            )
+        m = _ROW_RE.search(prompt)
+        if m is not None:
+            answer = serialize_row(m.group(1), m.group(2))
+            truncated = answer.split(", and ")[0] + "."
+            return EngineResult(
+                answer=answer,
+                difficulty=0.15,
+                wrong_answers=[truncated] if truncated != answer else ["(empty)"],
+                engine=self.name,
+                n_examples=count_examples(prompt),
+            )
+        return None

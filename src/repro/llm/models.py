@@ -1,0 +1,93 @@
+"""Model registry: capability, pricing and context windows.
+
+Prices follow the paper's Section III-B1 quote: "the latest price of GPT-3.5
+Turbo is $0.001/1k input tokens, and GPT-4 is $0.03/1k input tokens". The
+babbage-002 price is OpenAI's published $0.0004/1k. Capability scores are the
+simulator's free parameters, calibrated so the Table I accuracy ordering and
+rough magnitudes reproduce (babbage-002 ≈ 27.5%, gpt-4 ≈ 92.5% on the
+HotpotQA-like workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import UnknownModelError
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of one simulated model."""
+
+    name: str
+    capability: float  # [0, 1] — drives the error model
+    input_price_per_1k: float  # USD per 1k prompt tokens
+    output_price_per_1k: float  # USD per 1k completion tokens
+    context_window: int
+    latency_ms_per_token: float  # synthetic latency model
+
+    def cost(self, prompt_tokens: int, completion_tokens: int) -> float:
+        """Dollar cost of one request at this model's prices."""
+        return (
+            prompt_tokens * self.input_price_per_1k
+            + completion_tokens * self.output_price_per_1k
+        ) / 1000.0
+
+    def latency_ms(self, prompt_tokens: int, completion_tokens: int) -> float:
+        """Synthetic end-to-end latency estimate for one request."""
+        return 30.0 + self.latency_ms_per_token * (0.2 * prompt_tokens + completion_tokens)
+
+
+MODEL_REGISTRY: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        ModelSpec(
+            name="babbage-002",
+            capability=0.32,
+            input_price_per_1k=0.0004,
+            output_price_per_1k=0.0004,
+            context_window=4_096,
+            latency_ms_per_token=4.0,
+        ),
+        ModelSpec(
+            name="gpt-3.5-turbo",
+            capability=0.72,
+            input_price_per_1k=0.001,
+            output_price_per_1k=0.002,
+            context_window=16_384,
+            latency_ms_per_token=10.0,
+        ),
+        ModelSpec(
+            name="gpt-4",
+            capability=0.96,
+            input_price_per_1k=0.03,
+            output_price_per_1k=0.06,
+            context_window=32_768,
+            latency_ms_per_token=35.0,
+        ),
+        # A local open-source stand-in used by the privacy experiments
+        # (Section III-D): weaker than gpt-3.5 but free to query.
+        ModelSpec(
+            name="local-7b",
+            capability=0.55,
+            input_price_per_1k=0.0,
+            output_price_per_1k=0.0,
+            context_window=8_192,
+            latency_ms_per_token=20.0,
+        ),
+    )
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec; raises :class:`UnknownModelError`."""
+    if name not in MODEL_REGISTRY:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise UnknownModelError(f"unknown model {name!r} (known: {known})")
+    return MODEL_REGISTRY[name]
+
+
+def list_models() -> List[ModelSpec]:
+    """All registered models, cheapest first."""
+    return sorted(MODEL_REGISTRY.values(), key=lambda m: m.input_price_per_1k)

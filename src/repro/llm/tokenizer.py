@@ -1,0 +1,37 @@
+"""Deterministic tokenizer used for token counting and cost metering.
+
+Approximates a BPE tokenizer's behavior without a vocabulary file: text is
+split into words/numbers/punctuation, and long words count as multiple
+tokens (one per 4 characters, the rule of thumb OpenAI documents). The exact
+constants do not matter for the reproduction — only that token counts are
+deterministic, monotone in text length, and comparable across prompts.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+|[0-9]+|[^\sA-Za-z0-9]")
+
+# Average characters per BPE token for alphabetic words.
+_CHARS_PER_TOKEN = 4
+
+
+def tokenize_text(text: str) -> List[str]:
+    """Split text into word / number / punctuation pieces."""
+    return _TOKEN_RE.findall(text)
+
+
+def count_tokens(text: str) -> int:
+    """Number of (simulated) BPE tokens in ``text``."""
+    total = 0
+    for piece in tokenize_text(text):
+        if piece.isalpha():
+            total += max(1, math.ceil(len(piece) / _CHARS_PER_TOKEN))
+        elif piece.isdigit():
+            total += max(1, math.ceil(len(piece) / 3))
+        else:
+            total += 1
+    return total

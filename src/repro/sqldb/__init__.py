@@ -1,0 +1,57 @@
+"""repro.sqldb — a from-scratch in-memory relational database engine.
+
+This substrate exists because the paper's scenarios repeatedly need a real
+DBMS to execute against: validating generated SQL (Section II-A1), measuring
+NL2SQL execution accuracy (Table II), running NL2Transaction sequences
+(Section II-B1), computing table statistics for table understanding
+(Section II-C2) and serving as the relational half of the "LLM as database"
+application (Section II-D2).
+
+Supported dialect surface
+-------------------------
+* ``CREATE TABLE`` / ``DROP TABLE`` with INTEGER, REAL, TEXT, BOOLEAN columns,
+  ``PRIMARY KEY`` and ``NOT NULL`` constraints.
+* ``INSERT`` (VALUES lists and ``INSERT ... SELECT``), ``UPDATE``, ``DELETE``.
+* ``SELECT`` with ``DISTINCT``, multi-way ``JOIN`` (inner/left) with ``ON``,
+  ``WHERE``, ``GROUP BY``, ``HAVING``, ``ORDER BY``, ``LIMIT``/``OFFSET``,
+  column and table aliases, and set operations ``UNION [ALL]``,
+  ``INTERSECT``, ``EXCEPT``.
+* Scalar, ``IN`` and ``EXISTS`` subqueries, including correlated ones.
+* Aggregates ``COUNT/SUM/AVG/MIN/MAX`` (with ``DISTINCT``), scalar functions
+  (``UPPER``, ``LOWER``, ``LENGTH``, ``ABS``, ``ROUND``, ``SUBSTR``,
+  ``COALESCE``, ``CAST``-free coercions), ``LIKE``, ``BETWEEN``, ``IS NULL``,
+  ``CASE WHEN``.
+* Transactions: ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` with full-state
+  snapshots (sufficient for the single-threaded NL2Transaction scenario).
+
+Quick example
+-------------
+>>> from repro.sqldb import Database
+>>> db = Database()
+>>> _ = db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)")
+>>> _ = db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+>>> db.execute("SELECT COUNT(*) FROM t").rows
+[(2,)]
+"""
+
+from repro.sqldb.catalog import Column, Table, TableSchema
+from repro.sqldb.database import Database, Result
+from repro.sqldb.parser import parse_expression, parse_sql, parse_statement
+from repro.sqldb.planner import EstimatedCost, explain, estimate_cost, query_features
+from repro.sqldb.types import SQLType
+
+__all__ = [
+    "Column",
+    "Database",
+    "EstimatedCost",
+    "Result",
+    "SQLType",
+    "Table",
+    "TableSchema",
+    "estimate_cost",
+    "explain",
+    "parse_expression",
+    "parse_sql",
+    "parse_statement",
+    "query_features",
+]

@@ -1,0 +1,431 @@
+"""AST node definitions for the SQL dialect of :mod:`repro.sqldb`.
+
+Nodes are plain frozen-ish dataclasses. ``unparse``-style rendering lives on
+each node's ``__str__`` so that generated SQL (Section II-A1) can round-trip
+through the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sqldb.types import SQLType
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+class Expr(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass
+class Literal(Expr):
+    value: object  # int | float | str | bool | None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list or inside COUNT(*)."""
+
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-', '+', 'NOT'
+    operand: Expr
+
+    def __str__(self) -> str:
+        if self.op == "NOT":
+            return f"NOT ({self.operand})"
+        return f"{self.op}{self.operand}"
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # arithmetic, comparison, AND, OR, ||
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class FuncCall(Expr):
+    name: str  # upper-cased
+    args: List[Expr] = field(default_factory=list)
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: List[Expr]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        not_kw = "NOT " if self.negated else ""
+        return f"{self.operand} {not_kw}IN ({', '.join(str(i) for i in self.items)})"
+
+
+@dataclass
+class InSelect(Expr):
+    operand: Expr
+    select: "Select"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        not_kw = "NOT " if self.negated else ""
+        return f"{self.operand} {not_kw}IN ({self.select})"
+
+
+@dataclass
+class Exists(Expr):
+    select: "Select"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        not_kw = "NOT " if self.negated else ""
+        return f"{not_kw}EXISTS ({self.select})"
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    select: "Select"
+
+    def __str__(self) -> str:
+        return f"({self.select})"
+
+
+@dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        not_kw = "NOT " if self.negated else ""
+        return f"{self.operand} {not_kw}BETWEEN {self.low} AND {self.high}"
+
+
+@dataclass
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        not_kw = "NOT " if self.negated else ""
+        return f"{self.operand} {not_kw}LIKE {self.pattern}"
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        not_kw = "NOT " if self.negated else ""
+        return f"{self.operand} IS {not_kw}NULL"
+
+
+@dataclass
+class CaseWhen(Expr):
+    whens: List[Tuple[Expr, Expr]]
+    default: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond} THEN {result}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+# --- Table references ------------------------------------------------------
+
+
+class TableRef(Node):
+    """Base class for FROM-clause sources."""
+
+
+@dataclass
+class TableName(TableRef):
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass
+class SubquerySource(TableRef):
+    select: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+    def __str__(self) -> str:
+        return f"({self.select}) AS {self.alias}"
+
+
+@dataclass
+class Join(TableRef):
+    left: TableRef
+    right: TableRef
+    kind: str  # 'INNER', 'LEFT', 'CROSS'
+    on: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        if self.kind == "CROSS":
+            return f"{self.left} CROSS JOIN {self.right}"
+        join_kw = "JOIN" if self.kind == "INNER" else f"{self.kind} JOIN"
+        on_sql = f" ON {self.on}" if self.on is not None else ""
+        return f"{self.left} {join_kw} {self.right}{on_sql}"
+
+
+# --- Statements ------------------------------------------------------------
+
+
+class Statement(Node):
+    """Base class for executable statements."""
+
+
+@dataclass
+class SelectItem(Node):
+    expr: Expr
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass
+class OrderItem(Node):
+    expr: Expr
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.expr} DESC" if self.descending else str(self.expr)
+
+
+@dataclass
+class SetOp(Node):
+    op: str  # 'UNION', 'INTERSECT', 'EXCEPT'
+    all: bool
+    select: "Select"
+
+    def __str__(self) -> str:
+        all_kw = " ALL" if self.all else ""
+        return f"{self.op}{all_kw} {self.select}"
+
+
+@dataclass
+class Select(Statement):
+    items: List[SelectItem]
+    source: Optional[TableRef] = None
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    set_ops: List[SetOp] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(str(i) for i in self.items))
+        if self.source is not None:
+            parts.append(f"FROM {self.source}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(e) for e in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        for set_op in self.set_ops:
+            parts.append(str(set_op))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(str(o) for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+
+@dataclass
+class ColumnDef(Node):
+    name: str
+    sql_type: SQLType
+    primary_key: bool = False
+    not_null: bool = False
+
+    def __str__(self) -> str:
+        out = f"{self.name} {self.sql_type.value}"
+        if self.primary_key:
+            out += " PRIMARY KEY"
+        if self.not_null:
+            out += " NOT NULL"
+        return out
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: List[ColumnDef]
+    if_not_exists: bool = False
+
+    def __str__(self) -> str:
+        ine = "IF NOT EXISTS " if self.if_not_exists else ""
+        cols = ", ".join(str(c) for c in self.columns)
+        return f"CREATE TABLE {ine}{self.name} ({cols})"
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+    def __str__(self) -> str:
+        ie = "IF EXISTS " if self.if_exists else ""
+        return f"DROP TABLE {ie}{self.name}"
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: Optional[List[str]] = None
+    rows: Optional[List[List[Expr]]] = None
+    select: Optional[Select] = None
+
+    def __str__(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        if self.select is not None:
+            return f"INSERT INTO {self.table}{cols} {self.select}"
+        assert self.rows is not None
+        rows_sql = ", ".join("(" + ", ".join(str(v) for v in row) + ")" for row in self.rows)
+        return f"INSERT INTO {self.table}{cols} VALUES {rows_sql}"
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: List[Tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        sets = ", ".join(f"{c} = {e}" for c, e in self.assignments)
+        where_sql = f" WHERE {self.where}" if self.where is not None else ""
+        return f"UPDATE {self.table} SET {sets}{where_sql}"
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        where_sql = f" WHERE {self.where}" if self.where is not None else ""
+        return f"DELETE FROM {self.table}{where_sql}"
+
+
+@dataclass
+class Begin(Statement):
+    def __str__(self) -> str:
+        return "BEGIN"
+
+
+@dataclass
+class Commit(Statement):
+    def __str__(self) -> str:
+        return "COMMIT"
+
+
+@dataclass
+class Rollback(Statement):
+    def __str__(self) -> str:
+        return "ROLLBACK"
+
+
+def walk_expr(expr: Expr) -> Sequence[Expr]:
+    """Yield ``expr`` and all sub-expressions (not descending into subquery
+    SELECT bodies — those are separate scopes)."""
+    out: List[Expr] = []
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, Unary):
+            stack.append(node.operand)
+        elif isinstance(node, Binary):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, FuncCall):
+            stack.extend(node.args)
+        elif isinstance(node, InList):
+            stack.append(node.operand)
+            stack.extend(node.items)
+        elif isinstance(node, InSelect):
+            stack.append(node.operand)
+        elif isinstance(node, Between):
+            stack.extend((node.operand, node.low, node.high))
+        elif isinstance(node, Like):
+            stack.extend((node.operand, node.pattern))
+        elif isinstance(node, IsNull):
+            stack.append(node.operand)
+        elif isinstance(node, CaseWhen):
+            for cond, result in node.whens:
+                stack.extend((cond, result))
+            if node.default is not None:
+                stack.append(node.default)
+    return out
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when ``expr`` contains an aggregate function call."""
+    aggregates = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+    return any(isinstance(n, FuncCall) and n.name in aggregates for n in walk_expr(expr))

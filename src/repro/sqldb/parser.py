@@ -1,0 +1,557 @@
+"""Recursive-descent SQL parser producing :mod:`repro.sqldb.ast_nodes` trees."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SQLSyntaxError
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.tokens import Token, TokenType, tokenize
+from repro.sqldb.types import SQLType
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class _Parser:
+    """Stateful cursor over a token list; one instance per parse call."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def check_keyword(self, *names: str) -> bool:
+        return self.current.is_keyword(*names)
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.check_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, name: str) -> Token:
+        if not self.check_keyword(name):
+            raise SQLSyntaxError(f"expected {name} at position {self.current.pos} in: {self.sql!r}")
+        return self.advance()
+
+    def accept_punct(self, char: str) -> bool:
+        if self.current.type is TokenType.PUNCT and self.current.value == char:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            raise SQLSyntaxError(f"expected {char!r} at position {self.current.pos} in: {self.sql!r}")
+
+    def accept_operator(self, *ops: str) -> Optional[str]:
+        if self.current.type is TokenType.OPERATOR and self.current.value in ops:
+            return self.advance().value  # type: ignore[return-value]
+        return None
+
+    def expect_ident(self) -> str:
+        if self.current.type is TokenType.IDENT:
+            return self.advance().value  # type: ignore[return-value]
+        # Allow non-reserved use of a few keywords as identifiers is avoided:
+        # keep the grammar strict for predictable errors.
+        raise SQLSyntaxError(
+            f"expected identifier, got {self.current.text!r} at position {self.current.pos}"
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statements(self) -> List[ast.Statement]:
+        statements: List[ast.Statement] = []
+        while self.current.type is not TokenType.EOF:
+            if self.accept_punct(";"):
+                continue  # empty statement (leading/duplicate separators)
+            statements.append(self.parse_statement())
+            while self.accept_punct(";"):
+                pass
+        return statements
+
+    def parse_statement(self) -> ast.Statement:
+        if self.check_keyword("SELECT"):
+            return self.parse_select()
+        if self.check_keyword("INSERT"):
+            return self.parse_insert()
+        if self.check_keyword("UPDATE"):
+            return self.parse_update()
+        if self.check_keyword("DELETE"):
+            return self.parse_delete()
+        if self.check_keyword("CREATE"):
+            return self.parse_create()
+        if self.check_keyword("DROP"):
+            return self.parse_drop()
+        if self.accept_keyword("BEGIN"):
+            self.accept_keyword("TRANSACTION")
+            return ast.Begin()
+        if self.accept_keyword("COMMIT"):
+            self.accept_keyword("TRANSACTION")
+            return ast.Commit()
+        if self.accept_keyword("ROLLBACK"):
+            self.accept_keyword("TRANSACTION")
+            return ast.Rollback()
+        raise SQLSyntaxError(f"unexpected token {self.current.text!r} at start of statement")
+
+    def parse_select(self, as_set_operand: bool = False) -> ast.Select:
+        """Parse a SELECT. When ``as_set_operand`` is set, stop before
+        UNION/INTERSECT/EXCEPT, ORDER BY and LIMIT so those clauses bind to
+        the outermost compound query (standard SQL scoping)."""
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self.accept_keyword("ALL")
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+
+        source: Optional[ast.TableRef] = None
+        if self.accept_keyword("FROM"):
+            source = self.parse_table_ref()
+
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+
+        group_by: List[ast.Expr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+
+        having = self.parse_expr() if self.accept_keyword("HAVING") else None
+
+        set_ops: List[ast.SetOp] = []
+        while not as_set_operand and self.check_keyword("UNION", "INTERSECT", "EXCEPT"):
+            op = self.advance().text
+            is_all = self.accept_keyword("ALL")
+            set_ops.append(ast.SetOp(op=op, all=is_all, select=self.parse_select(as_set_operand=True)))
+
+        if as_set_operand:
+            return ast.Select(
+                items=items,
+                source=source,
+                where=where,
+                group_by=group_by,
+                having=having,
+                distinct=distinct,
+            )
+
+        order_by: List[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self._expect_int("LIMIT")
+            if self.accept_keyword("OFFSET"):
+                offset = self._expect_int("OFFSET")
+        elif self.accept_keyword("OFFSET"):
+            offset = self._expect_int("OFFSET")
+
+        return ast.Select(
+            items=items,
+            source=source,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+            set_ops=set_ops,
+        )
+
+    def _expect_int(self, clause: str) -> int:
+        token = self.current
+        if token.type is TokenType.NUMBER and isinstance(token.value, int):
+            self.advance()
+            return token.value
+        raise SQLSyntaxError(f"{clause} expects an integer literal, got {token.text!r}")
+
+    def parse_select_item(self) -> ast.SelectItem:
+        if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+            self.advance()
+            return ast.SelectItem(expr=ast.Star())
+        expr = self.parse_expr()
+        # Rewrite `t . *` parsed ambiguity: handled in parse_primary via Star.
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value  # type: ignore[assignment]
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr=expr, descending=descending)
+
+    # -- FROM clause ---------------------------------------------------------
+
+    def parse_table_ref(self) -> ast.TableRef:
+        left = self.parse_table_primary()
+        while True:
+            if self.accept_punct(","):
+                right = self.parse_table_primary()
+                left = ast.Join(left=left, right=right, kind="CROSS")
+                continue
+            if self.check_keyword("CROSS"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                right = self.parse_table_primary()
+                left = ast.Join(left=left, right=right, kind="CROSS")
+                continue
+            kind = None
+            if self.check_keyword("JOIN"):
+                kind = "INNER"
+                self.advance()
+            elif self.check_keyword("INNER"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                kind = "INNER"
+            elif self.check_keyword("LEFT"):
+                self.advance()
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                kind = "LEFT"
+            if kind is None:
+                return left
+            right = self.parse_table_primary()
+            on = None
+            if self.accept_keyword("ON"):
+                on = self.parse_expr()
+            left = ast.Join(left=left, right=right, kind=kind, on=on)
+
+    def parse_table_primary(self) -> ast.TableRef:
+        if self.accept_punct("("):
+            if self.check_keyword("SELECT"):
+                select = self.parse_select()
+                self.expect_punct(")")
+                alias = self._parse_alias(required=True)
+                assert alias is not None
+                return ast.SubquerySource(select=select, alias=alias)
+            ref = self.parse_table_ref()
+            self.expect_punct(")")
+            return ref
+        name = self.expect_ident()
+        alias = self._parse_alias(required=False)
+        return ast.TableName(name=name, alias=alias)
+
+    def _parse_alias(self, required: bool) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            return self.expect_ident()
+        if self.current.type is TokenType.IDENT:
+            return self.advance().value  # type: ignore[return-value]
+        if required:
+            raise SQLSyntaxError(f"derived table requires an alias at position {self.current.pos}")
+        return None
+
+    # -- expressions (precedence climbing) ------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.Binary(op="OR", left=left, right=self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.Binary(op="AND", left=left, right=self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.Unary(op="NOT", operand=self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> ast.Expr:
+        left = self.parse_additive()
+        negated = False
+        if self.check_keyword("NOT"):
+            # Lookahead: NOT IN / NOT LIKE / NOT BETWEEN.
+            nxt = self.tokens[self.pos + 1]
+            if nxt.is_keyword("IN", "LIKE", "BETWEEN"):
+                self.advance()
+                negated = True
+        if self.accept_keyword("IN"):
+            return self._parse_in(left, negated)
+        if self.accept_keyword("LIKE"):
+            return ast.Like(operand=left, pattern=self.parse_additive(), negated=negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return ast.Between(operand=left, low=low, high=high, negated=negated)
+        if self.accept_keyword("IS"):
+            is_negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(operand=left, negated=is_negated)
+        op = self.accept_operator("=", "<>", "!=", "<", "<=", ">", ">=")
+        if op is not None:
+            if op == "!=":
+                op = "<>"
+            return ast.Binary(op=op, left=left, right=self.parse_additive())
+        return left
+
+    def _parse_in(self, left: ast.Expr, negated: bool) -> ast.Expr:
+        self.expect_punct("(")
+        if self.check_keyword("SELECT"):
+            select = self.parse_select()
+            self.expect_punct(")")
+            return ast.InSelect(operand=left, select=select, negated=negated)
+        items = [self.parse_expr()]
+        while self.accept_punct(","):
+            items.append(self.parse_expr())
+        self.expect_punct(")")
+        return ast.InList(operand=left, items=items, negated=negated)
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while True:
+            op = self.accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = ast.Binary(op=op, left=left, right=self.parse_multiplicative())
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            op = self.accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.Binary(op=op, left=left, right=self.parse_unary())
+
+    def parse_unary(self) -> ast.Expr:
+        op = self.accept_operator("-", "+")
+        if op is not None:
+            return ast.Unary(op=op, operand=self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("CASE"):
+            return self.parse_case()
+        if token.is_keyword("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            select = self.parse_select()
+            self.expect_punct(")")
+            return ast.Exists(select=select)
+        if token.is_keyword("CAST"):
+            self.advance()
+            self.expect_punct("(")
+            inner = self.parse_expr()
+            self.expect_keyword("AS")
+            type_name = self.expect_ident()
+            self.expect_punct(")")
+            return ast.FuncCall(name=f"CAST_{SQLType.from_name(type_name).value}", args=[inner])
+        if self.accept_punct("("):
+            if self.check_keyword("SELECT"):
+                select = self.parse_select()
+                self.expect_punct(")")
+                return ast.ScalarSubquery(select=select)
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            name = self.advance().value
+            assert isinstance(name, str)
+            # Function call.
+            if self.accept_punct("("):
+                return self._parse_func_call(name)
+            # Qualified reference: t.col or t.*
+            if self.accept_punct("."):
+                if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+                    self.advance()
+                    return ast.Star(table=name)
+                column = self.expect_ident()
+                return ast.ColumnRef(name=column, table=name)
+            return ast.ColumnRef(name=name)
+        raise SQLSyntaxError(f"unexpected token {token.text!r} at position {token.pos}")
+
+    def _parse_func_call(self, name: str) -> ast.Expr:
+        upper = name.upper()
+        distinct = False
+        args: List[ast.Expr] = []
+        if self.accept_punct(")"):
+            return ast.FuncCall(name=upper, args=args)
+        if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+            self.advance()
+            self.expect_punct(")")
+            return ast.FuncCall(name=upper, args=[ast.Star()])
+        if self.accept_keyword("DISTINCT"):
+            distinct = True
+        args.append(self.parse_expr())
+        while self.accept_punct(","):
+            args.append(self.parse_expr())
+        self.expect_punct(")")
+        return ast.FuncCall(name=upper, args=args, distinct=distinct)
+
+    def parse_case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        whens: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_expr()
+            self.expect_keyword("THEN")
+            whens.append((cond, self.parse_expr()))
+        if not whens:
+            raise SQLSyntaxError("CASE requires at least one WHEN branch")
+        default = self.parse_expr() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        return ast.CaseWhen(whens=whens, default=default)
+
+    # -- DML / DDL -------------------------------------------------------------
+
+    def parse_insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: Optional[List[str]] = None
+        if self.accept_punct("("):
+            columns = [self.expect_ident()]
+            while self.accept_punct(","):
+                columns.append(self.expect_ident())
+            self.expect_punct(")")
+        if self.check_keyword("SELECT"):
+            return ast.Insert(table=table, columns=columns, select=self.parse_select())
+        self.expect_keyword("VALUES")
+        rows: List[List[ast.Expr]] = [self._parse_value_row()]
+        while self.accept_punct(","):
+            rows.append(self._parse_value_row())
+        return ast.Insert(table=table, columns=columns, rows=rows)
+
+    def _parse_value_row(self) -> List[ast.Expr]:
+        self.expect_punct("(")
+        row = [self.parse_expr()]
+        while self.accept_punct(","):
+            row.append(self.parse_expr())
+        self.expect_punct(")")
+        return row
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, ast.Expr]] = []
+        while True:
+            column = self.expect_ident()
+            if self.accept_operator("=") is None:
+                raise SQLSyntaxError(f"expected '=' in SET clause at position {self.current.pos}")
+            assignments.append((column, self.parse_expr()))
+            if not self.accept_punct(","):
+                break
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table=table, where=where)
+
+    def parse_create(self) -> ast.CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            # EXISTS is a keyword token.
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self._parse_column_def()]
+        while self.accept_punct(","):
+            columns.append(self._parse_column_def())
+        self.expect_punct(")")
+        return ast.CreateTable(name=name, columns=columns, if_not_exists=if_not_exists)
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self.expect_ident()
+        type_name = self.expect_ident()
+        sql_type = SQLType.from_name(type_name)
+        primary_key = not_null = False
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = True
+                continue
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                not_null = True
+                continue
+            break
+        return ast.ColumnDef(name=name, sql_type=sql_type, primary_key=primary_key, not_null=not_null)
+
+    def parse_drop(self) -> ast.DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(name=self.expect_ident(), if_exists=if_exists)
+
+
+def parse_sql(sql: str) -> List[ast.Statement]:
+    """Parse a semicolon-separated script into a list of statements."""
+    return _Parser(sql).parse_statements()
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse exactly one statement; raises if the text holds zero or many."""
+    statements = parse_sql(sql)
+    if len(statements) != 1:
+        raise SQLSyntaxError(f"expected exactly one statement, got {len(statements)}")
+    return statements[0]
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone expression (used by transformation synthesis)."""
+    parser = _Parser(sql)
+    expr = parser.parse_expr()
+    if parser.current.type is not TokenType.EOF:
+        raise SQLSyntaxError(f"trailing input after expression: {parser.current.text!r}")
+    return expr

@@ -1,0 +1,143 @@
+"""SQL lexer: turns SQL text into a token stream for the parser."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS DISTINCT ALL
+    JOIN INNER LEFT RIGHT OUTER CROSS ON AND OR NOT IN EXISTS BETWEEN LIKE
+    IS NULL TRUE FALSE UNION INTERSECT EXCEPT ASC DESC
+    INSERT INTO VALUES UPDATE SET DELETE CREATE TABLE DROP IF PRIMARY KEY
+    BEGIN COMMIT ROLLBACK TRANSACTION CASE WHEN THEN ELSE END CAST
+    """.split()
+)
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: object
+    text: str
+    pos: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text in names
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),.;"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``; raises :class:`SQLSyntaxError` on invalid input."""
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # Line comment.
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        # String literal with '' escape.
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError(f"unterminated string literal at {i}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            yield Token(TokenType.STRING, "".join(parts), sql[i : j + 1], i)
+            i = j + 1
+            continue
+        # Quoted identifier.
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j == -1:
+                raise SQLSyntaxError(f"unterminated quoted identifier at {i}")
+            yield Token(TokenType.IDENT, sql[i + 1 : j], sql[i : j + 1], i)
+            i = j + 1
+            continue
+        # Number literal.
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    seen_dot = True
+                j += 1
+            # Scientific notation.
+            if j < n and sql[j] in "eE":
+                k = j + 1
+                if k < n and sql[k] in "+-":
+                    k += 1
+                if k < n and sql[k].isdigit():
+                    seen_dot = True
+                    j = k
+                    while j < n and sql[j].isdigit():
+                        j += 1
+            text = sql[i:j]
+            value: object = float(text) if seen_dot else int(text)
+            yield Token(TokenType.NUMBER, value, text, i)
+            i = j
+            continue
+        # Identifier or keyword.
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            text = sql[i:j]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, upper, i)
+            else:
+                yield Token(TokenType.IDENT, text, text, i)
+            i = j
+            continue
+        # Multi-char then single-char operators.
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                yield Token(TokenType.OPERATOR, op, op, i)
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            yield Token(TokenType.PUNCT, ch, ch, i)
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    yield Token(TokenType.EOF, None, "", n)

@@ -1,0 +1,127 @@
+"""SQL value types and coercion rules for the relational engine.
+
+Values are represented with plain Python objects: ``int``, ``float``, ``str``,
+``bool`` and ``None`` (SQL NULL). This module centralizes the typing rules so
+that the parser, evaluator and catalog agree on them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import SQLTypeError
+
+
+class SQLType(enum.Enum):
+    """Column types supported by :mod:`repro.sqldb`."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SQLType":
+        """Resolve a type name as written in SQL (case-insensitive, with
+        common synonyms such as ``INT``, ``FLOAT``, ``VARCHAR``, ``BOOL``)."""
+        upper = name.strip().upper()
+        synonyms = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "NUMERIC": cls.REAL,
+            "DECIMAL": cls.REAL,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        # Strip a parenthesized length, e.g. VARCHAR(255).
+        if "(" in upper:
+            upper = upper.split("(", 1)[0].strip()
+        if upper not in synonyms:
+            raise SQLTypeError(f"unknown column type: {name!r}")
+        return synonyms[upper]
+
+
+def coerce(value: object, sql_type: SQLType) -> Optional[object]:
+    """Coerce a Python value to the storage representation of ``sql_type``.
+
+    NULL (None) passes through unchanged. Raises :class:`SQLTypeError` when
+    the value cannot be represented losslessly enough for the engine's needs.
+    """
+    if value is None:
+        return None
+    try:
+        if sql_type is SQLType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            if isinstance(value, str):
+                return int(value)
+        elif sql_type is SQLType.REAL:
+            if isinstance(value, bool):
+                return float(value)
+            if isinstance(value, (int, float)):
+                return float(value)
+            if isinstance(value, str):
+                return float(value)
+        elif sql_type is SQLType.TEXT:
+            if isinstance(value, str):
+                return value
+            if isinstance(value, bool):
+                return "TRUE" if value else "FALSE"
+            if isinstance(value, (int, float)):
+                return str(value)
+        elif sql_type is SQLType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, int):
+                return bool(value)
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "t", "1"):
+                    return True
+                if lowered in ("false", "f", "0"):
+                    return False
+    except (TypeError, ValueError) as exc:
+        raise SQLTypeError(f"cannot coerce {value!r} to {sql_type.value}") from exc
+    raise SQLTypeError(f"cannot coerce {value!r} to {sql_type.value}")
+
+
+def infer_type(value: object) -> SQLType:
+    """Infer the SQL type of a Python literal (bool before int: bool is int)."""
+    if isinstance(value, bool):
+        return SQLType.BOOLEAN
+    if isinstance(value, int):
+        return SQLType.INTEGER
+    if isinstance(value, float):
+        return SQLType.REAL
+    if isinstance(value, str):
+        return SQLType.TEXT
+    raise SQLTypeError(f"unsupported literal type: {type(value).__name__}")
+
+
+def sort_key(value: object) -> tuple:
+    """Total-order sort key across heterogeneous SQL values.
+
+    NULLs sort first, then booleans, numbers, and text — a fixed convention
+    so that ORDER BY is deterministic even on mixed columns.
+    """
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, float(value))
+    return (3, str(value))

@@ -1,0 +1,48 @@
+"""repro.tablekit — grid tables and restructuring operators.
+
+The paper's "Transformation for Tables" application (Section II-B2, Fig 4)
+relies on a vocabulary of table-restructuring operators (transpose, pivot,
+explode, ...; the Auto-Tables operator set of ref [30]). This substrate
+provides:
+
+* :class:`Grid` — a rectangular cell grid (what a spreadsheet looks like
+  before it is relational);
+* the operator vocabulary (:mod:`repro.tablekit.ops`);
+* :func:`synthesize_program` — search for the operator sequence that
+  relationalizes a grid (:mod:`repro.tablekit.synthesis`).
+
+Both the simulated LLM's codegen engine and the
+:mod:`repro.apps.transform.tables` application call into this module, so the
+"LLM generates the operator sequence" story and the direct API agree.
+"""
+
+from repro.tablekit.grid import Grid
+from repro.tablekit.ops import (
+    OPERATORS,
+    DeleteEmptyColumns,
+    DeleteEmptyRows,
+    FillDown,
+    Operator,
+    PromoteHeader,
+    Transpose,
+    Unpivot,
+    apply_program,
+    parse_program,
+)
+from repro.tablekit.synthesis import relational_score, synthesize_program
+
+__all__ = [
+    "DeleteEmptyColumns",
+    "DeleteEmptyRows",
+    "FillDown",
+    "Grid",
+    "OPERATORS",
+    "Operator",
+    "PromoteHeader",
+    "Transpose",
+    "Unpivot",
+    "apply_program",
+    "parse_program",
+    "relational_score",
+    "synthesize_program",
+]

@@ -1,0 +1,126 @@
+"""Grid: a rectangular cell matrix, the raw form of spreadsheet tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class Grid:
+    """An immutable-ish rectangular grid of cells (None = empty cell).
+
+    A grid may or may not have a designated header row; relationalization
+    (``PromoteHeader``) establishes one. Cells are arbitrary scalars.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[Sequence[object]],
+        header: Optional[List[str]] = None,
+    ) -> None:
+        rows = [list(row) for row in cells]
+        width = max((len(r) for r in rows), default=0)
+        for row in rows:
+            row.extend([None] * (width - len(row)))
+        self.cells: List[List[object]] = rows
+        self.header = list(header) if header is not None else None
+        if self.header is not None and len(self.header) != width and width != 0:
+            raise ValueError(
+                f"header width {len(self.header)} != grid width {width}"
+            )
+
+    # -- shape ----------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.cells[0]) if self.cells else (len(self.header) if self.header else 0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Grid):
+            return NotImplemented
+        return self.cells == other.cells and self.header == other.header
+
+    def __repr__(self) -> str:
+        return f"Grid({self.n_rows}x{self.n_cols}, header={self.header is not None})"
+
+    # -- accessors --------------------------------------------------------
+
+    def row(self, i: int) -> List[object]:
+        return list(self.cells[i])
+
+    def column(self, j: int) -> List[object]:
+        return [row[j] for row in self.cells]
+
+    def copy(self) -> "Grid":
+        return Grid([list(r) for r in self.cells], header=list(self.header) if self.header else None)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """Pipe-separated rendering (matches the LLM engines' table format)."""
+        lines = []
+        if self.header is not None:
+            lines.append(" | ".join(str(h) for h in self.header))
+        for row in self.cells:
+            lines.append(" | ".join("" if c is None else str(c) for c in row))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_render(cls, text: str, has_header: bool = True) -> "Grid":
+        lines = [ln for ln in text.strip().splitlines() if ln.strip()]
+        if not lines:
+            return cls([], header=[] if has_header else None)
+        parsed = [[c.strip() or None for c in ln.split("|")] for ln in lines]
+        if has_header:
+            header = [str(h) for h in parsed[0]]
+            return cls(parsed[1:], header=header)
+        return cls(parsed)
+
+    def to_records(self) -> List[dict]:
+        """Rows as dicts (requires a header)."""
+        if self.header is None:
+            raise ValueError("grid has no header; apply PromoteHeader first")
+        return [dict(zip(self.header, row)) for row in self.cells]
+
+
+def cell_f1(predicted: Grid, gold: Grid) -> float:
+    """Cell-level F1 between two grids (bag-of-cells with coordinates).
+
+    The metric used by the Fig 4 transformation bench: a predicted cell
+    counts as correct when the same (header, value) pair appears in the gold
+    table (coordinates ignored so row order does not matter).
+    """
+
+    def bag(grid: Grid) -> List[Tuple[object, object]]:
+        if grid.header is not None:
+            return [
+                (str(h), "" if c is None else str(c))
+                for row in grid.cells
+                for h, c in zip(grid.header, row)
+            ]
+        return [
+            (j, "" if c is None else str(c))
+            for row in grid.cells
+            for j, c in enumerate(row)
+        ]
+
+    predicted_bag = bag(predicted)
+    gold_bag = bag(gold)
+    if not predicted_bag and not gold_bag:
+        return 1.0
+    if not predicted_bag or not gold_bag:
+        return 0.0
+    gold_remaining = list(gold_bag)
+    hits = 0
+    for cell in predicted_bag:
+        if cell in gold_remaining:
+            gold_remaining.remove(cell)
+            hits += 1
+    precision = hits / len(predicted_bag)
+    recall = hits / len(gold_bag)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

@@ -1,0 +1,203 @@
+"""Table-restructuring operators (the Auto-Tables-style vocabulary).
+
+Each operator transforms a :class:`~repro.tablekit.grid.Grid`. Programs are
+sequences of operators; :func:`parse_program` reads the textual form the LLM
+codegen engine emits (e.g. ``promote_header; unpivot(1)``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Type
+
+from repro.errors import TransformError
+from repro.tablekit.grid import Grid
+
+
+class Operator:
+    """Base class; subclasses implement :meth:`apply` and define ``name``."""
+
+    name = "op"
+
+    def apply(self, grid: Grid) -> Grid:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Operator) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+class Transpose(Operator):
+    """Swap rows and columns (drops any header)."""
+
+    name = "transpose"
+
+    def apply(self, grid: Grid) -> Grid:
+        cells = grid.cells
+        if grid.header is not None:
+            cells = [list(grid.header)] + cells
+        transposed = [list(col) for col in zip(*cells)] if cells else []
+        return Grid(transposed)
+
+
+class PromoteHeader(Operator):
+    """Use the first data row as the header row."""
+
+    name = "promote_header"
+
+    def apply(self, grid: Grid) -> Grid:
+        if grid.header is not None:
+            raise TransformError("grid already has a header")
+        if grid.n_rows == 0:
+            raise TransformError("cannot promote header of an empty grid")
+        header = ["" if c is None else str(c) for c in grid.cells[0]]
+        if any(not h for h in header):
+            raise TransformError("header row contains empty cells")
+        return Grid(grid.cells[1:], header=header)
+
+
+class DeleteEmptyRows(Operator):
+    """Remove rows whose cells are all empty."""
+
+    name = "delete_empty_rows"
+
+    def apply(self, grid: Grid) -> Grid:
+        rows = [r for r in grid.cells if any(c not in (None, "") for c in r)]
+        return Grid(rows, header=grid.header)
+
+
+class DeleteEmptyColumns(Operator):
+    """Remove columns whose cells are all empty (headers kept in sync)."""
+
+    name = "delete_empty_cols"
+
+    def apply(self, grid: Grid) -> Grid:
+        if grid.n_cols == 0:
+            return grid.copy()
+        keep = [
+            j
+            for j in range(grid.n_cols)
+            if any(row[j] not in (None, "") for row in grid.cells)
+            or (grid.header is not None and j < len(grid.header) and grid.header[j])
+        ]
+        cells = [[row[j] for j in keep] for row in grid.cells]
+        header = [grid.header[j] for j in keep] if grid.header is not None else None
+        return Grid(cells, header=header)
+
+
+class FillDown(Operator):
+    """Fill empty cells with the value above (un-merges grouped cells)."""
+
+    name = "fill_down"
+
+    def apply(self, grid: Grid) -> Grid:
+        cells = [list(r) for r in grid.cells]
+        for j in range(grid.n_cols):
+            last: object = None
+            for i in range(len(cells)):
+                if cells[i][j] in (None, ""):
+                    cells[i][j] = last
+                else:
+                    last = cells[i][j]
+        return Grid(cells, header=grid.header)
+
+
+class Unpivot(Operator):
+    """Wide → long: keep the first ``n_id`` columns as ids, melt the rest
+    into (variable, value) pairs."""
+
+    name = "unpivot"
+
+    def __init__(self, n_id: int = 1) -> None:
+        if n_id < 1:
+            raise TransformError("unpivot requires at least one id column")
+        self.n_id = n_id
+
+    def __str__(self) -> str:
+        return f"unpivot({self.n_id})"
+
+    def apply(self, grid: Grid) -> Grid:
+        if grid.header is None:
+            raise TransformError("unpivot requires a header")
+        if grid.n_cols <= self.n_id:
+            raise TransformError("nothing to unpivot")
+        id_names = grid.header[: self.n_id]
+        var_names = grid.header[self.n_id :]
+        rows: List[List[object]] = []
+        for row in grid.cells:
+            ids = row[: self.n_id]
+            for name, value in zip(var_names, row[self.n_id :]):
+                if value in (None, ""):
+                    continue
+                rows.append(list(ids) + [name, value])
+        return Grid(rows, header=id_names + ["variable", "value"])
+
+
+class Pivot(Operator):
+    """Long → wide: spread (variable, value) pairs back into columns."""
+
+    name = "pivot"
+
+    def apply(self, grid: Grid) -> Grid:
+        if grid.header is None or grid.n_cols < 3:
+            raise TransformError("pivot requires a header and >= 3 columns")
+        id_names = grid.header[:-2]
+        variables: List[str] = []
+        groups: Dict[tuple, Dict[str, object]] = {}
+        order: List[tuple] = []
+        for row in grid.cells:
+            key = tuple(row[: len(id_names)])
+            variable = str(row[-2])
+            value = row[-1]
+            if key not in groups:
+                groups[key] = {}
+                order.append(key)
+            groups[key][variable] = value
+            if variable not in variables:
+                variables.append(variable)
+        rows = [[*key, *(groups[key].get(v) for v in variables)] for key in order]
+        return Grid(rows, header=id_names + variables)
+
+
+OPERATORS: Dict[str, Type[Operator]] = {
+    Transpose.name: Transpose,
+    PromoteHeader.name: PromoteHeader,
+    DeleteEmptyRows.name: DeleteEmptyRows,
+    DeleteEmptyColumns.name: DeleteEmptyColumns,
+    FillDown.name: FillDown,
+    Unpivot.name: Unpivot,
+    Pivot.name: Pivot,
+}
+
+_CALL_RE = re.compile(r"^(\w+)(?:\((\d*)\))?$")
+
+
+def parse_program(text: str) -> List[Operator]:
+    """Parse ``"op1; op2(arg)"`` into operator instances."""
+    program: List[Operator] = []
+    for piece in text.split(";"):
+        piece = piece.strip()
+        if not piece:
+            continue
+        m = _CALL_RE.match(piece)
+        if m is None or m.group(1) not in OPERATORS:
+            raise TransformError(f"unknown operator: {piece!r}")
+        cls = OPERATORS[m.group(1)]
+        if m.group(2):
+            program.append(cls(int(m.group(2))))  # type: ignore[call-arg]
+        else:
+            program.append(cls())
+    return program
+
+
+def apply_program(grid: Grid, program: Sequence[Operator]) -> Grid:
+    """Apply a sequence of operators, raising on the first failure."""
+    current = grid
+    for op in program:
+        current = op.apply(current)
+    return current

@@ -1,0 +1,153 @@
+"""Operator-program synthesis: find the sequence that relationalizes a grid.
+
+A breadth-limited beam search over operator sequences, scored by
+:func:`relational_score` — a heuristic measure of "how relational" a grid
+looks (has a header, no empty cells, type-consistent columns, no obviously
+transposed shape). This is the algorithm behind both the LLM codegen
+engine's "generate the operator sequence" answers and the direct
+:mod:`repro.apps.transform.tables` API.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import TransformError
+from repro.tablekit.grid import Grid
+from repro.tablekit.ops import (
+    DeleteEmptyColumns,
+    DeleteEmptyRows,
+    FillDown,
+    Operator,
+    Pivot,
+    PromoteHeader,
+    Transpose,
+    Unpivot,
+    apply_program,
+)
+
+
+def _type_of(cell: object) -> str:
+    if cell in (None, ""):
+        return "empty"
+    text = str(cell)
+    try:
+        float(text)
+        return "number"
+    except ValueError:
+        return "text"
+
+
+def relational_score(grid: Grid) -> float:
+    """Score in [0, 1]: how much the grid looks like a relational table.
+
+    Components: has a header (0.3), non-empty cells (0.25), per-column type
+    consistency (0.3), more rows than columns — data tables are tall (0.15).
+    """
+    if grid.n_rows == 0 or grid.n_cols == 0:
+        return 0.0
+    score = 0.0
+    if grid.header is not None and all(grid.header):
+        score += 0.3
+    total_cells = grid.n_rows * grid.n_cols
+    filled = sum(1 for row in grid.cells for c in row if c not in (None, ""))
+    score += 0.25 * (filled / total_cells)
+    consistency = 0.0
+    for j in range(grid.n_cols):
+        types = [_type_of(row[j]) for row in grid.cells if row[j] not in (None, "")]
+        if not types:
+            continue
+        majority = max(set(types), key=types.count)
+        consistency += types.count(majority) / len(types)
+    score += 0.3 * (consistency / grid.n_cols)
+    if grid.n_rows >= grid.n_cols:
+        score += 0.15
+    return round(score, 6)
+
+
+def _candidate_ops(grid: Grid) -> List[Operator]:
+    """Operators plausibly applicable to the grid in its current state."""
+    ops: List[Operator] = []
+    if grid.header is None:
+        ops.append(PromoteHeader())
+        ops.append(Transpose())
+    ops.append(DeleteEmptyRows())
+    ops.append(DeleteEmptyColumns())
+    if any(c in (None, "") for row in grid.cells for c in row):
+        ops.append(FillDown())
+    if grid.header is not None and grid.n_cols >= 3:
+        for n_id in (1, 2):
+            if grid.n_cols > n_id:
+                ops.append(Unpivot(n_id))
+        ops.append(Pivot())
+    return ops
+
+
+def synthesize_program(
+    grid: Grid,
+    target: Optional[Grid] = None,
+    max_steps: int = 4,
+    beam_width: int = 6,
+) -> Tuple[List[Operator], Grid, float]:
+    """Search for an operator program that relationalizes ``grid``.
+
+    When ``target`` is provided, exact match with the target terminates the
+    search with score 1.0 (programming-by-example mode); otherwise the
+    heuristic :func:`relational_score` drives the beam.
+
+    Returns ``(program, result_grid, score)``.
+    """
+
+    def evaluate(candidate: Grid) -> float:
+        if target is not None:
+            return 1.0 if candidate == target else min(relational_score(candidate), 0.99)
+        return relational_score(candidate)
+
+    def state_key(candidate: Grid) -> str:
+        # The render of a promoted grid can equal the headerless render, so
+        # header presence must be part of the dedup key.
+        prefix = "H" if candidate.header is not None else "N"
+        return prefix + "\x00" + candidate.render()
+
+    start_score = evaluate(grid)
+    beam: List[Tuple[float, List[Operator], Grid]] = [(start_score, [], grid)]
+    best = beam[0]
+    seen = {state_key(grid)}
+
+    for _step in range(max_steps):
+        expansions: List[Tuple[float, List[Operator], Grid]] = []
+        for score, program, current in beam:
+            for op in _candidate_ops(current):
+                try:
+                    nxt = op.apply(current)
+                except TransformError:
+                    continue
+                key = state_key(nxt)
+                if key in seen:
+                    continue
+                seen.add(key)
+                nxt_score = evaluate(nxt)
+                expansions.append((nxt_score, program + [op], nxt))
+        if not expansions:
+            break
+        expansions.sort(key=lambda t: (-t[0], len(t[1])))
+        beam = expansions[:beam_width]
+        if beam[0][0] > best[0]:
+            best = beam[0]
+        if best[0] >= 1.0:
+            break
+
+    score, program, result = best
+    return program, result, score
+
+
+def program_to_text(program: Sequence[Operator]) -> str:
+    """Render a program in the textual form :func:`parse_program` accepts."""
+    return "; ".join(str(op) for op in program)
+
+
+def replay(grid: Grid, program_text: str) -> Grid:
+    """Parse and apply a textual program (LLM output path)."""
+    from repro.tablekit.ops import parse_program
+
+    return apply_program(grid, parse_program(program_text))

@@ -1,0 +1,49 @@
+"""Distance metrics for the vector database.
+
+All search APIs in :mod:`repro.vectordb` return *similarity scores* where
+larger is better, regardless of the underlying metric, so callers never need
+to branch on metric direction.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Metric(enum.Enum):
+    """Supported similarity metrics."""
+
+    COSINE = "cosine"
+    L2 = "l2"
+    DOT = "dot"
+
+
+def similarity_matrix(query: np.ndarray, vectors: np.ndarray, metric: Metric) -> np.ndarray:
+    """Similarity of ``query`` (dim,) against ``vectors`` (n, dim).
+
+    Returns an (n,) float64 array where larger means more similar.
+    L2 distances are negated so that the "larger is better" convention holds.
+    """
+    if vectors.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    query = query.astype(np.float64, copy=False)
+    vectors = vectors.astype(np.float64, copy=False)
+    if metric is Metric.COSINE:
+        qn = np.linalg.norm(query)
+        vn = np.linalg.norm(vectors, axis=1)
+        denom = qn * vn
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sims = np.where(denom > 0, vectors @ query / np.where(denom == 0, 1.0, denom), 0.0)
+        return sims
+    if metric is Metric.DOT:
+        return vectors @ query
+    # L2: negative distance.
+    diffs = vectors - query[None, :]
+    return -np.sqrt(np.sum(diffs * diffs, axis=1))
+
+
+def pairwise_similarity(a: np.ndarray, b: np.ndarray, metric: Metric) -> float:
+    """Similarity between two single vectors under ``metric``."""
+    return float(similarity_matrix(a, b[None, :], metric)[0])

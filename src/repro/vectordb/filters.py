@@ -1,0 +1,84 @@
+"""Attribute (metadata) filters for hybrid vector + attribute search.
+
+The paper (Section III-B2) highlights *attribute filtering* — combining
+vector similarity with structured predicates ("entity type = professor") —
+as a key challenge. :class:`MetadataFilter` is the predicate language used by
+:class:`repro.vectordb.Collection`.
+
+Filter specs are plain dictionaries:
+
+* ``{"kind": "text"}`` — equality;
+* ``{"year": {"gte": 2000, "lt": 2015}}`` — range operators
+  (``eq, ne, lt, lte, gt, gte``);
+* ``{"tag": {"in": ["a", "b"]}}`` — membership;
+* ``{"title": {"contains": "jordan"}}`` — case-insensitive substring.
+
+Multiple keys are AND-ed together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+_OPERATORS: Dict[str, Callable[[object, object], bool]] = {
+    "eq": lambda v, t: v == t,
+    "ne": lambda v, t: v != t,
+    "lt": lambda v, t: v is not None and v < t,          # type: ignore[operator]
+    "lte": lambda v, t: v is not None and v <= t,        # type: ignore[operator]
+    "gt": lambda v, t: v is not None and v > t,          # type: ignore[operator]
+    "gte": lambda v, t: v is not None and v >= t,        # type: ignore[operator]
+    "in": lambda v, t: v in t,                           # type: ignore[operator]
+    "contains": lambda v, t: isinstance(v, str) and str(t).lower() in v.lower(),
+}
+
+
+@dataclass(frozen=True)
+class _Condition:
+    field: str
+    op: str
+    target: object
+
+    def matches(self, metadata: Mapping[str, object]) -> bool:
+        """True when the condition holds for the metadata record."""
+        if self.field not in metadata:
+            return False
+        return _OPERATORS[self.op](metadata[self.field], self.target)
+
+
+class MetadataFilter:
+    """A compiled conjunction of attribute predicates."""
+
+    def __init__(self, spec: Optional[Mapping[str, object]] = None) -> None:
+        self.spec = dict(spec or {})
+        self._conditions: List[_Condition] = []
+        for field, value in self.spec.items():
+            if isinstance(value, Mapping):
+                for op, target in value.items():
+                    if op not in _OPERATORS:
+                        raise ValueError(f"unknown filter operator {op!r} for field {field!r}")
+                    self._conditions.append(_Condition(field=field, op=op, target=target))
+            else:
+                self._conditions.append(_Condition(field=field, op="eq", target=value))
+
+    def __bool__(self) -> bool:
+        return bool(self._conditions)
+
+    def __len__(self) -> int:
+        return len(self._conditions)
+
+    def matches(self, metadata: Optional[Mapping[str, object]]) -> bool:
+        """True when all conditions hold for ``metadata``."""
+        if metadata is None:
+            metadata = {}
+        return all(c.matches(metadata) for c in self._conditions)
+
+    def selectivity(self, metadatas: List[Optional[Mapping[str, object]]]) -> float:
+        """Fraction of the given metadata records that pass (1.0 when empty)."""
+        if not metadatas:
+            return 1.0
+        passed = sum(1 for m in metadatas if self.matches(m))
+        return passed / len(metadatas)
+
+    def __repr__(self) -> str:
+        return f"MetadataFilter({self.spec!r})"

@@ -1,0 +1,102 @@
+"""Exact brute-force vector index — the recall reference for ANN indexes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CollectionError, DimensionMismatchError
+from repro.vectordb.distance import Metric, similarity_matrix
+
+
+class FlatIndex:
+    """Stores vectors in a dense matrix; search is an exact linear scan.
+
+    Deletion is lazy (tombstones) with periodic compaction so that ids stay
+    stable for the :class:`~repro.vectordb.Collection` layer.
+    """
+
+    def __init__(self, dim: int, metric: Metric = Metric.COSINE) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.metric = metric
+        self._matrix = np.zeros((0, dim), dtype=np.float64)
+        self._ids: List[str] = []
+        self._live: Dict[str, int] = {}
+        self._tombstones = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, vector_id: str) -> bool:
+        return vector_id in self._live
+
+    def _check(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.dim:
+            raise DimensionMismatchError(
+                f"expected dim {self.dim}, got {vector.shape[0]}"
+            )
+        return vector
+
+    def add(self, vector_id: str, vector: np.ndarray) -> None:
+        """Insert one vector under a unique id."""
+        if vector_id in self._live:
+            raise CollectionError(f"duplicate vector id: {vector_id!r}")
+        vector = self._check(vector)
+        self._matrix = np.vstack([self._matrix, vector[None, :]])
+        self._ids.append(vector_id)
+        self._live[vector_id] = len(self._ids) - 1
+
+    def remove(self, vector_id: str) -> None:
+        """Delete a vector by id; raises on unknown ids."""
+        if vector_id not in self._live:
+            raise CollectionError(f"unknown vector id: {vector_id!r}")
+        del self._live[vector_id]
+        self._tombstones += 1
+        if self._tombstones > max(32, len(self._live)):
+            self._compact()
+
+    def _compact(self) -> None:
+        keep = sorted(self._live.items(), key=lambda kv: kv[1])
+        self._matrix = (
+            self._matrix[[idx for _i, idx in keep], :]
+            if keep
+            else np.zeros((0, self.dim), dtype=np.float64)
+        )
+        self._ids = [vid for vid, _idx in keep]
+        self._live = {vid: i for i, vid in enumerate(self._ids)}
+        self._tombstones = 0
+
+    def get(self, vector_id: str) -> np.ndarray:
+        """Return a copy of the stored vector."""
+        if vector_id not in self._live:
+            raise CollectionError(f"unknown vector id: {vector_id!r}")
+        return self._matrix[self._live[vector_id]].copy()
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed_ids: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[str, float]]:
+        """Top-k most similar live vectors; optionally restricted to
+        ``allowed_ids`` (the pre-filtered candidate set)."""
+        if k <= 0:
+            return []
+        query = self._check(query)
+        if allowed_ids is not None:
+            candidates = [(vid, self._live[vid]) for vid in allowed_ids if vid in self._live]
+        else:
+            candidates = list(self._live.items())
+        if not candidates:
+            return []
+        rows = np.array([idx for _vid, idx in candidates])
+        sims = similarity_matrix(query, self._matrix[rows], self.metric)
+        order = np.argsort(-sims, kind="stable")[:k]
+        return [(candidates[i][0], float(sims[i])) for i in order]
+
+    def items(self) -> List[Tuple[str, np.ndarray]]:
+        return [(vid, self._matrix[idx].copy()) for vid, idx in self._live.items()]

@@ -1,0 +1,204 @@
+"""A compact HNSW (hierarchical navigable small world) graph index.
+
+Implements the standard construction of Malkov & Yashunin: exponentially
+distributed layer assignment, greedy descent through upper layers, and a
+beam (``ef``) search at layer 0. Simplified relative to production HNSW:
+neighbor selection is by plain similarity (no heuristic pruning diversity
+step) and deletes rebuild lazily — sufficient for the recall/latency
+ablation the paper motivates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import CollectionError, DimensionMismatchError
+from repro.vectordb.distance import Metric, pairwise_similarity
+
+
+class HNSWIndex:
+    """Hierarchical NSW graph with similarity-ordered neighbor lists."""
+
+    def __init__(
+        self,
+        dim: int,
+        metric: Metric = Metric.COSINE,
+        m: int = 8,
+        ef_construction: int = 64,
+        ef_search: int = 32,
+        seed: int = 7,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.metric = metric
+        self.m = max(2, m)
+        self.ef_construction = max(self.m, ef_construction)
+        self.ef_search = max(1, ef_search)
+        self._rng = np.random.default_rng(seed)
+        self._level_mult = 1.0 / math.log(self.m)
+        self._vectors: Dict[str, np.ndarray] = {}
+        # graph[level][id] -> neighbor ids
+        self._graph: List[Dict[str, List[str]]] = []
+        self._levels: Dict[str, int] = {}
+        self._entry: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, vector_id: str) -> bool:
+        return vector_id in self._vectors
+
+    def _check(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.dim:
+            raise DimensionMismatchError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        return vector
+
+    def _sim(self, a_id: str, query: np.ndarray) -> float:
+        return pairwise_similarity(query, self._vectors[a_id], self.metric)
+
+    def _random_level(self) -> int:
+        u = float(self._rng.random())
+        u = max(u, 1e-12)
+        return int(-math.log(u) * self._level_mult)
+
+    # -- construction ----------------------------------------------------
+
+    def add(self, vector_id: str, vector: np.ndarray) -> None:
+        """Insert one vector under a unique id."""
+        if vector_id in self._vectors:
+            raise CollectionError(f"duplicate vector id: {vector_id!r}")
+        vector = self._check(vector)
+        level = self._random_level()
+        self._vectors[vector_id] = vector
+        self._levels[vector_id] = level
+        while len(self._graph) <= level:
+            self._graph.append({})
+        for lvl in range(level + 1):
+            self._graph[lvl][vector_id] = []
+
+        if self._entry is None:
+            self._entry = vector_id
+            return
+
+        entry = self._entry
+        top = self._levels[entry]
+        # Greedy descent above the new node's level.
+        for lvl in range(top, level, -1):
+            entry = self._greedy_step(vector, entry, lvl)
+        # Insert with beam search from its level down to 0.
+        for lvl in range(min(level, top), -1, -1):
+            candidates = self._search_layer(vector, [entry], lvl, self.ef_construction)
+            neighbors = [vid for vid, _s in candidates[: self.m]]
+            self._graph[lvl][vector_id] = list(neighbors)
+            for nbr in neighbors:
+                links = self._graph[lvl][nbr]
+                links.append(vector_id)
+                if len(links) > self.m * 2:
+                    links.sort(
+                        key=lambda other: -pairwise_similarity(
+                            self._vectors[nbr], self._vectors[other], self.metric
+                        )
+                    )
+                    del links[self.m * 2 :]
+            if candidates:
+                entry = candidates[0][0]
+        if level > self._levels[self._entry]:
+            self._entry = vector_id
+
+    def _greedy_step(self, query: np.ndarray, entry: str, level: int) -> str:
+        current = entry
+        current_sim = self._sim(current, query)
+        improved = True
+        while improved:
+            improved = False
+            for nbr in self._graph[level].get(current, []):
+                sim = self._sim(nbr, query)
+                if sim > current_sim:
+                    current, current_sim = nbr, sim
+                    improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, entries: List[str], level: int, ef: int
+    ) -> List[Tuple[str, float]]:
+        """Beam search in one layer; returns candidates sorted by similarity."""
+        visited: Set[str] = set(entries)
+        # Max-heap on similarity via negation.
+        candidates: List[Tuple[float, str]] = []
+        results: List[Tuple[float, str]] = []  # min-heap of (sim, id)
+        for e in entries:
+            sim = self._sim(e, query)
+            heapq.heappush(candidates, (-sim, e))
+            heapq.heappush(results, (sim, e))
+            if len(results) > ef:
+                heapq.heappop(results)
+        while candidates:
+            neg_sim, current = heapq.heappop(candidates)
+            worst = results[0][0] if results else -math.inf
+            if -neg_sim < worst and len(results) >= ef:
+                break
+            for nbr in self._graph[level].get(current, []):
+                if nbr in visited:
+                    continue
+                visited.add(nbr)
+                sim = self._sim(nbr, query)
+                if len(results) < ef or sim > results[0][0]:
+                    heapq.heappush(candidates, (-sim, nbr))
+                    heapq.heappush(results, (sim, nbr))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted(((vid, sim) for sim, vid in results), key=lambda t: -t[1])
+
+    # -- removal / lookup -------------------------------------------------
+
+    def remove(self, vector_id: str) -> None:
+        """Delete a vector by id; raises on unknown ids."""
+        if vector_id not in self._vectors:
+            raise CollectionError(f"unknown vector id: {vector_id!r}")
+        del self._vectors[vector_id]
+        level = self._levels.pop(vector_id)
+        for lvl in range(level + 1):
+            self._graph[lvl].pop(vector_id, None)
+        for layer in self._graph:
+            for links in layer.values():
+                if vector_id in links:
+                    links.remove(vector_id)
+        if self._entry == vector_id:
+            self._entry = max(self._levels, key=self._levels.get) if self._levels else None
+
+    def get(self, vector_id: str) -> np.ndarray:
+        """Return a copy of the stored vector."""
+        if vector_id not in self._vectors:
+            raise CollectionError(f"unknown vector id: {vector_id!r}")
+        return self._vectors[vector_id].copy()
+
+    # -- search -----------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed_ids: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[str, float]]:
+        """Top-k approximate search: greedy descent + layer-0 beam."""
+        if k <= 0 or self._entry is None:
+            return []
+        query = self._check(query)
+        entry = self._entry
+        for lvl in range(self._levels[entry], 0, -1):
+            entry = self._greedy_step(query, entry, lvl)
+        ef = max(self.ef_search, k)
+        hits = self._search_layer(query, [entry], 0, ef)
+        if allowed_ids is not None:
+            allowed = set(allowed_ids)
+            hits = [(vid, sim) for vid, sim in hits if vid in allowed]
+        return hits[:k]
+
+    def items(self) -> List[Tuple[str, np.ndarray]]:
+        return [(vid, vec.copy()) for vid, vec in self._vectors.items()]

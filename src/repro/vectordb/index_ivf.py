@@ -1,0 +1,161 @@
+"""IVF (inverted file) approximate index with a k-means coarse quantizer.
+
+Vectors are assigned to the nearest of ``nlist`` centroids; search probes the
+``nprobe`` closest lists. Trading ``nprobe`` against recall is one of the
+"knob tuning" opportunities the paper cites (Section III-B2, refs [72, 73]);
+the ablation bench sweeps it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CollectionError, DimensionMismatchError
+from repro.vectordb.distance import Metric, similarity_matrix
+
+
+def kmeans(
+    data: np.ndarray, n_clusters: int, rng: np.random.Generator, iterations: int = 12
+) -> np.ndarray:
+    """Plain Lloyd's k-means; returns (n_clusters, dim) centroids.
+
+    Deterministic given ``rng``. Empty clusters are re-seeded from the data.
+    """
+    n = data.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster an empty dataset")
+    n_clusters = min(n_clusters, n)
+    centroid_idx = rng.choice(n, size=n_clusters, replace=False)
+    centroids = data[centroid_idx].copy()
+    for _round in range(iterations):
+        # Assign.
+        dists = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assign = dists.argmin(axis=1)
+        # Update.
+        new_centroids = centroids.copy()
+        for c in range(n_clusters):
+            members = data[assign == c]
+            if len(members):
+                new_centroids[c] = members.mean(axis=0)
+            else:
+                new_centroids[c] = data[rng.integers(0, n)]
+        if np.allclose(new_centroids, centroids):
+            break
+        centroids = new_centroids
+    return centroids
+
+
+class IVFIndex:
+    """Inverted-file index. Train happens lazily on first search (or via
+    :meth:`train`) once enough vectors are present."""
+
+    def __init__(
+        self,
+        dim: int,
+        metric: Metric = Metric.COSINE,
+        nlist: int = 16,
+        nprobe: int = 4,
+        seed: int = 7,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.metric = metric
+        self.nlist = max(1, nlist)
+        self.nprobe = max(1, nprobe)
+        self._rng = np.random.default_rng(seed)
+        self._vectors: Dict[str, np.ndarray] = {}
+        self._centroids: Optional[np.ndarray] = None
+        self._lists: List[List[str]] = []
+        self._assignment: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __contains__(self, vector_id: str) -> bool:
+        return vector_id in self._vectors
+
+    def _check(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != self.dim:
+            raise DimensionMismatchError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        return vector
+
+    @property
+    def is_trained(self) -> bool:
+        return self._centroids is not None
+
+    def train(self) -> None:
+        """(Re)build the coarse quantizer from current vectors."""
+        if not self._vectors:
+            raise CollectionError("cannot train IVF index with no vectors")
+        data = np.stack(list(self._vectors.values()))
+        self._centroids = kmeans(data, self.nlist, self._rng)
+        self._lists = [[] for _ in range(len(self._centroids))]
+        self._assignment = {}
+        for vid, vec in self._vectors.items():
+            self._assign(vid, vec)
+
+    def _assign(self, vector_id: str, vector: np.ndarray) -> None:
+        assert self._centroids is not None
+        dists = ((self._centroids - vector[None, :]) ** 2).sum(axis=1)
+        cluster = int(dists.argmin())
+        self._lists[cluster].append(vector_id)
+        self._assignment[vector_id] = cluster
+
+    def add(self, vector_id: str, vector: np.ndarray) -> None:
+        """Insert one vector under a unique id."""
+        if vector_id in self._vectors:
+            raise CollectionError(f"duplicate vector id: {vector_id!r}")
+        vector = self._check(vector)
+        self._vectors[vector_id] = vector
+        if self._centroids is not None:
+            self._assign(vector_id, vector)
+
+    def remove(self, vector_id: str) -> None:
+        """Delete a vector by id; raises on unknown ids."""
+        if vector_id not in self._vectors:
+            raise CollectionError(f"unknown vector id: {vector_id!r}")
+        del self._vectors[vector_id]
+        cluster = self._assignment.pop(vector_id, None)
+        if cluster is not None:
+            self._lists[cluster].remove(vector_id)
+
+    def get(self, vector_id: str) -> np.ndarray:
+        """Return a copy of the stored vector."""
+        if vector_id not in self._vectors:
+            raise CollectionError(f"unknown vector id: {vector_id!r}")
+        return self._vectors[vector_id].copy()
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        allowed_ids: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[str, float]]:
+        """Top-k approximate search over the nprobe closest lists."""
+        if k <= 0 or not self._vectors:
+            return []
+        query = self._check(query)
+        if not self.is_trained:
+            self.train()
+        assert self._centroids is not None
+        centroid_d = ((self._centroids - query[None, :]) ** 2).sum(axis=1)
+        probe_order = np.argsort(centroid_d)[: self.nprobe]
+        candidate_ids: List[str] = []
+        allowed = set(allowed_ids) if allowed_ids is not None else None
+        for cluster in probe_order:
+            for vid in self._lists[int(cluster)]:
+                if allowed is None or vid in allowed:
+                    candidate_ids.append(vid)
+        if not candidate_ids:
+            return []
+        matrix = np.stack([self._vectors[vid] for vid in candidate_ids])
+        sims = similarity_matrix(query, matrix, self.metric)
+        order = np.argsort(-sims, kind="stable")[:k]
+        return [(candidate_ids[i], float(sims[i])) for i in order]
+
+    def items(self) -> List[Tuple[str, np.ndarray]]:
+        return [(vid, vec.copy()) for vid, vec in self._vectors.items()]

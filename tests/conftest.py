@@ -1,0 +1,62 @@
+"""Shared fixtures: expensive deterministic objects built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.spider import build_concert_db
+from repro.llm.client import LLMClient, default_world
+from repro.sqldb import Database
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The shared synthetic world (also the default client knowledge)."""
+    return default_world()
+
+
+@pytest.fixture(scope="session")
+def kb(world):
+    return world.kb
+
+
+@pytest.fixture()
+def gpt4():
+    """A fresh gpt-4-class client (strongest simulated model)."""
+    return LLMClient(model="gpt-4")
+
+
+@pytest.fixture()
+def gpt35():
+    return LLMClient(model="gpt-3.5-turbo")
+
+
+@pytest.fixture()
+def babbage():
+    return LLMClient(model="babbage-002")
+
+
+@pytest.fixture()
+def concert_db():
+    """A freshly built stadium/concert database (mutable per test)."""
+    return build_concert_db(seed=0)
+
+
+@pytest.fixture()
+def people_db():
+    """A small hand-built relational database for executor tests."""
+    db = Database()
+    db.execute(
+        """
+        CREATE TABLE person (id INTEGER PRIMARY KEY, name TEXT, age INTEGER, city TEXT);
+        CREATE TABLE orders (order_id INTEGER PRIMARY KEY, person_id INTEGER, amount REAL);
+        INSERT INTO person VALUES
+            (1, 'ada', 36, 'london'),
+            (2, 'bob', 29, 'paris'),
+            (3, 'cyd', 41, 'london'),
+            (4, 'dee', 29, NULL);
+        INSERT INTO orders VALUES
+            (10, 1, 25.0), (11, 1, 75.0), (12, 2, 10.0), (13, 3, 50.0);
+        """
+    )
+    return db

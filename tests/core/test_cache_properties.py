@@ -1,0 +1,68 @@
+"""Property-based tests for the semantic cache (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import EvictionPolicy, SemanticCache
+
+# Distinct-ish query texts: word tuples over a small vocabulary.
+_words = st.sampled_from(
+    ["stadium", "concert", "privacy", "cache", "query", "film", "director",
+     "patient", "table", "column", "vector", "index"]
+)
+query_strategy = st.lists(_words, min_size=2, max_size=6).map(" ".join)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    queries=st.lists(query_strategy, min_size=1, max_size=40),
+    capacity=st.integers(min_value=1, max_value=10),
+    policy=st.sampled_from(list(EvictionPolicy)),
+)
+def test_capacity_never_exceeded(queries, capacity, policy):
+    cache = SemanticCache(capacity=capacity, policy=policy)
+    for query in queries:
+        cache.lookup(query)
+        cache.put(query, "answer")
+    assert len(cache) <= capacity
+
+
+@settings(max_examples=30, deadline=None)
+@given(queries=st.lists(query_strategy, min_size=1, max_size=15, unique=True))
+def test_exact_requery_always_reuses(queries):
+    cache = SemanticCache(capacity=64)
+    for query in queries:
+        cache.put(query, f"answer for {query}")
+    for query in queries:
+        lookup = cache.lookup(query)
+        assert lookup.tier == "reuse"
+        assert lookup.entry.response == f"answer for {query}"
+
+
+@settings(max_examples=30, deadline=None)
+@given(queries=st.lists(query_strategy, min_size=1, max_size=20))
+def test_stats_accounting_consistent(queries):
+    cache = SemanticCache(capacity=64)
+    for query in queries:
+        lookup = cache.lookup(query)
+        if lookup.tier != "reuse":
+            cache.put(query, "a")
+    stats = cache.stats
+    assert stats.lookups == len(queries)
+    assert stats.reuse_hits + stats.augment_hits + stats.misses == stats.lookups
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    queries=st.lists(query_strategy, min_size=2, max_size=20, unique=True),
+    policy=st.sampled_from(list(EvictionPolicy)),
+)
+def test_eviction_deterministic(queries, policy):
+    def run():
+        cache = SemanticCache(capacity=3, policy=policy)
+        for query in queries:
+            cache.lookup(query)
+            cache.put(query, "a")
+        return sorted(cache.entries)
+
+    assert run() == run()

@@ -1,0 +1,190 @@
+"""Tests for the extension features: LRFU cache policy, drift monitoring,
+secure inference deployments, prompt composition, quality-sensitive ICL."""
+
+import pytest
+
+from repro.apps.transform.quality import DriftMonitor
+from repro.core.cache import EvictionPolicy, SemanticCache
+from repro.core.privacy.secure import (
+    Deployment,
+    SecureLLMClient,
+    compare_deployments,
+)
+from repro.core.prompts.store import PromptStore
+from repro.core.prompts.templates import qa_prompt
+from repro.llm import LLMClient
+
+
+class TestLRFUPolicy:
+    def _cache(self, lam):
+        return SemanticCache(capacity=2, policy=EvictionPolicy.LRFU, lrfu_lambda=lam)
+
+    def test_high_lambda_behaves_like_lru(self):
+        cache = self._cache(0.99)
+        cache.put("alpha alpha", "1")
+        cache.put("beta beta", "2")
+        # alpha was hit many times long ago; beta touched recently.
+        for _i in range(5):
+            cache.lookup("alpha alpha")
+        for _i in range(12):
+            cache.lookup("beta beta")
+        cache.put("gamma gamma", "3")
+        assert "beta beta" in cache  # recency dominates
+        assert "alpha alpha" not in cache
+
+    def test_low_lambda_behaves_like_lfu(self):
+        cache = self._cache(0.0001)
+        cache.put("alpha alpha", "1")
+        cache.put("beta beta", "2")
+        for _i in range(6):
+            cache.lookup("alpha alpha")  # frequent
+        cache.lookup("beta beta")  # recent but rare
+        cache.put("gamma gamma", "3")
+        assert "alpha alpha" in cache  # frequency dominates
+        assert "beta beta" not in cache
+
+    def test_lambda_validated(self):
+        with pytest.raises(ValueError):
+            SemanticCache(lrfu_lambda=0.0)
+        with pytest.raises(ValueError):
+            SemanticCache(lrfu_lambda=1.5)
+
+    def test_capacity_invariant_under_lrfu(self):
+        cache = SemanticCache(capacity=4, policy=EvictionPolicy.LRFU)
+        for i in range(20):
+            cache.put(f"query number {i} about topic {i}", "a")
+        assert len(cache) == 4
+
+
+class TestDriftMonitor:
+    def test_clean_batches_pass(self):
+        monitor = DriftMonitor(["101", "99", "100", "103"], mean_shift_tolerance=1.0)
+        report = monitor.check_batch(["98", "102", "101"])
+        assert not report.drifted
+
+    def test_mean_shift_detected(self):
+        monitor = DriftMonitor(["100", "101", "99", "100"], mean_shift_tolerance=1.0)
+        report = monitor.check_batch(["150", "155", "149"])
+        assert report.drifted
+        assert "mean shift" in report.reason
+
+    def test_format_drift_detected(self):
+        monitor = DriftMonitor(["Aug 14 2023", "Sep 02 2021", "Jan 30 2019"])
+        report = monitor.check_batch(["2023-08-30", "2021-09-02"])
+        assert report.drifted
+        assert report.pattern_drift == 1.0
+
+    def test_numeric_baseline_text_batch_is_total_drift(self):
+        monitor = DriftMonitor(["1", "2", "3"])
+        report = monitor.check_batch(["one", "two"])
+        assert report.drifted
+
+    def test_window_alarm(self):
+        monitor = DriftMonitor(["100", "101", "99"], mean_shift_tolerance=0.5, window=4)
+        monitor.check_batch(["100", "100"])
+        monitor.check_batch(["140", "141"])
+        assert not monitor.window_alarm(min_drifted=2)
+        monitor.check_batch(["150", "151"])
+        assert monitor.window_alarm(min_drifted=2)
+
+    def test_creeping_shift_trend(self):
+        monitor = DriftMonitor(["100", "100", "100"], mean_shift_tolerance=10.0, window=5)
+        for mean in (100, 105, 110, 118):
+            monitor.check_batch([str(mean - 1), str(mean + 1)])
+        trend = monitor.creeping_mean_shift()
+        assert trend is not None and trend > 0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            DriftMonitor([])
+        monitor = DriftMonitor(["1", "2"])
+        with pytest.raises(ValueError):
+            monitor.check_batch([])
+
+
+class TestSecureDeployments:
+    def test_answers_identical_across_deployments(self):
+        prompt = qa_prompt("Who directed The Silent Mirror?")
+        texts = set()
+        for deployment in Deployment:
+            secure = SecureLLMClient(LLMClient(model="gpt-4"), deployment=deployment)
+            texts.add(secure.complete(prompt).completion.text)
+        assert len(texts) == 1  # security never changes the result
+
+    def test_overhead_ordering(self):
+        comparison = compare_deployments(qa_prompt("Who directed The Silent Mirror?"))
+        assert (
+            comparison["plaintext"]["latency_ms"]
+            < comparison["tee"]["latency_ms"]
+            < comparison["crypto"]["latency_ms"]
+        )
+        assert comparison["crypto"]["bytes_on_wire"] > 100 * comparison["plaintext"]["bytes_on_wire"]
+
+    def test_exposure_profile(self):
+        comparison = compare_deployments(qa_prompt("Who directed The Silent Mirror?"))
+        assert comparison["plaintext"]["plaintext_disclosed"] == 1.0
+        assert comparison["tee"]["plaintext_disclosed"] == 0.0
+        assert comparison["tee"]["side_channel_exposure"] > 0
+        assert comparison["crypto"]["side_channel_exposure"] == 0.0
+
+    def test_ledger_accumulates(self):
+        secure = SecureLLMClient(LLMClient(model="gpt-4"), deployment=Deployment.PLAINTEXT)
+        secure.complete(qa_prompt("Who directed The Silent Mirror?"))
+        secure.complete(qa_prompt("Who directed The Hidden Meridian?"))
+        assert secure.ledger.requests == 2
+        assert secure.ledger.plaintext_tokens_disclosed > 0
+
+
+class TestPromptComposition:
+    def test_compose_examples_roundtrip(self):
+        store = PromptStore()
+        store.add(PromptStore.example_text("Who directed X?", "Ada"), task="qa")
+        store.add(PromptStore.example_text("Who directed Y?", "Bob"), task="qa")
+        examples = store.compose_examples("Who directed Z?", k=2, task="qa")
+        assert ("Who directed X?", "Ada") in examples
+        assert len(examples) == 2
+
+    def test_compose_skips_non_pairs(self):
+        store = PromptStore()
+        store.add("free-form note, not an example pair", task="qa")
+        assert store.compose_examples("anything", k=1, task="qa") == []
+
+
+class TestQualitySensitiveICL:
+    def test_correct_examples_help_weak_model(self, world):
+        from repro.datasets import generate_hotpot
+
+        examples = generate_hotpot(world, n=25, seed=61)
+        pool = generate_hotpot(world, n=4, seed=62)
+        good = [(ex.question, ex.answer) for ex in pool[:3]]
+        bad = [(ex.question, pool[(i + 1) % 3].answer) for i, ex in enumerate(pool[:3])]
+
+        def accuracy(few_shot):
+            client = LLMClient(model="gpt-3.5-turbo")
+            hits = sum(
+                1
+                for ex in examples
+                if client.complete(qa_prompt(ex.question, examples=few_shot)).text == ex.answer
+            )
+            return hits / len(examples)
+
+        assert accuracy(good) > accuracy(bad)
+
+    def test_engine_reports_bad_examples(self, world):
+        from repro.llm.engines.base import TaskContext
+        from repro.llm.engines.qa import QAEngine
+
+        film = world.films[0]
+        director = world.kb.one(film, "directed_by")
+        other = world.films[1]
+        prompt = qa_prompt(
+            f"Who directed {film}?",
+            examples=[
+                (f"Who directed {other}?", str(world.kb.one(other, "directed_by"))),
+                (f"Who directed {film}?", "Completely Wrong Person"),
+            ],
+        )
+        result = QAEngine().try_solve(prompt, TaskContext(knowledge=world.kb, model_name="t"))
+        assert result.n_examples == 1
+        assert result.metadata["bad_examples"] == 1
+        assert result.answer == director

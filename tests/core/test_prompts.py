@@ -1,0 +1,171 @@
+"""Prompt optimization tests: templates, store, selection, budget."""
+
+import pytest
+
+from repro.core.prompts import (
+    BanditPromptSelector,
+    PromptStore,
+    column_type_prompt,
+    entity_match_prompt,
+    greedy_budget_selection,
+    mmr_select,
+    nl2sql_prompt,
+    qa_prompt,
+    similarity_select,
+)
+from repro.core.prompts.store import PromptRecord
+from repro.llm.tokenizer import count_tokens
+
+
+class TestTemplates:
+    def test_qa_prompt_contains_question(self):
+        prompt = qa_prompt("Who directed X?")
+        assert "Question: Who directed X?" in prompt
+
+    def test_qa_prompt_with_examples_and_context(self):
+        prompt = qa_prompt("Q?", examples=[("A?", "a")], context=["passage one"])
+        assert "Example 1" in prompt
+        assert "Context: passage one" in prompt
+
+    def test_nl2sql_prompt_structure(self):
+        prompt = nl2sql_prompt("Q?", "CREATE TABLE t (a INTEGER);", [("EQ?", "SELECT 1")])
+        assert prompt.index("CREATE TABLE") < prompt.index("Example 1") < prompt.index("Question: Q?")
+
+    def test_entity_match_prompt_is_paper_phrasing(self):
+        prompt = entity_match_prompt("a", "b")
+        assert "same real-world entity" in prompt
+
+    def test_column_type_prompt_is_paper_phrasing(self):
+        prompt = column_type_prompt(["country"], [(["USA"], "country")], ["France"])
+        assert "this column type is __" in prompt
+        assert "(1) USA, this column type is country." in prompt
+
+
+class TestPromptStore:
+    def test_add_and_search(self):
+        store = PromptStore()
+        store.add("translate the question into SQL", task="nl2sql")
+        store.add("answer the trivia question", task="qa")
+        hits = store.search_similar("convert question to SQL", k=1)
+        assert hits[0].task == "nl2sql"
+
+    def test_add_idempotent(self):
+        store = PromptStore()
+        a = store.add("same text", task="t")
+        b = store.add("same text", task="t")
+        assert a.prompt_id == b.prompt_id
+        assert len(store) == 1
+
+    def test_task_filter(self):
+        store = PromptStore()
+        store.add("alpha beta", task="x")
+        store.add("alpha beta", task="y")
+        hits = store.search_similar("alpha beta", k=5, task="y")
+        assert all(h.task == "y" for h in hits)
+
+    def test_outcome_feedback(self):
+        store = PromptStore()
+        record = store.add("p", task="t")
+        store.record_outcome(record.prompt_id, True)
+        store.record_outcome(record.prompt_id, False)
+        assert record.trials == 2
+        assert record.success_rate == pytest.approx(2 / 4)
+
+    def test_performance_aware_beats_similarity(self):
+        store = PromptStore()
+        # Near-duplicate of the query but historically failing...
+        bad = store.add("translate question into SQL for stadiums", task="t")
+        # ...slightly less similar but reliably succeeding.
+        good = store.add("convert the NL question into a SQL query", task="t")
+        for _i in range(8):
+            store.record_outcome(bad.prompt_id, False)
+            store.record_outcome(good.prompt_id, True)
+        query = "translate question into SQL for stadium concerts"
+        by_similarity = store.search_similar(query, k=1)[0]
+        by_performance = store.search_performance_aware(query, k=1, performance_weight=0.7)[0]
+        assert by_similarity.prompt_id == bad.prompt_id
+        assert by_performance.prompt_id == good.prompt_id
+
+    def test_remove(self):
+        store = PromptStore()
+        record = store.add("p", task="t")
+        store.remove(record.prompt_id)
+        assert len(store) == 0
+
+
+class TestSelectors:
+    def test_similarity_select_ranks_relevant_first(self):
+        pool = ["stadium concerts in 2014", "differential privacy", "stadium meetings 2015"]
+        picked = similarity_select("concerts at stadiums", pool, k=2, text_of=lambda s: s)
+        assert "differential privacy" not in picked
+
+    def test_similarity_select_empty(self):
+        assert similarity_select("q", [], k=3, text_of=lambda s: s) == []
+
+    def test_mmr_prefers_diversity(self):
+        pool = [
+            "stadium concerts 2014",
+            "stadium concerts 2014!",  # near-duplicate
+            "stadium sports meetings 2015",
+        ]
+        picked = mmr_select("stadium events", pool, k=2, text_of=lambda s: s, lambda_relevance=0.5)
+        assert "stadium sports meetings 2015" in picked
+
+    def test_mmr_k_bounds(self):
+        pool = ["a", "b"]
+        assert len(mmr_select("q", pool, k=10, text_of=lambda s: s)) == 2
+
+
+class TestBudget:
+    def _record(self, text, successes=0, failures=0, pid="p"):
+        record = PromptRecord(prompt_id=pid, text=text, task="t")
+        record.successes = successes
+        record.failures = failures
+        return record
+
+    def test_greedy_respects_budget(self):
+        records = [self._record("word " * 50, 5, 0, pid=f"p{i}") for i in range(10)]
+        kept = greedy_budget_selection(records, token_budget=120)
+        assert sum(count_tokens(r.text) for r in kept) <= 120
+
+    def test_greedy_prefers_value_density(self):
+        good_small = self._record("short prompt", successes=9, failures=1, pid="a")
+        bad_big = self._record("very long prompt " * 30, successes=1, failures=9, pid="b")
+        kept = greedy_budget_selection([bad_big, good_small], token_budget=20)
+        assert kept == [good_small]
+
+    def test_greedy_zero_budget(self):
+        assert greedy_budget_selection([self._record("x")], token_budget=0) == []
+
+    def test_bandit_admission_and_eviction(self):
+        selector = BanditPromptSelector(token_budget=5, seed=0)
+        weak = self._record("aaa bbb ccc", successes=0, failures=10, pid="weak")
+        strong = self._record("ddd eee fff", successes=10, failures=0, pid="strong")
+        assert selector.offer(weak)
+        # Budget full; strong newcomer evicts the weak arm.
+        assert selector.offer(strong)
+        stored = {r.prompt_id for r in selector.stored()}
+        assert stored == {"strong"}
+
+    def test_bandit_rejects_oversized(self):
+        selector = BanditPromptSelector(token_budget=3, seed=0)
+        assert not selector.offer(self._record("way too many tokens for this tiny budget"))
+
+    def test_bandit_learns_from_feedback(self):
+        selector = BanditPromptSelector(token_budget=100, epsilon=0.0, seed=1)
+        a = self._record("prompt alpha", pid="a")
+        b = self._record("prompt beta", pid="b")
+        selector.offer(a)
+        selector.offer(b)
+        for _i in range(10):
+            selector.feedback("a", 1.0)
+            selector.feedback("b", 0.0)
+        assert selector.select().prompt_id == "a"
+
+    def test_bandit_select_empty(self):
+        assert BanditPromptSelector(token_budget=5).select() is None
+
+    def test_utilization(self):
+        selector = BanditPromptSelector(token_budget=100)
+        selector.offer(self._record("ten tokens of text here maybe", pid="a"))
+        assert 0 < selector.utilization() <= 1.0

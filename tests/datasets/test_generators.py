@@ -1,0 +1,227 @@
+"""Dataset generator tests: determinism, gold-label consistency, shapes."""
+
+import pytest
+
+from repro.datasets import (
+    build_concert_db,
+    generate_column_corpus,
+    generate_er_pairs,
+    generate_hotpot,
+    generate_joinable_pairs,
+    generate_lake,
+    generate_nl2sql,
+    generate_patients,
+    generate_timing_workload,
+    paper_queries,
+)
+from repro.datasets.hotpot import context_passages, paraphrase, recompose_comparison
+from repro.datasets.spider import execution_match
+from repro.datasets.workloads import build_analytics_db
+
+
+class TestHotpot:
+    def test_deterministic(self, world):
+        a = generate_hotpot(world, n=20, seed=3)
+        b = generate_hotpot(world, n=20, seed=3)
+        assert [x.question for x in a] == [y.question for y in b]
+
+    def test_count_and_kinds(self, world):
+        examples = generate_hotpot(world, n=40, seed=1)
+        assert len(examples) == 40
+        kinds = {e.kind for e in examples}
+        assert kinds == {"bridge", "comparison"}
+
+    def test_bridge_fraction(self, world):
+        examples = generate_hotpot(world, n=40, seed=1, bridge_fraction=1.0)
+        assert all(e.kind == "bridge" for e in examples)
+
+    def test_answers_derivable_from_kb(self, world):
+        from repro.llm.engines.base import TaskContext
+        from repro.llm.engines.qa import QAEngine
+
+        engine = QAEngine()
+        ctx = TaskContext(knowledge=world.kb, model_name="t")
+        for example in generate_hotpot(world, n=25, seed=2):
+            result = engine.try_solve("Question: " + example.question, ctx)
+            assert result is not None, example.question
+            assert result.answer == example.answer, example.question
+
+    def test_sub_questions_answers_consistent(self, world):
+        from repro.llm.engines.base import TaskContext
+        from repro.llm.engines.qa import QAEngine
+
+        engine = QAEngine()
+        ctx = TaskContext(knowledge=world.kb, model_name="t")
+        for example in generate_hotpot(world, n=15, seed=5):
+            for sub_question, sub_answer in example.sub_questions:
+                result = engine.try_solve("Question: " + sub_question, ctx)
+                assert result.answer == sub_answer
+
+    def test_paraphrase_changes_text_not_meaning(self, world):
+        examples = generate_hotpot(world, n=10, seed=7)
+        changed = 0
+        for example in examples:
+            alt = paraphrase(example.question)
+            if alt != example.question:
+                changed += 1
+        assert changed == len(examples)  # all templates are covered
+
+    def test_recompose_comparison(self, world):
+        comparisons = [e for e in generate_hotpot(world, n=30, seed=2) if e.kind == "comparison"]
+        assert comparisons
+        example = comparisons[0]
+        answers = [a for _q, a in example.sub_questions]
+        assert recompose_comparison(example, answers) == example.answer
+
+    def test_context_passages_mention_entities(self, world):
+        example = generate_hotpot(world, n=5, seed=9)[0]
+        passages = context_passages(world, example.question, n_distractors=4, seed=0)
+        assert len(passages) >= 4
+        assert any(p.split(":")[0] in example.question for p in passages)
+
+
+class TestSpider:
+    def test_db_deterministic(self):
+        a, b = build_concert_db(seed=1), build_concert_db(seed=1)
+        assert a.query("SELECT * FROM stadium") == b.query("SELECT * FROM stadium")
+
+    def test_stadium_names_unique(self):
+        db = build_concert_db()
+        assert db.query_scalar("SELECT COUNT(*) FROM stadium") == db.query_scalar(
+            "SELECT COUNT(DISTINCT name) FROM stadium"
+        )
+
+    def test_paper_queries_are_five(self):
+        queries = paper_queries()
+        assert len(queries) == 5
+        assert queries[0].recompose_op == "UNION"
+        assert queries[3].recompose_op == "INTERSECT"
+        assert queries[4].recompose_op == "EXCEPT"
+
+    def test_gold_sql_executes(self):
+        db = build_concert_db()
+        for example in generate_nl2sql(n=20, seed=3):
+            result = db.execute(example.gold_sql)
+            assert result.columns  # ran and produced a shape
+
+    def test_gold_matches_itself(self):
+        db = build_concert_db()
+        for example in generate_nl2sql(n=10, seed=3):
+            assert execution_match(db, example.gold_sql, example.gold_sql)
+
+    def test_execution_match_rejects_broken_sql(self):
+        db = build_concert_db()
+        assert not execution_match(db, "SELEC nothing", "SELECT name FROM stadium")
+
+    def test_compound_fraction(self):
+        examples = generate_nl2sql(n=30, seed=1, include_paper=False, compound_fraction=1.0)
+        assert all(e.category == "compound" for e in examples)
+
+    def test_compound_sub_questions_present(self):
+        for example in generate_nl2sql(n=20, seed=4):
+            if example.category == "compound":
+                assert len(example.sub_questions) == 2
+                assert example.recompose_op in ("UNION", "INTERSECT", "EXCEPT")
+
+
+class TestEntities:
+    def test_count_and_balance(self):
+        pairs = generate_er_pairs(n=60, seed=2)
+        assert len(pairs) == 60
+        positives = sum(1 for p in pairs if p.label)
+        assert 25 <= positives <= 35
+
+    def test_deterministic(self):
+        a = generate_er_pairs(n=20, seed=3)
+        b = generate_er_pairs(n=20, seed=3)
+        assert [(p.a, p.b, p.label) for p in a] == [(p.a, p.b, p.label) for p in b]
+
+    def test_hardness_tags(self):
+        pairs = generate_er_pairs(n=80, seed=4)
+        assert {p.hardness for p in pairs} == {"easy", "hard"}
+
+    def test_positives_more_similar_than_negatives(self):
+        from repro.llm.engines.match import record_similarity
+
+        pairs = generate_er_pairs(n=60, seed=5)
+        positives = [record_similarity(p.a, p.b) for p in pairs if p.label]
+        negatives = [record_similarity(p.a, p.b) for p in pairs if not p.label]
+        assert positives and negatives
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean(positives) > mean(negatives) + 0.15
+
+
+class TestColumnsDatasets:
+    def test_corpus_types_covered(self, world):
+        types, examples = generate_column_corpus(world, n=32, seed=1)
+        assert set(e.column_type for e in examples) == set(types)
+
+    def test_joinable_pairs_verified_transformable(self):
+        from repro.apps.transform.columns import synthesize_column_transform
+
+        for pair in generate_joinable_pairs(n=16, seed=2):
+            transform = synthesize_column_transform(list(pair.source), list(pair.target))
+            assert transform is not None, pair.transform_name
+
+    def test_joinable_deterministic(self):
+        a = generate_joinable_pairs(n=8, seed=3)
+        b = generate_joinable_pairs(n=8, seed=3)
+        assert [p.source for p in a] == [p.source for p in b]
+
+
+class TestTabular:
+    def test_missing_fraction(self):
+        dataset = generate_patients(n=100, seed=1, missing_fraction=0.3)
+        assert len(dataset.unlabeled_rows()) == 30
+        assert len(dataset.labeled_rows()) == 70
+
+    def test_hidden_labels_recorded(self):
+        dataset = generate_patients(n=50, seed=2)
+        assert len(dataset.hidden_labels) == len(dataset.unlabeled_rows())
+
+    def test_serialize_row(self):
+        dataset = generate_patients(n=5, seed=3, missing_fraction=0.0)
+        text = dataset.serialize_row(dataset.rows[0])
+        assert "age:" in text and "risk:" in text
+
+    def test_synthesize_preserves_schema_and_ranges(self):
+        dataset = generate_patients(n=60, seed=4, missing_fraction=0.1)
+        synthetic = dataset.synthesize(n=30, seed=5)
+        assert len(synthetic.rows) == 30
+        ages = [r["age"] for r in dataset.labeled_rows()]
+        for row in synthetic.rows:
+            assert set(row) == set(dataset.columns)
+            assert min(ages) <= row["age"] <= max(ages)
+            assert row["risk"] in ("low", "medium", "high")
+
+    def test_synthesize_requires_labels(self):
+        dataset = generate_patients(n=10, seed=6, missing_fraction=1.0)
+        with pytest.raises(ValueError):
+            dataset.synthesize(5)
+
+
+class TestLakeAndWorkloads:
+    def test_lake_modalities(self, world):
+        items = generate_lake(world, seed=1)
+        assert {i.modality for i in items} == {"text", "table", "image"}
+
+    def test_lake_contains_jordan_scenario(self, world):
+        items = generate_lake(world, seed=1)
+        jordans = [i for i in items if "Michael Jordan" in i.content]
+        assert len(jordans) == 2
+        assert {i.metadata["entity_type"] for i in jordans} == {"athlete", "professor"}
+
+    def test_timing_workload(self):
+        db = build_analytics_db(seed=0)
+        workload = generate_timing_workload(db, n=12, seed=1)
+        assert len(workload) == 12
+        for example in workload:
+            assert example.execution_time_ms > 0
+            assert example.features["num_tables"] >= 1
+            db.execute(example.sql)  # every query actually runs
+
+    def test_timing_deterministic(self):
+        db = build_analytics_db(seed=0)
+        a = generate_timing_workload(db, n=6, seed=2)
+        b = generate_timing_workload(db, n=6, seed=2)
+        assert [x.execution_time_ms for x in a] == [y.execution_time_ms for y in b]

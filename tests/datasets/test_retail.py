@@ -1,0 +1,141 @@
+"""Retail domain tests: the NL2SQL stack is domain-pluggable."""
+
+import pytest
+
+from repro.core.decompose import QueryOptimizer, decompose_nl_question
+from repro.datasets import build_retail_db, generate_retail_nl2sql
+from repro.datasets.spider import execution_match
+from repro.llm import LLMClient
+from repro.llm.engines.base import TaskContext
+from repro.llm.engines.nl2sql import DOMAINS, NL2SQLEngine, RETAIL_DOMAIN, STADIUM_DOMAIN
+
+
+@pytest.fixture()
+def retail_db():
+    return build_retail_db(seed=0)
+
+
+@pytest.fixture()
+def ctx(world):
+    return TaskContext(knowledge=world.kb, model_name="t")
+
+
+class TestDomainRegistry:
+    def test_two_domains_registered(self):
+        assert STADIUM_DOMAIN in DOMAINS
+        assert RETAIL_DOMAIN in DOMAINS
+
+    def test_stadium_sql_unchanged_by_refactor(self, ctx):
+        """Regression pin: the stadium domain must emit the exact SQL shape
+        the Table II calibration was done against."""
+        result = NL2SQLEngine().try_solve(
+            "Question: What are the names of stadiums that had concerts in 2014?", ctx
+        )
+        assert result.answer == (
+            "SELECT DISTINCT s.name FROM stadium s JOIN concert c "
+            "ON s.stadium_id = c.stadium_id WHERE c.year = 2014"
+        )
+
+    def test_event_alias_collision_resolved(self):
+        # sports_meeting starts with 's' like stadium: alias falls back to 'e'.
+        event = STADIUM_DOMAIN.event_by_phrase("sports meetings")
+        assert STADIUM_DOMAIN.event_alias(event) == "e"
+
+
+class TestRetailEngine:
+    def test_atomic_translation(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Question: What are the names of customers that placed orders in 2021?", ctx
+        )
+        assert "JOIN orders" in result.answer
+        assert "2021" in result.answer
+
+    def test_compound_union(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Question: What are the names of customers that placed orders in 2021 "
+            "or filed returns in 2022?",
+            ctx,
+        )
+        assert " UNION " in result.answer
+        assert "JOIN orders" in result.answer and "JOIN returns" in result.answer
+
+    def test_compound_except(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Question: Show the names of customers that placed orders in 2020 "
+            "but did not file returns in 2020?",
+            ctx,
+        )
+        assert " EXCEPT " in result.answer
+
+    def test_superlative(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Question: What are the names of customers that placed the most number of "
+            "orders in 2022?",
+            ctx,
+        )
+        assert "ORDER BY COUNT(*) DESC LIMIT 1" in result.answer
+
+    def test_count_question(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Question: How many returns were filed in 2021?", ctx
+        )
+        assert result.answer == "SELECT COUNT(*) FROM returns WHERE year = 2021"
+
+
+class TestRetailDataset:
+    def test_db_deterministic(self):
+        a, b = build_retail_db(seed=2), build_retail_db(seed=2)
+        assert a.query("SELECT * FROM customer") == b.query("SELECT * FROM customer")
+
+    def test_gold_sql_executes_and_self_matches(self, retail_db):
+        for example in generate_retail_nl2sql(n=16, seed=1):
+            assert execution_match(retail_db, example.gold_sql, example.gold_sql)
+
+    def test_engine_translates_workload(self, retail_db, gpt4):
+        workload = generate_retail_nl2sql(n=16, seed=2)
+        hits = sum(
+            execution_match(retail_db, gpt4.complete("Question: " + ex.question).text, ex.gold_sql)
+            for ex in workload
+        )
+        assert hits / len(workload) >= 0.7
+
+
+class TestRetailDecomposition:
+    def test_compound_decomposes_with_correct_verbs(self):
+        d = decompose_nl_question(
+            "What are the names of customers that placed orders in 2021 "
+            "but did not file returns in 2022?"
+        )
+        assert d.recompose_op == "EXCEPT"
+        assert d.sub_questions[0] == (
+            "What are the names of customers that placed orders in 2021?"
+        )
+        assert d.sub_questions[1] == (
+            "What are the names of customers that filed returns in 2022?"
+        )
+
+    def test_atomic_retail_passthrough(self):
+        d = decompose_nl_question("What are the names of customers that placed orders in 2021?")
+        assert not d.is_compound
+
+    def test_decomposed_regime_works_cross_domain(self, retail_db):
+        workload = generate_retail_nl2sql(n=12, seed=3, compound_fraction=0.9)
+        client = LLMClient(model="gpt-4")
+        optimizer = QueryOptimizer(client, retail_db.schema_text())
+        predictions = optimizer.translate_decomposed([e.question for e in workload])
+        hits = sum(
+            execution_match(retail_db, p, e.gold_sql)
+            for p, e in zip(predictions, workload)
+        )
+        assert hits / len(workload) >= 0.75
+
+    def test_stadium_decomposition_unchanged(self):
+        d = decompose_nl_question(
+            "What are the names of stadiums that had concerts in 2014 "
+            "or had sports meetings in 2015?"
+        )
+        assert d.recompose_op == "UNION"
+        assert d.sub_questions == (
+            "What are the names of stadiums that had concerts in 2014?",
+            "What are the names of stadiums that had sports meetings in 2015?",
+        )

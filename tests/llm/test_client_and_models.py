@@ -1,0 +1,166 @@
+"""LLM client contract: determinism, metering, budgets, capability."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetExceededError, ContextLengthExceededError, UnknownModelError
+from repro.llm import LLMClient, MODEL_REGISTRY, count_tokens, get_model, list_models
+from repro.llm.client import Usage, UsageMeter
+
+
+class TestModelRegistry:
+    def test_known_models(self):
+        for name in ("babbage-002", "gpt-3.5-turbo", "gpt-4", "local-7b"):
+            assert name in MODEL_REGISTRY
+
+    def test_unknown_model(self):
+        with pytest.raises(UnknownModelError):
+            get_model("gpt-99")
+
+    def test_paper_prices(self):
+        # Section III-B1 quotes these input prices verbatim.
+        assert get_model("gpt-3.5-turbo").input_price_per_1k == 0.001
+        assert get_model("gpt-4").input_price_per_1k == 0.03
+
+    def test_capability_ordering_matches_price_ordering(self):
+        cheap_to_pricey = list_models()
+        paid = [m for m in cheap_to_pricey if m.input_price_per_1k > 0]
+        capabilities = [m.capability for m in paid]
+        assert capabilities == sorted(capabilities)
+
+    def test_cost_formula(self):
+        spec = get_model("gpt-4")
+        assert spec.cost(1000, 1000) == pytest.approx(0.03 + 0.06)
+
+    def test_latency_positive(self):
+        assert get_model("gpt-4").latency_ms(100, 50) > 0
+
+
+class TestDeterminism:
+    def test_same_prompt_same_output(self):
+        a = LLMClient(model="gpt-3.5-turbo").complete("Question: Who directed The Silent Mirror?")
+        b = LLMClient(model="gpt-3.5-turbo").complete("Question: Who directed The Silent Mirror?")
+        assert a.text == b.text
+        assert a.confidence == b.confidence
+
+    def test_different_seeds_can_differ(self):
+        prompt = "Question: Who directed the film that starred Torus Nashgate?"
+        texts = {
+            LLMClient(model="babbage-002", seed=s).complete(prompt).text for s in range(8)
+        }
+        assert len(texts) > 1  # weak model on a hard query: seeds disagree
+
+    def test_different_models_metered_separately(self):
+        client = LLMClient()
+        client.complete("Question: test one", model="gpt-4")
+        client.complete("Question: test two", model="babbage-002")
+        assert set(client.meter.per_model) == {"gpt-4", "babbage-002"}
+
+
+class TestMetering:
+    def test_cost_accrues(self):
+        client = LLMClient(model="gpt-4")
+        before = client.meter.cost
+        completion = client.complete("Question: what is the capital?")
+        assert completion.cost > 0
+        assert client.meter.cost == pytest.approx(before + completion.cost)
+
+    def test_usage_tokens_match_texts(self):
+        client = LLMClient(model="gpt-4")
+        prompt = "Question: Who directed The Silent Mirror?"
+        completion = client.complete(prompt)
+        assert completion.usage.prompt_tokens == count_tokens(prompt)
+        assert completion.usage.completion_tokens == count_tokens(completion.text)
+
+    def test_meter_reset(self):
+        client = LLMClient()
+        client.complete("Question: anything")
+        client.meter.reset()
+        assert client.meter.calls == 0
+        assert client.meter.cost == 0.0
+
+    def test_usage_meter_totals(self):
+        meter = UsageMeter()
+        meter.record("m", Usage(10, 5), 0.01)
+        meter.record("m", Usage(20, 5), 0.02)
+        assert meter.calls == 2
+        assert meter.prompt_tokens == 30
+        assert meter.per_model["m"]["calls"] == 2
+
+
+class TestLimits:
+    def test_context_window_enforced(self):
+        client = LLMClient(model="babbage-002")
+        huge = "word " * 10_000
+        with pytest.raises(ContextLengthExceededError):
+            client.complete(huge)
+
+    def test_budget_enforced_before_spending(self):
+        client = LLMClient(model="gpt-4", budget_usd=0.000001)
+        with pytest.raises(BudgetExceededError):
+            client.complete("Question: too expensive?")
+        assert client.meter.calls == 0  # nothing was recorded
+
+
+class TestCapabilityModel:
+    def test_capability_monotone_accuracy(self, world):
+        from repro.datasets import generate_hotpot
+
+        examples = generate_hotpot(world, n=30, seed=4)
+        accuracies = []
+        for model in ("babbage-002", "gpt-3.5-turbo", "gpt-4"):
+            client = LLMClient(model=model)
+            hits = sum(
+                1 for ex in examples if client.complete("Question: " + ex.question).text == ex.answer
+            )
+            accuracies.append(hits / len(examples))
+        assert accuracies[0] < accuracies[1] < accuracies[2]
+
+    def test_confidence_in_range(self):
+        client = LLMClient()
+        completion = client.complete("Question: Who directed The Silent Mirror?")
+        assert 0.0 < completion.confidence < 1.0
+
+    def test_engine_attribution(self):
+        client = LLMClient()
+        assert client.complete("Question: Who directed The Silent Mirror?").engine == "qa"
+        assert client.complete("unrelated rambling text with no task").engine == "generic"
+
+
+class TestBatch:
+    def test_batch_refunds_shared_prefix(self):
+        prefix = "Shared schema context. " * 30
+        items = [f"Question: Who directed The Silent Mirror? v{i}" for i in range(3)]
+
+        separate = LLMClient(model="gpt-4")
+        for item in items:
+            separate.complete(prefix + item)
+
+        batched = LLMClient(model="gpt-4")
+        completions = batched.complete_batch(prefix, items)
+
+        assert len(completions) == 3
+        prefix_tokens = count_tokens(prefix)
+        expected_savings = get_model("gpt-4").cost(prefix_tokens, 0) * 2
+        assert batched.meter.cost == pytest.approx(separate.meter.cost - expected_savings)
+
+    def test_batch_answers_match_individual(self):
+        prefix = "Answer the question with a single name or value.\n"
+        item = "Question: Who directed The Silent Mirror?"
+        single = LLMClient(model="gpt-4").complete(prefix + item)
+        batch = LLMClient(model="gpt-4").complete_batch(prefix, [item])
+        assert batch[0].text == single.text
+
+
+class TestEmbedding:
+    def test_embed_unit_norm(self):
+        client = LLMClient()
+        vec = client.embed("some text about stadium concerts")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_similar_texts_closer(self):
+        client = LLMClient()
+        a = client.embed("stadiums that had concerts in 2014")
+        b = client.embed("stadiums that had concerts in 2015")
+        c = client.embed("differential privacy noise calibration")
+        assert float(a @ b) > float(a @ c)

@@ -1,0 +1,454 @@
+"""Task engine tests: each engine derives the genuinely correct answer."""
+
+import pytest
+
+from repro.llm.engines import default_engines
+from repro.llm.engines.base import GenericEngine, TaskContext, count_examples
+from repro.llm.engines.classify import ColumnTypeEngine, LabelInferEngine
+from repro.llm.engines.codegen import SNIPPET_LIBRARY, CodegenEngine
+from repro.llm.engines.generate import SQLGenEngine
+from repro.llm.engines.match import EntityMatchEngine, SchemaMatchEngine, record_similarity
+from repro.llm.engines.nl2sql import NL2SQLEngine
+from repro.llm.engines.patterns import PatternMineEngine, mine_pattern, pattern_matches
+from repro.llm.engines.qa import QAEngine
+from repro.llm.engines.regress import ValuePredictEngine
+from repro.llm.engines.summarize import SummarizeEngine, describe_sql, serialize_row
+from repro.llm.engines.transform import TableExtractEngine, parse_rendered_table, render_table
+
+
+@pytest.fixture()
+def ctx(world):
+    return TaskContext(knowledge=world.kb, model_name="test")
+
+
+class TestQAEngine:
+    def test_one_hop_director(self, ctx, world):
+        film = world.films[0]
+        gold = world.kb.one(film, "directed_by")
+        result = QAEngine().try_solve(f"Question: Who directed {film}?", ctx)
+        assert result is not None
+        assert result.answer == gold
+
+    def test_two_hop_country_of_birth(self, ctx, world):
+        person = world.people[0]
+        city = world.kb.one(person, "born_in")
+        country = world.kb.one(str(city), "located_in")
+        result = QAEngine().try_solve(
+            f"In which country is the city where {person} was born located?", ctx
+        )
+        assert result.answer == str(country)
+
+    def test_two_hop_harder_than_one_hop(self, ctx, world):
+        person = world.people[0]
+        one_hop = QAEngine().try_solve(f"In which city was {person} born?", ctx)
+        two_hop = QAEngine().try_solve(
+            f"In which country is the city where {person} was born located?", ctx
+        )
+        assert two_hop.difficulty > one_hop.difficulty
+
+    def test_comparison(self, ctx, world):
+        a, b = world.people[0], world.people[1]
+        ya, yb = world.kb.one(a, "born_year"), world.kb.one(b, "born_year")
+        result = QAEngine().try_solve(f"Who was born earlier, {a} or {b}?", ctx)
+        assert result.answer == (a if ya <= yb else b)
+
+    def test_paraphrase_same_answer(self, ctx, world):
+        a, b = world.people[2], world.people[3]
+        canonical = QAEngine().try_solve(f"Who was born earlier, {a} or {b}?", ctx)
+        rephrased = QAEngine().try_solve(f"Between {a} and {b}, who was born earlier?", ctx)
+        assert canonical.answer == rephrased.answer
+
+    def test_unknown_entity_answers_unknown(self, ctx):
+        result = QAEngine().try_solve("Question: Who directed Completely Fake Film?", ctx)
+        assert result.answer == "unknown"
+
+    def test_distractors_same_type(self, ctx, world):
+        film = world.films[0]
+        result = QAEngine().try_solve(f"Who directed {film}?", ctx)
+        for wrong in result.wrong_answers:
+            assert wrong != result.answer
+            assert world.kb.entity_types.get(wrong) == "person"
+
+    def test_unmatched_prompt_returns_none(self, ctx):
+        assert QAEngine().try_solve("please write a poem", ctx) is None
+
+
+class TestNL2SQLEngine:
+    def test_atomic(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Question: What are the names of stadiums that had concerts in 2014?", ctx
+        )
+        assert "JOIN concert" in result.answer
+        assert "2014" in result.answer
+
+    def test_compound_ops(self, ctx):
+        for connector, op in [("or had", "UNION"), ("and had", "INTERSECT"), ("but did not have", "EXCEPT")]:
+            question = (
+                "Question: Show the names of stadiums that had concerts in 2014 "
+                f"{connector} sports meetings in 2015?"
+            )
+            result = NL2SQLEngine().try_solve(question, ctx)
+            assert f" {op} " in result.answer
+
+    def test_superlative(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Question: What are the names of stadiums that had the most number of concerts in 2014?",
+            ctx,
+        )
+        assert "ORDER BY COUNT(*) DESC LIMIT 1" in result.answer
+
+    def test_compound_harder_than_atomic(self, ctx):
+        atomic = NL2SQLEngine().try_solve(
+            "Question: What are the names of stadiums that had concerts in 2014?", ctx
+        )
+        compound = NL2SQLEngine().try_solve(
+            "Question: What are the names of stadiums that had concerts in 2014 "
+            "or had sports meetings in 2015?",
+            ctx,
+        )
+        assert compound.difficulty > atomic.difficulty
+
+    def test_wrong_answers_differ_from_answer(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Question: Show the names of stadiums that had concerts in 2014 and had sports meetings in 2015?",
+            ctx,
+        )
+        assert result.wrong_answers
+        assert all(w != result.answer for w in result.wrong_answers)
+
+    def test_capacity_filter(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Question: What are the names of stadiums with a capacity greater than 50000?", ctx
+        )
+        assert "capacity > 50000" in result.answer
+
+    def test_count_question(self, ctx):
+        result = NL2SQLEngine().try_solve("Question: How many concerts were held in 2015?", ctx)
+        assert result.answer == "SELECT COUNT(*) FROM concert WHERE year = 2015"
+
+    def test_transaction_scenario(self, ctx):
+        result = NL2SQLEngine().try_solve(
+            "Translate the scenario into an atomic SQL transaction over the schema.\n"
+            "CREATE TABLE accounts (owner TEXT PRIMARY KEY, balance REAL);\n"
+            "Scenario: Alice pays Bob $1000. Bob pays Express $5.",
+            ctx,
+        )
+        assert result.answer.startswith("BEGIN")
+        assert result.answer.rstrip().endswith("COMMIT;")
+        assert result.answer.count("UPDATE accounts") == 4
+
+    def test_uses_last_question_line(self, ctx):
+        prompt = (
+            "Example 1: Question: What are the names of stadiums that had concerts in 2013?\n"
+            "SQL: SELECT 1\n"
+            "Question: What are the names of stadiums that had concerts in 2016?"
+        )
+        result = NL2SQLEngine().try_solve(prompt, ctx)
+        assert "2016" in result.answer
+        assert "2013" not in result.answer
+
+
+class TestMatchEngines:
+    def test_clear_match(self, ctx):
+        prompt = (
+            "Are the following entity descriptions the same real-world entity?\n"
+            "Entity A: name: Summit Bakery, street: 12 Main Street, city: Riverford\n"
+            "Entity B: name: Summit Bakery, street: 12 Main St, city: Riverford\n"
+            "Answer:"
+        )
+        result = EntityMatchEngine().try_solve(prompt, ctx)
+        assert result.answer == "yes"
+
+    def test_clear_non_match(self, ctx):
+        prompt = (
+            "Are the following entity descriptions the same real-world entity?\n"
+            "Entity A: name: Summit Bakery, street: 12 Main Street, city: Riverford\n"
+            "Entity B: name: Lakeside Robotics, street: 900 Harbor Road, city: Westdale\n"
+            "Answer:"
+        )
+        result = EntityMatchEngine().try_solve(prompt, ctx)
+        assert result.answer == "no"
+
+    def test_borderline_is_harder(self, ctx):
+        clear = EntityMatchEngine().try_solve(
+            "Are the following entity descriptions the same real-world entity?\n"
+            "Entity A: name: Summit Bakery\nEntity B: name: Summit Bakery\nAnswer:",
+            ctx,
+        )
+        border = EntityMatchEngine().try_solve(
+            "Are the following entity descriptions the same real-world entity?\n"
+            "Entity A: name: Summit Bakery Riverford branch\n"
+            "Entity B: name: Summit Bakehouse, city: Riverford\nAnswer:",
+            ctx,
+        )
+        assert border.difficulty > clear.difficulty
+
+    def test_abbreviation_expansion(self):
+        assert record_similarity("12 Main Street", "12 Main St") > 0.9
+
+    def test_schema_match(self, ctx):
+        prompt = (
+            "Do the following two columns refer to the same attribute? Answer yes or no.\n"
+            "Column A (phone): 555-1234||555-9876\n"
+            "Column B (phone_number): 555-1234||555-0000\n"
+            "Answer:"
+        )
+        result = SchemaMatchEngine().try_solve(prompt, ctx)
+        assert result.answer == "yes"
+
+    def test_schema_mismatch(self, ctx):
+        prompt = (
+            "Do the following two columns refer to the same attribute? Answer yes or no.\n"
+            "Column A (city): Riverford||Westdale\n"
+            "Column B (price): 12.5||99.0\n"
+            "Answer:"
+        )
+        result = SchemaMatchEngine().try_solve(prompt, ctx)
+        assert result.answer == "no"
+
+
+class TestClassifyEngines:
+    def test_paper_example(self, ctx):
+        prompt = (
+            "Given the following column types: country, person, date, movie, sports.\n"
+            "You need to predict the column type according to the column values.\n"
+            "(1) USA||UK||France, this column type is country.\n"
+            "(2) Michael Jackson||Beckham||Michael Jordan, this column type is person.\n"
+            "Basketball||Badminton||Table Tennis, this column type is __."
+        )
+        result = ColumnTypeEngine().try_solve(prompt, ctx)
+        assert result.answer == "sports"
+        assert result.n_examples == 2
+
+    def test_date_detection(self, ctx):
+        prompt = (
+            "Given the following column types: date, person.\n"
+            "You need to predict the column type according to the column values.\n"
+            "2021-03-04||1999-12-31||2010-07-15, this column type is __."
+        )
+        assert ColumnTypeEngine().try_solve(prompt, ctx).answer == "date"
+
+    def test_gazetteer_country(self, ctx, world):
+        values = "||".join(world.countries[:3])
+        prompt = (
+            "Given the following column types: country, city, team.\n"
+            "You need to predict the column type according to the column values.\n"
+            f"{values}, this column type is __."
+        )
+        assert ColumnTypeEngine().try_solve(prompt, ctx).answer == "country"
+
+    def test_label_infer_majority(self, ctx):
+        prompt = (
+            "Predict the value of 'risk' for the last row.\n"
+            "Row: age: 70; smoker: yes; risk: high\n"
+            "Row: age: 65; smoker: yes; risk: high\n"
+            "Row: age: 20; smoker: no; risk: low\n"
+            "Row: age: 68; smoker: yes; risk: ?"
+        )
+        result = LabelInferEngine().try_solve(prompt, ctx)
+        assert result.answer == "high"
+
+    def test_label_infer_needs_examples(self, ctx):
+        prompt = "Predict the value of 'risk' for the last row.\nRow: age: 68; risk: ?"
+        assert LabelInferEngine().try_solve(prompt, ctx) is None
+
+
+class TestValuePredict:
+    def test_interpolates_neighbors(self, ctx):
+        prompt = (
+            "Predict the execution time in milliseconds.\n"
+            "features: a=1 -> execution_time: 10.0\n"
+            "features: a=3 -> execution_time: 30.0\n"
+            "features: a=2 -> execution_time: ?"
+        )
+        result = ValuePredictEngine().try_solve(prompt, ctx)
+        assert result.numeric
+        assert 10.0 <= float(result.answer) <= 30.0
+
+    def test_exact_neighbor_dominates(self, ctx):
+        prompt = (
+            "Predict the execution time in milliseconds.\n"
+            "features: a=1, b=1 -> execution_time: 5.0\n"
+            "features: a=9, b=9 -> execution_time: 90.0\n"
+            "features: a=1, b=1 -> execution_time: ?"
+        )
+        result = ValuePredictEngine().try_solve(prompt, ctx)
+        assert float(result.answer) == pytest.approx(5.0, rel=0.05)
+
+    def test_more_examples_lower_difficulty(self, ctx):
+        few = (
+            "Predict the execution time in milliseconds.\n"
+            "features: a=1 -> execution_time: 1.0\n"
+            "features: a=2 -> execution_time: ?"
+        )
+        many = few.replace(
+            "features: a=2 -> execution_time: ?",
+            "features: a=3 -> execution_time: 3.0\n"
+            "features: a=4 -> execution_time: 4.0\n"
+            "features: a=5 -> execution_time: 5.0\n"
+            "features: a=2 -> execution_time: ?",
+        )
+        assert (
+            ValuePredictEngine().try_solve(many, ctx).difficulty
+            < ValuePredictEngine().try_solve(few, ctx).difficulty
+        )
+
+
+class TestTransformEngine:
+    def test_json_extraction(self, ctx):
+        prompt = (
+            "Extract a relational table from the following document.\n"
+            '[{"name": "a", "qty": 1}, {"name": "b", "qty": 2}]'
+        )
+        result = TableExtractEngine().try_solve(prompt, ctx)
+        columns, rows = parse_rendered_table(result.answer)
+        assert columns == ["name", "qty"]
+        assert rows == [["a", "1"], ["b", "2"]]
+
+    def test_nested_json_flattened(self, ctx):
+        prompt = (
+            "Extract a relational table from the following document.\n"
+            '[{"name": "a", "address": {"city": "X", "zip": "1"}}]'
+        )
+        result = TableExtractEngine().try_solve(prompt, ctx)
+        columns, _rows = parse_rendered_table(result.answer)
+        assert "address_city" in columns
+
+    def test_xml_extraction(self, ctx):
+        prompt = (
+            "Extract a relational table from the following document.\n"
+            "<items><item><name>a</name><qty>1</qty></item>"
+            "<item><name>b</name><qty>2</qty></item></items>"
+        )
+        result = TableExtractEngine().try_solve(prompt, ctx)
+        columns, rows = parse_rendered_table(result.answer)
+        assert columns == ["name", "qty"]
+        assert len(rows) == 2
+
+    def test_render_parse_roundtrip(self):
+        text = render_table(["a", "b"], [[1, "x"], [2, "y"]])
+        columns, rows = parse_rendered_table(text)
+        assert columns == ["a", "b"]
+        assert rows == [["1", "x"], ["2", "y"]]
+
+    def test_no_document_returns_none(self, ctx):
+        assert TableExtractEngine().try_solve("Extract a relational table from this.", ctx) is None
+
+
+class TestPatternEngine:
+    def test_paper_date_pattern(self):
+        # The tightest pattern keeps the constant "Aug" literal.
+        assert mine_pattern(["Aug 14 2023", "Aug 02 2021"]) == "Aug <digit>{2} <digit>{4}"
+
+    def test_varying_month(self):
+        assert mine_pattern(["Aug 14 2023", "Sep 02 2021"]) == "<letter>{3} <digit>{2} <digit>{4}"
+
+    def test_variable_length_digits(self):
+        assert mine_pattern(["a1", "a22"]) == "a<digit>+"
+
+    def test_shape_disagreement(self):
+        assert mine_pattern(["a-b", "abc"]) is None
+
+    def test_pattern_matches(self):
+        pattern = "<letter>{3} <digit>{2} <digit>{4}"
+        assert pattern_matches(pattern, "Oct 31 1999")
+        assert not pattern_matches(pattern, "2023-10-31")
+
+    def test_engine_end_to_end(self, ctx):
+        prompt = "Mine the pattern of the following column values.\nValues: 555-1234||555-9999"
+        result = PatternMineEngine().try_solve(prompt, ctx)
+        assert result.answer == "555-<digit>{4}"
+
+
+class TestCodegenEngine:
+    def test_snippet_compiles_and_runs(self, ctx):
+        for operation in SNIPPET_LIBRARY:
+            prompt = f"Write Python code for the data preparation operation: {operation}"
+            result = CodegenEngine().try_solve(prompt, ctx)
+            namespace = {}
+            exec(result.answer, namespace)
+            assert operation in namespace
+
+    def test_normalize_snippet_behavior(self, ctx):
+        result = CodegenEngine().try_solve(
+            "Write Python code for the data preparation operation: normalize", ctx
+        )
+        namespace = {}
+        exec(result.answer, namespace)
+        assert namespace["normalize"]([0.0, 5.0, 10.0]) == [0.0, 0.5, 1.0]
+
+    def test_operator_synthesis(self, ctx):
+        prompt = (
+            "Synthesize the operator sequence to relationalize the following table.\n"
+            "Has header: no\n"
+            "Table:\n"
+            "name | qty\n"
+            "a | 1\n"
+            "b | 2\n"
+        )
+        result = CodegenEngine().try_solve(prompt, ctx)
+        assert "promote_header" in result.answer
+
+
+class TestSummarizeEngine:
+    def test_paper_example(self, ctx):
+        prompt = (
+            "Describe the following SQL query and its result in one sentence.\n"
+            "SQL: SELECT AVG(salary) FROM employee\n"
+            "Result: 500"
+        )
+        result = SummarizeEngine().try_solve(prompt, ctx)
+        assert "average salary" in result.answer
+        assert "employee" in result.answer
+        assert "500" in result.answer
+
+    def test_describe_sql_unsupported(self):
+        assert describe_sql("not sql at all !!") is None
+
+    def test_serialize_row(self):
+        sentence = serialize_row("patients", "age: 40; smoker: no")
+        assert "patients" in sentence
+        assert "the age is 40" in sentence
+
+
+class TestSQLGenEngine:
+    def test_generates_requested_count(self, ctx):
+        prompt = (
+            "Generate 4 SQL queries over the following schema.\n"
+            "CREATE TABLE customer (customer_id INTEGER PRIMARY KEY, name TEXT, age INTEGER);\n"
+            "CREATE TABLE orders (order_id INTEGER PRIMARY KEY, customer_id INTEGER, amount REAL);\n"
+            "Constraints: kinds=simple,join"
+        )
+        result = SQLGenEngine().try_solve(prompt, ctx)
+        queries = [q for q in result.answer.split(";") if q.strip()]
+        assert len(queries) == 4
+
+    def test_generated_sql_parses(self, ctx):
+        from repro.sqldb.parser import parse_sql
+
+        prompt = (
+            "Generate 6 SQL queries over the following schema.\n"
+            "CREATE TABLE customer (customer_id INTEGER PRIMARY KEY, name TEXT, age INTEGER);\n"
+            "CREATE TABLE orders (order_id INTEGER PRIMARY KEY, customer_id INTEGER, amount REAL);\n"
+            "Constraints: kinds=simple,join,subquery,aggregate"
+        )
+        result = SQLGenEngine().try_solve(prompt, ctx)
+        statements = parse_sql(result.answer)
+        assert len(statements) == 6
+
+    def test_no_schema_returns_none(self, ctx):
+        assert SQLGenEngine().try_solve("Generate 3 SQL queries please", ctx) is None
+
+
+class TestRoutingAndFallback:
+    def test_chain_ends_with_generic(self):
+        engines = default_engines()
+        assert isinstance(engines[-1], GenericEngine)
+
+    def test_generic_always_answers(self, ctx):
+        result = GenericEngine().try_solve("anything at all", ctx)
+        assert result is not None
+
+    def test_count_examples(self):
+        prompt = "Example 1: foo\nExample 2: bar\nQuestion: baz"
+        assert count_examples(prompt) == 2

@@ -1,0 +1,64 @@
+"""Property-based tests for LLM substrate invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import cosine
+from repro.llm import LLMClient, count_tokens, embed_text
+from repro.llm.engines.patterns import mine_pattern, pattern_matches
+
+printable_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd", "Zs"), whitelist_characters="-/.,"),
+    min_size=0,
+    max_size=60,
+)
+
+value_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters="-/ ."),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=printable_text, b=printable_text)
+def test_token_count_subadditive_and_monotone(a, b):
+    combined = count_tokens(a + " " + b)
+    assert combined >= max(count_tokens(a), count_tokens(b))
+    assert combined <= count_tokens(a) + count_tokens(b) + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(text=printable_text)
+def test_token_count_deterministic_and_nonnegative(text):
+    assert count_tokens(text) == count_tokens(text)
+    assert count_tokens(text) >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(text=printable_text)
+def test_embedding_self_similarity(text):
+    vec = embed_text(text)
+    if vec.any():
+        assert cosine(vec, vec) > 0.999
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(value_text, min_size=1, max_size=8))
+def test_mined_pattern_matches_every_input(values):
+    pattern = mine_pattern(values)
+    if pattern is None or pattern == "no common pattern":
+        return
+    for value in values:
+        assert pattern_matches(pattern, value), (pattern, value)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seedling=st.integers(min_value=0, max_value=10_000))
+def test_completion_determinism_across_instances(seedling):
+    prompt = f"Question: Who directed The Silent Mirror? (case {seedling})"
+    a = LLMClient(model="gpt-3.5-turbo").complete(prompt)
+    b = LLMClient(model="gpt-3.5-turbo").complete(prompt)
+    assert a.text == b.text
+    assert a.cost == b.cost
+    assert a.confidence == b.confidence

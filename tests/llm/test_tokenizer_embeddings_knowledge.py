@@ -1,0 +1,140 @@
+"""Tokenizer, embedding model and knowledge base tests."""
+
+import numpy as np
+import pytest
+
+from repro.llm import EmbeddingModel, count_tokens, embed_text, tokenize_text
+from repro.llm.knowledge import KnowledgeBase, build_world
+
+
+class TestTokenizer:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_single_word(self):
+        assert count_tokens("cat") == 1
+
+    def test_long_word_costs_more(self):
+        assert count_tokens("internationalization") > count_tokens("cat")
+
+    def test_monotone_in_length(self):
+        short = "select name from stadium"
+        assert count_tokens(short + " where year = 2014") > count_tokens(short)
+
+    def test_punctuation_counted(self):
+        assert count_tokens("a,b;c") == 5
+
+    def test_numbers(self):
+        assert count_tokens("2014") >= 1
+        assert count_tokens("123456789") > count_tokens("12")
+
+    def test_tokenize_pieces(self):
+        assert tokenize_text("SELECT a, 12") == ["SELECT", "a", ",", "12"]
+
+    def test_deterministic(self):
+        text = "Question: Who directed the film?"
+        assert count_tokens(text) == count_tokens(text)
+
+
+class TestEmbeddings:
+    def test_deterministic(self):
+        assert np.allclose(embed_text("hello world"), embed_text("hello world"))
+
+    def test_dimension(self):
+        assert embed_text("x", dim=32).shape == (32,)
+
+    def test_empty_text_zero_vector(self):
+        assert np.allclose(embed_text(""), np.zeros(64))
+
+    def test_unit_norm(self):
+        assert np.linalg.norm(embed_text("some interesting words")) == pytest.approx(1.0)
+
+    def test_paraphrase_closer_than_unrelated(self):
+        a = embed_text("Who was born earlier, Alice or Bob?")
+        b = embed_text("Between Alice and Bob, who was born earlier?")
+        c = embed_text("transpose the spreadsheet and promote the header")
+        assert float(a @ b) > float(a @ c) + 0.2
+
+    def test_batch_shape(self):
+        model = EmbeddingModel(dim=16)
+        out = model.embed_batch(["a b", "c d", "e f"])
+        assert out.shape == (3, 16)
+
+    def test_batch_empty(self):
+        assert EmbeddingModel(dim=16).embed_batch([]).shape == (0, 16)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            EmbeddingModel(dim=0)
+
+
+class TestKnowledgeBase:
+    def test_add_and_query(self):
+        kb = KnowledgeBase()
+        kb.add("A", "likes", "B")
+        kb.add("A", "likes", "C")
+        kb.add("B", "likes", "C")
+        assert len(kb.query(subject="A")) == 2
+        assert len(kb.query(relation="likes")) == 3
+        assert len(kb.query(subject="A", obj="C")) == 1
+
+    def test_one(self):
+        kb = KnowledgeBase()
+        kb.add("film", "directed_by", "person")
+        assert kb.one("film", "directed_by") == "person"
+        assert kb.one("film", "starred") is None
+
+    def test_subject_lookup_case_insensitive(self):
+        kb = KnowledgeBase()
+        kb.add("The Film", "released_in", 1999)
+        assert kb.one("the film", "released_in") == 1999
+
+    def test_subjects_with(self):
+        kb = KnowledgeBase()
+        kb.add("f1", "starred", "actor")
+        kb.add("f2", "starred", "actor")
+        kb.add("f3", "starred", "other")
+        assert sorted(kb.subjects_with("starred", "actor")) == ["f1", "f2"]
+
+    def test_entity_types(self):
+        kb = KnowledgeBase()
+        kb.add("Paris", "located_in", "France", subject_type="city")
+        assert kb.entities_of_type("city") == ["Paris"]
+
+
+class TestWorldGeneration:
+    def test_deterministic(self):
+        w1, w2 = build_world(seed=5), build_world(seed=5)
+        assert w1.people == w2.people
+        assert w1.films == w2.films
+        assert [str(f) for f in w1.kb.facts] == [str(f) for f in w2.kb.facts]
+
+    def test_different_seeds_differ(self):
+        assert build_world(seed=1).people != build_world(seed=2).people
+
+    def test_sizes(self):
+        world = build_world(seed=0, n_people=30, n_films=10, n_teams=5, n_cities=8)
+        assert len(world.people) == 30
+        assert len(world.films) == 10
+        assert len(world.teams) == 5
+        assert len(world.cities) == 8
+
+    def test_relational_integrity(self, world):
+        kb = world.kb
+        for film in world.films:
+            director = kb.one(film, "directed_by")
+            assert director in world.people
+            assert kb.one(director, "profession") == "director"
+        for city in world.cities:
+            assert kb.one(city, "located_in") in world.countries
+
+    def test_every_person_has_birth_facts(self, world):
+        for person in world.people:
+            assert world.kb.one(person, "born_in") in world.cities
+            assert isinstance(world.kb.one(person, "born_year"), int)
+
+    def test_athletes_have_teams(self, world):
+        athletes = [p for p in world.people if world.kb.one(p, "profession") == "athlete"]
+        assert athletes
+        for athlete in athletes:
+            assert world.kb.one(athlete, "plays_for") in world.teams

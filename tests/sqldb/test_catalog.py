@@ -1,0 +1,129 @@
+"""Catalog, schema and table integrity tests."""
+
+import pytest
+
+from repro.errors import SQLCatalogError, SQLIntegrityError
+from repro.sqldb.catalog import Catalog, Column, Table, TableSchema
+from repro.sqldb.types import SQLType
+
+
+def person_schema():
+    return TableSchema(
+        name="person",
+        columns=(
+            Column("id", SQLType.INTEGER, primary_key=True),
+            Column("name", SQLType.TEXT, not_null=True),
+            Column("age", SQLType.INTEGER),
+        ),
+    )
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SQLCatalogError):
+            TableSchema(name="t", columns=(Column("a", SQLType.TEXT), Column("A", SQLType.TEXT)))
+
+    def test_index_of_case_insensitive(self):
+        schema = person_schema()
+        assert schema.index_of("NAME") == 1
+
+    def test_index_of_unknown(self):
+        with pytest.raises(SQLCatalogError):
+            person_schema().index_of("missing")
+
+    def test_primary_key_index(self):
+        assert person_schema().primary_key_index == 0
+
+
+class TestTable:
+    def test_insert_and_len(self):
+        table = Table(person_schema())
+        table.insert([1, "ada", 30])
+        assert len(table) == 1
+
+    def test_insert_coerces(self):
+        table = Table(person_schema())
+        table.insert(["2", "bob", "40"])
+        assert table.rows[0] == (2, "bob", 40)
+
+    def test_wrong_arity(self):
+        table = Table(person_schema())
+        with pytest.raises(SQLIntegrityError):
+            table.insert([1, "ada"])
+
+    def test_not_null_enforced(self):
+        table = Table(person_schema())
+        with pytest.raises(SQLIntegrityError):
+            table.insert([1, None, 30])
+
+    def test_pk_uniqueness(self):
+        table = Table(person_schema())
+        table.insert([1, "ada", 30])
+        with pytest.raises(SQLIntegrityError):
+            table.insert([1, "bob", 31])
+
+    def test_pk_not_null(self):
+        table = Table(person_schema())
+        with pytest.raises(SQLIntegrityError):
+            table.insert([None, "ada", 30])
+
+    def test_replace_rows_rechecks_pk(self):
+        table = Table(person_schema())
+        table.insert([1, "ada", 30])
+        with pytest.raises(SQLIntegrityError):
+            table.replace_rows([(1, "a", 1), (1, "b", 2)])
+
+    def test_snapshot_is_independent(self):
+        table = Table(person_schema())
+        table.insert([1, "ada", 30])
+        snap = table.snapshot()
+        table.insert([2, "bob", 29])
+        assert len(snap) == 1
+        assert len(table) == 2
+
+    def test_statistics(self):
+        table = Table(person_schema())
+        table.insert([1, "ada", 30])
+        table.insert([2, "bob", None])
+        stats = table.statistics()
+        assert stats["age"]["nulls"] == 1
+        assert stats["age"]["min"] == 30
+        assert stats["name"]["distinct"] == 2
+
+    def test_column_values(self):
+        table = Table(person_schema(), rows=[[1, "a", 10], [2, "b", 20]])
+        assert table.column_values("age") == [10, 20]
+
+
+class TestCatalog:
+    def test_create_get_drop(self):
+        catalog = Catalog()
+        catalog.create(Table(person_schema()))
+        assert catalog.has("PERSON")
+        assert catalog.get("Person").schema.name == "person"
+        catalog.drop("person")
+        assert not catalog.has("person")
+
+    def test_duplicate_create(self):
+        catalog = Catalog()
+        catalog.create(Table(person_schema()))
+        with pytest.raises(SQLCatalogError):
+            catalog.create(Table(person_schema()))
+
+    def test_if_not_exists(self):
+        catalog = Catalog()
+        catalog.create(Table(person_schema()))
+        catalog.create(Table(person_schema()), if_not_exists=True)  # no raise
+
+    def test_drop_missing(self):
+        catalog = Catalog()
+        with pytest.raises(SQLCatalogError):
+            catalog.drop("ghost")
+        catalog.drop("ghost", if_exists=True)  # no raise
+
+    def test_snapshot_isolated(self):
+        catalog = Catalog()
+        catalog.create(Table(person_schema()))
+        snap = catalog.snapshot()
+        catalog.get("person").insert([1, "ada", 30])
+        assert len(snap.get("person")) == 0

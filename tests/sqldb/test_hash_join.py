@@ -1,0 +1,108 @@
+"""Hash-join tests: plan detection, semantics, and nested-loop equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Database
+from repro.sqldb.types import SQLType
+
+
+def build(pairs_a, pairs_b):
+    db = Database()
+    db.create_table("a", [("id", SQLType.INTEGER), ("v", SQLType.INTEGER)], primary_key="id")
+    db.create_table("b", [("id", SQLType.INTEGER), ("a_id", SQLType.INTEGER)], primary_key="id")
+    db.insert_rows("a", [[i, v] for i, v in enumerate(pairs_a)])
+    db.insert_rows("b", [[i, a_id] for i, a_id in enumerate(pairs_b)])
+    return db
+
+
+class TestSemantics:
+    def test_equi_join_matches_cross_filter(self):
+        db = build([10, 20, 30], [0, 0, 2, 5])
+        on_join = db.query("SELECT a.id, b.id FROM a JOIN b ON a.id = b.a_id ORDER BY 1, 2")
+        cross = db.query("SELECT a.id, b.id FROM a, b WHERE a.id = b.a_id ORDER BY 1, 2")
+        assert on_join == cross
+
+    def test_reversed_key_order(self):
+        db = build([1, 2], [0, 1, 1])
+        assert db.query_scalar("SELECT COUNT(*) FROM a JOIN b ON b.a_id = a.id") == 3
+
+    def test_null_keys_never_match(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE a (id INTEGER PRIMARY KEY, k INTEGER);"
+            "CREATE TABLE b (id INTEGER PRIMARY KEY, k INTEGER);"
+            "INSERT INTO a VALUES (1, NULL), (2, 7);"
+            "INSERT INTO b VALUES (1, NULL), (2, 7);"
+        )
+        rows = db.query("SELECT a.id, b.id FROM a JOIN b ON a.k = b.k")
+        assert rows == [(2, 2)]
+
+    def test_residual_condition_applies(self):
+        db = build([10, 20, 30], [0, 1, 2])
+        rows = db.query("SELECT a.id FROM a JOIN b ON a.id = b.a_id AND a.v > 15 ORDER BY 1")
+        assert [r[0] for r in rows] == [1, 2]
+
+    def test_left_join_pads_when_residual_rejects(self):
+        db = build([10, 20], [0, 1])
+        rows = db.query(
+            "SELECT a.id, b.id FROM a LEFT JOIN b ON a.id = b.a_id AND a.v > 15 ORDER BY 1"
+        )
+        assert rows == [(0, None), (1, 1)]
+
+    def test_expression_keys(self):
+        db = build([10, 20, 30], [0, 2, 4])
+        rows = db.query("SELECT a.id FROM a JOIN b ON a.id * 2 = b.a_id ORDER BY 1")
+        assert [r[0] for r in rows] == [0, 1, 2]
+
+    def test_numeric_type_unification(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE a (id INTEGER PRIMARY KEY, k REAL);"
+            "CREATE TABLE b (id INTEGER PRIMARY KEY, k INTEGER);"
+            "INSERT INTO a VALUES (1, 2.0);"
+            "INSERT INTO b VALUES (1, 2);"
+        )
+        assert db.query_scalar("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k") == 1
+
+    def test_non_equi_join_still_works(self):
+        db = build([10, 20, 30], [0, 1])
+        rows = db.query("SELECT COUNT(*) FROM a JOIN b ON a.id > b.a_id")
+        assert rows == [(3,)]  # (1,0),(2,0),(2,1)
+
+    def test_ambiguous_unqualified_key_errors(self):
+        from repro.errors import SQLCatalogError
+
+        db = Database()
+        db.execute(
+            "CREATE TABLE a (k INTEGER PRIMARY KEY);"
+            "CREATE TABLE b (k INTEGER PRIMARY KEY);"
+            "INSERT INTO a VALUES (1); INSERT INTO b VALUES (1);"
+        )
+        with pytest.raises(SQLCatalogError):
+            db.query("SELECT 1 FROM a JOIN b ON k = k")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values_a=st.lists(st.integers(0, 9), min_size=0, max_size=10),
+    keys_b=st.lists(st.integers(0, 12), min_size=0, max_size=10),
+)
+def test_property_hash_join_equals_cross_filter(values_a, keys_b):
+    db = build(values_a, keys_b)
+    on_join = sorted(db.query("SELECT a.id, b.id FROM a JOIN b ON a.id = b.a_id"))
+    cross = sorted(db.query("SELECT a.id, b.id FROM a, b WHERE a.id = b.a_id"))
+    assert on_join == cross
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values_a=st.lists(st.integers(0, 9), min_size=1, max_size=8),
+    keys_b=st.lists(st.integers(0, 10), min_size=0, max_size=8),
+)
+def test_property_left_join_covers_all_left_rows(values_a, keys_b):
+    db = build(values_a, keys_b)
+    rows = db.query("SELECT a.id FROM a LEFT JOIN b ON a.id = b.a_id")
+    left_ids = {r[0] for r in rows}
+    assert left_ids == set(range(len(values_a)))

@@ -1,0 +1,290 @@
+"""Parser tests: statement shapes, round-tripping, and error reporting."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_expression, parse_sql, parse_statement
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT name FROM person")
+        assert isinstance(stmt, ast.Select)
+        assert isinstance(stmt.items[0].expr, ast.ColumnRef)
+        assert isinstance(stmt.source, ast.TableName)
+        assert stmt.source.name == "person"
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[0].expr.table == "t"
+
+    def test_column_alias_with_as(self):
+        stmt = parse_statement("SELECT name AS n FROM t")
+        assert stmt.items[0].alias == "n"
+
+    def test_column_alias_without_as(self):
+        stmt = parse_statement("SELECT name n FROM t")
+        assert stmt.items[0].alias == "n"
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_where(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a > 1 AND b = 'x'")
+        assert isinstance(stmt.where, ast.Binary)
+        assert stmt.where.op == "AND"
+
+    def test_group_by_having(self):
+        stmt = parse_statement("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.descending for o in stmt.order_by] == [True, False, False]
+
+    def test_limit_offset(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT a FROM t LIMIT 'x'")
+
+    def test_join_with_on(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b ON a.id = b.id")
+        assert isinstance(stmt.source, ast.Join)
+        assert stmt.source.kind == "INNER"
+        assert stmt.source.on is not None
+
+    def test_left_join(self):
+        stmt = parse_statement("SELECT * FROM a LEFT JOIN b ON a.id = b.id")
+        assert stmt.source.kind == "LEFT"
+
+    def test_left_outer_join(self):
+        stmt = parse_statement("SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id")
+        assert stmt.source.kind == "LEFT"
+
+    def test_cross_join_comma(self):
+        stmt = parse_statement("SELECT * FROM a, b")
+        assert stmt.source.kind == "CROSS"
+
+    def test_multi_join_left_deep(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b ON a.i = b.i JOIN c ON b.j = c.j")
+        outer = stmt.source
+        assert isinstance(outer, ast.Join)
+        assert isinstance(outer.left, ast.Join)
+
+    def test_table_alias(self):
+        stmt = parse_statement("SELECT s.name FROM stadium AS s")
+        assert stmt.source.alias == "s"
+
+    def test_table_alias_without_as(self):
+        stmt = parse_statement("SELECT s.name FROM stadium s")
+        assert stmt.source.alias == "s"
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT * FROM (SELECT 1)")
+
+    def test_derived_table(self):
+        stmt = parse_statement("SELECT * FROM (SELECT a FROM t) AS sub")
+        assert isinstance(stmt.source, ast.SubquerySource)
+        assert stmt.source.alias == "sub"
+
+    def test_union(self):
+        stmt = parse_statement("SELECT a FROM t UNION SELECT b FROM u")
+        assert stmt.set_ops[0].op == "UNION"
+        assert not stmt.set_ops[0].all
+
+    def test_union_all(self):
+        stmt = parse_statement("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.set_ops[0].all
+
+    def test_intersect_except_left_associative(self):
+        stmt = parse_statement("SELECT a FROM t INTERSECT SELECT a FROM u EXCEPT SELECT a FROM v")
+        assert [s.op for s in stmt.set_ops] == ["INTERSECT", "EXCEPT"]
+
+    def test_select_without_from(self):
+        stmt = parse_statement("SELECT 1 + 2")
+        assert stmt.source is None
+
+
+class TestExpressionParsing:
+    def test_precedence_or_and(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_precedence_arith(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.Unary)
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in_list(self):
+        assert parse_expression("a NOT IN (1)").negated
+
+    def test_in_subquery(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        assert isinstance(expr, ast.InSelect)
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.Exists)
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 2").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_is_null_and_is_not_null(self):
+        assert not parse_expression("a IS NULL").negated
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, ast.CaseWhen)
+        assert expr.default is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("CASE END")
+
+    def test_function_call(self):
+        expr = parse_expression("UPPER(name)")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "UPPER"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        assert parse_expression("COUNT(DISTINCT a)").distinct
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT MAX(a) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_concat(self):
+        expr = parse_expression("a || b")
+        assert expr.op == "||"
+
+    def test_literals(self):
+        assert parse_expression("NULL").value is None
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS INTEGER)")
+        assert expr.name == "CAST_INTEGER"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("1 + 2 extra extra")
+
+
+class TestDMLAndDDL:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ["a", "b"]
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a IS NULL")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL, score REAL)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+
+    def test_create_if_not_exists(self):
+        assert parse_statement("CREATE TABLE IF NOT EXISTS t (a INTEGER)").if_not_exists
+
+    def test_drop(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, ast.DropTable)
+        assert stmt.if_exists
+
+    def test_transaction_statements(self):
+        statements = parse_sql("BEGIN; COMMIT; ROLLBACK")
+        assert [type(s) for s in statements] == [ast.Begin, ast.Commit, ast.Rollback]
+
+    def test_multiple_statements(self):
+        assert len(parse_sql("SELECT 1; SELECT 2; SELECT 3")) == 3
+
+    def test_parse_statement_rejects_multiple(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT 1; SELECT 2")
+
+
+class TestRoundTrip:
+    """str(ast) must re-parse to an equivalent tree (generation relies on it)."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT name FROM person WHERE age > 30",
+            "SELECT DISTINCT s.name FROM stadium AS s JOIN concert AS c ON s.id = c.sid WHERE c.year = 2014",
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC LIMIT 3",
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u) UNION SELECT c FROM v",
+            "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+            "SELECT name FROM t WHERE name LIKE 'A%' AND age BETWEEN 10 AND 20",
+            "INSERT INTO t (a, b) VALUES (1, 'two')",
+            "UPDATE t SET a = a + 1 WHERE b IS NOT NULL",
+            "DELETE FROM t WHERE a NOT IN (1, 2)",
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL)",
+        ],
+    )
+    def test_round_trip(self, sql):
+        first = parse_statement(sql)
+        second = parse_statement(str(first))
+        assert str(first) == str(second)

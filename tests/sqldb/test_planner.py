@@ -1,0 +1,95 @@
+"""Cost model, features and EXPLAIN tests."""
+
+import pytest
+
+from repro.sqldb import Database, estimate_cost, explain, query_features
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE small (id INTEGER PRIMARY KEY, v INTEGER)")
+    database.execute("CREATE TABLE big (id INTEGER PRIMARY KEY, small_id INTEGER, v INTEGER)")
+    for i in range(10):
+        database.execute(f"INSERT INTO small VALUES ({i}, {i * 10})")
+    for i in range(200):
+        database.execute(f"INSERT INTO big VALUES ({i}, {i % 10}, {i})")
+    return database
+
+
+class TestCostModel:
+    def test_bigger_table_costs_more(self, db):
+        small = estimate_cost("SELECT * FROM small", db.catalog).total_ms
+        big = estimate_cost("SELECT * FROM big", db.catalog).total_ms
+        assert big > small
+
+    def test_join_costs_more_than_scan(self, db):
+        scan = estimate_cost("SELECT * FROM big", db.catalog).total_ms
+        join = estimate_cost(
+            "SELECT * FROM big b JOIN small s ON b.small_id = s.id", db.catalog
+        ).total_ms
+        assert join > scan
+
+    def test_predicates_reduce_downstream_cost(self, db):
+        plain = estimate_cost("SELECT * FROM big ORDER BY v", db.catalog)
+        filtered = estimate_cost("SELECT * FROM big WHERE v > 100 ORDER BY v", db.catalog)
+        assert filtered.sort_rows < plain.sort_rows
+
+    def test_subquery_cost_added(self, db):
+        flat = estimate_cost("SELECT * FROM big", db.catalog)
+        nested = estimate_cost(
+            "SELECT * FROM big WHERE small_id IN (SELECT id FROM small)", db.catalog
+        )
+        assert nested.subquery_cost > 0
+        assert nested.total_ms > flat.total_ms
+
+    def test_order_by_adds_sort_cost(self, db):
+        plain = estimate_cost("SELECT * FROM big", db.catalog)
+        ordered = estimate_cost("SELECT * FROM big ORDER BY v", db.catalog)
+        assert ordered.sort_rows > 0 and plain.sort_rows == 0
+
+    def test_cost_rejects_non_select(self, db):
+        with pytest.raises(TypeError):
+            estimate_cost("DELETE FROM big", db.catalog)
+
+    def test_cost_is_deterministic(self, db):
+        sql = "SELECT v FROM big WHERE v > 5 ORDER BY v"
+        assert estimate_cost(sql, db.catalog) == estimate_cost(sql, db.catalog)
+
+
+class TestFeatures:
+    def test_feature_extraction(self, db):
+        features = query_features(
+            "SELECT s.v, COUNT(*) FROM big b JOIN small s ON b.small_id = s.id "
+            "WHERE b.v > 10 GROUP BY s.v ORDER BY s.v LIMIT 5",
+            db.catalog,
+        )
+        assert features["num_tables"] == 2
+        assert features["num_joins"] == 1
+        assert features["num_predicates"] >= 1
+        assert features["has_group_by"] == 1.0
+        assert features["has_order_by"] == 1.0
+        assert features["has_limit"] == 1.0
+        assert features["total_input_rows"] == 210
+
+    def test_subquery_count(self, db):
+        features = query_features("SELECT 1 FROM big WHERE id IN (SELECT id FROM small)")
+        assert features["num_subqueries"] == 1
+
+    def test_aggregate_count(self, db):
+        features = query_features("SELECT COUNT(*), MAX(v) FROM big")
+        assert features["num_aggregates"] == 2
+
+
+class TestExplain:
+    def test_explain_mentions_scan_and_filter(self, db):
+        text = explain("SELECT v FROM big WHERE v > 10 ORDER BY v LIMIT 3", db.catalog)
+        assert "SCAN big (200 rows)" in text
+        assert "FILTER" in text
+        assert "ORDER BY" in text
+        assert "LIMIT 3" in text
+
+    def test_explain_join_tree(self, db):
+        text = explain("SELECT * FROM big b JOIN small s ON b.small_id = s.id", db.catalog)
+        assert "INNER JOIN" in text
+        assert "SCAN small" in text

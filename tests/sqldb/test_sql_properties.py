@@ -1,0 +1,101 @@
+"""Property-based tests of the relational engine (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Database
+
+_names = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+_ints = st.integers(min_value=-1_000_000, max_value=1_000_000)
+
+
+def _db_with_rows(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, v INTEGER)")
+    for i, (name, v) in enumerate(rows):
+        db.insert_rows("t", [[i, name, v]])
+    return db
+
+
+rows_strategy = st.lists(st.tuples(_names, _ints), min_size=0, max_size=25)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_count_matches_inserted(rows):
+    db = _db_with_rows(rows)
+    assert db.query_scalar("SELECT COUNT(*) FROM t") == len(rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_order_by_is_sorted(rows):
+    db = _db_with_rows(rows)
+    values = [r[0] for r in db.query("SELECT v FROM t ORDER BY v")]
+    assert values == sorted(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy, bound=_ints)
+def test_where_partition_is_complete(rows, bound):
+    """Rows matching P plus rows matching NOT P = all rows (no NULLs here)."""
+    db = _db_with_rows(rows)
+    matching = len(db.query(f"SELECT 1 FROM t WHERE v > {bound}"))
+    complement = len(db.query(f"SELECT 1 FROM t WHERE NOT (v > {bound})"))
+    assert matching + complement == len(rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_sum_matches_python(rows):
+    db = _db_with_rows(rows)
+    expected = sum(v for _n, v in rows) if rows else None
+    assert db.query_scalar("SELECT SUM(v) FROM t") == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_distinct_no_duplicates(rows):
+    db = _db_with_rows(rows)
+    values = [r[0] for r in db.query("SELECT DISTINCT name FROM t")]
+    assert len(values) == len(set(values))
+    assert set(values) == {n for n, _v in rows}
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_union_all_is_concatenation(rows):
+    db = _db_with_rows(rows)
+    doubled = db.query("SELECT v FROM t UNION ALL SELECT v FROM t")
+    assert len(doubled) == 2 * len(rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_except_self_is_empty(rows):
+    db = _db_with_rows(rows)
+    assert db.query("SELECT v FROM t EXCEPT SELECT v FROM t") == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy, limit=st.integers(min_value=0, max_value=30))
+def test_limit_bounds_result(rows, limit):
+    db = _db_with_rows(rows)
+    result = db.query(f"SELECT id FROM t LIMIT {limit}")
+    assert len(result) == min(limit, len(rows))
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy)
+def test_group_by_counts_sum_to_total(rows):
+    db = _db_with_rows(rows)
+    groups = db.query("SELECT name, COUNT(*) FROM t GROUP BY name")
+    assert sum(c for _n, c in groups) == len(rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=rows_strategy, bound=_ints)
+def test_update_then_select_consistent(rows, bound):
+    db = _db_with_rows(rows)
+    db.execute(f"UPDATE t SET v = 0 WHERE v > {bound}")
+    assert db.query(f"SELECT 1 FROM t WHERE v > {max(bound, 0)}") == []

@@ -1,0 +1,78 @@
+"""Transaction (BEGIN/COMMIT/ROLLBACK) semantics."""
+
+import pytest
+
+from repro.errors import SQLTransactionError
+from repro.sqldb import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE accounts (owner TEXT PRIMARY KEY, balance REAL);"
+        "INSERT INTO accounts VALUES ('alice', 100.0), ('bob', 50.0)"
+    )
+    return database
+
+
+class TestTransactions:
+    def test_commit_persists(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE accounts SET balance = balance - 10 WHERE owner = 'alice'")
+        db.execute("COMMIT")
+        assert db.query_scalar("SELECT balance FROM accounts WHERE owner = 'alice'") == 90.0
+
+    def test_rollback_restores(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE accounts SET balance = 0")
+        db.execute("DELETE FROM accounts WHERE owner = 'bob'")
+        db.execute("ROLLBACK")
+        assert db.query_scalar("SELECT balance FROM accounts WHERE owner = 'alice'") == 100.0
+        assert db.query_scalar("SELECT COUNT(*) FROM accounts") == 2
+
+    def test_rollback_restores_ddl(self, db):
+        db.execute("BEGIN")
+        db.execute("CREATE TABLE scratch (x INTEGER)")
+        db.execute("ROLLBACK")
+        assert not db.has_table("scratch")
+
+    def test_in_transaction_flag(self, db):
+        assert not db.in_transaction
+        db.execute("BEGIN")
+        assert db.in_transaction
+        db.execute("COMMIT")
+        assert not db.in_transaction
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(SQLTransactionError):
+            db.execute("BEGIN")
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(SQLTransactionError):
+            db.execute("COMMIT")
+
+    def test_rollback_without_begin(self, db):
+        with pytest.raises(SQLTransactionError):
+            db.execute("ROLLBACK")
+
+    def test_script_transaction(self, db):
+        db.execute(
+            "BEGIN;"
+            "UPDATE accounts SET balance = balance - 25 WHERE owner = 'alice';"
+            "UPDATE accounts SET balance = balance + 25 WHERE owner = 'bob';"
+            "COMMIT;"
+        )
+        assert db.query_scalar("SELECT SUM(balance) FROM accounts") == 150.0
+        assert db.query_scalar("SELECT balance FROM accounts WHERE owner = 'bob'") == 75.0
+
+    def test_reads_inside_transaction_see_writes(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE accounts SET balance = 1.0 WHERE owner = 'alice'")
+        assert db.query_scalar("SELECT balance FROM accounts WHERE owner = 'alice'") == 1.0
+        db.execute("ROLLBACK")
+
+    def test_begin_transaction_keyword(self, db):
+        db.execute("BEGIN TRANSACTION")
+        db.execute("COMMIT TRANSACTION")

@@ -1,0 +1,92 @@
+"""Value typing and coercion tests."""
+
+import pytest
+
+from repro.errors import SQLTypeError
+from repro.sqldb.types import SQLType, coerce, infer_type, sort_key
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INT", SQLType.INTEGER),
+            ("integer", SQLType.INTEGER),
+            ("BIGINT", SQLType.INTEGER),
+            ("FLOAT", SQLType.REAL),
+            ("DOUBLE", SQLType.REAL),
+            ("varchar", SQLType.TEXT),
+            ("VARCHAR(255)", SQLType.TEXT),
+            ("bool", SQLType.BOOLEAN),
+        ],
+    )
+    def test_synonyms(self, name, expected):
+        assert SQLType.from_name(name) is expected
+
+    def test_unknown_type(self):
+        with pytest.raises(SQLTypeError):
+            SQLType.from_name("BLOB8")
+
+
+class TestCoerce:
+    def test_null_passes_through(self):
+        for sql_type in SQLType:
+            assert coerce(None, sql_type) is None
+
+    def test_int_from_string(self):
+        assert coerce("42", SQLType.INTEGER) == 42
+
+    def test_int_from_whole_float(self):
+        assert coerce(3.0, SQLType.INTEGER) == 3
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(SQLTypeError):
+            coerce(3.5, SQLType.INTEGER)
+
+    def test_real_from_int(self):
+        result = coerce(3, SQLType.REAL)
+        assert result == 3.0
+        assert isinstance(result, float)
+
+    def test_text_from_number(self):
+        assert coerce(5, SQLType.TEXT) == "5"
+
+    def test_bool_from_string(self):
+        assert coerce("true", SQLType.BOOLEAN) is True
+        assert coerce("F", SQLType.BOOLEAN) is False
+
+    def test_bool_rejects_garbage(self):
+        with pytest.raises(SQLTypeError):
+            coerce("maybe", SQLType.BOOLEAN)
+
+    def test_int_rejects_garbage(self):
+        with pytest.raises(SQLTypeError):
+            coerce("abc", SQLType.INTEGER)
+
+
+class TestInference:
+    def test_bool_before_int(self):
+        assert infer_type(True) is SQLType.BOOLEAN
+
+    def test_infer(self):
+        assert infer_type(1) is SQLType.INTEGER
+        assert infer_type(1.5) is SQLType.REAL
+        assert infer_type("x") is SQLType.TEXT
+
+    def test_unsupported(self):
+        with pytest.raises(SQLTypeError):
+            infer_type([1])
+
+
+class TestSortKey:
+    def test_null_sorts_first(self):
+        values = ["b", None, 1, "a", 2.5]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+
+    def test_numbers_before_text(self):
+        ordered = sorted(["z", 10], key=sort_key)
+        assert ordered == [10, "z"]
+
+    def test_mixed_numeric_compare(self):
+        assert sort_key(2) < sort_key(2.5)

@@ -1,0 +1,197 @@
+"""Grid, operator and synthesis tests for tablekit."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.tablekit import (
+    DeleteEmptyColumns,
+    DeleteEmptyRows,
+    FillDown,
+    Grid,
+    PromoteHeader,
+    Transpose,
+    Unpivot,
+    apply_program,
+    parse_program,
+    relational_score,
+    synthesize_program,
+)
+from repro.tablekit.grid import cell_f1
+from repro.tablekit.ops import Pivot
+from repro.tablekit.synthesis import program_to_text
+
+
+class TestGrid:
+    def test_ragged_rows_padded(self):
+        grid = Grid([[1, 2, 3], [4]])
+        assert grid.n_cols == 3
+        assert grid.cells[1] == [4, None, None]
+
+    def test_header_width_check(self):
+        with pytest.raises(ValueError):
+            Grid([[1, 2]], header=["only_one"])
+
+    def test_render_roundtrip(self):
+        grid = Grid([["a", 1], ["b", 2]], header=["name", "qty"])
+        back = Grid.from_render(grid.render(), has_header=True)
+        assert back.header == ["name", "qty"]
+        assert back.cells == [["a", "1"], ["b", "2"]]
+
+    def test_to_records(self):
+        grid = Grid([["a", 1]], header=["name", "qty"])
+        assert grid.to_records() == [{"name": "a", "qty": 1}]
+
+    def test_to_records_requires_header(self):
+        with pytest.raises(ValueError):
+            Grid([[1]]).to_records()
+
+    def test_copy_is_deep(self):
+        grid = Grid([[1]], header=["a"])
+        clone = grid.copy()
+        clone.cells[0][0] = 99
+        assert grid.cells[0][0] == 1
+
+    def test_equality(self):
+        assert Grid([[1]], header=["a"]) == Grid([[1]], header=["a"])
+        assert Grid([[1]]) != Grid([[2]])
+
+
+class TestOperators:
+    def test_transpose(self):
+        grid = Grid([[1, 2], [3, 4]])
+        assert Transpose().apply(grid).cells == [[1, 3], [2, 4]]
+
+    def test_transpose_includes_header(self):
+        grid = Grid([[1, 2]], header=["a", "b"])
+        out = Transpose().apply(grid)
+        assert out.header is None
+        assert out.cells == [["a", 1], ["b", 2]]
+
+    def test_promote_header(self):
+        grid = Grid([["name", "qty"], ["a", 1]])
+        out = PromoteHeader().apply(grid)
+        assert out.header == ["name", "qty"]
+        assert out.cells == [["a", 1]]
+
+    def test_promote_header_rejects_empty_cells(self):
+        with pytest.raises(TransformError):
+            PromoteHeader().apply(Grid([["name", None], ["a", 1]]))
+
+    def test_promote_header_twice_rejected(self):
+        grid = Grid([["a", 1]], header=["x", "y"])
+        with pytest.raises(TransformError):
+            PromoteHeader().apply(grid)
+
+    def test_delete_empty_rows(self):
+        grid = Grid([[1, 2], [None, None], [3, 4]])
+        assert DeleteEmptyRows().apply(grid).n_rows == 2
+
+    def test_delete_empty_cols(self):
+        grid = Grid([[1, None, 2], [3, None, 4]], header=["a", "", "c"])
+        out = DeleteEmptyColumns().apply(grid)
+        assert out.header == ["a", "c"]
+        assert out.cells == [[1, 2], [3, 4]]
+
+    def test_fill_down(self):
+        grid = Grid([["x", 1], [None, 2], [None, 3], ["y", 4]])
+        out = FillDown().apply(grid)
+        assert [r[0] for r in out.cells] == ["x", "x", "x", "y"]
+
+    def test_unpivot(self):
+        grid = Grid([["north", 10, 20], ["south", 5, None]], header=["region", "Q1", "Q2"])
+        out = Unpivot(1).apply(grid)
+        assert out.header == ["region", "variable", "value"]
+        assert ["north", "Q1", 10] in out.cells
+        assert len(out.cells) == 3  # None value skipped
+
+    def test_unpivot_requires_header(self):
+        with pytest.raises(TransformError):
+            Unpivot(1).apply(Grid([[1, 2]]))
+
+    def test_pivot_inverts_unpivot(self):
+        wide = Grid([["north", 10, 20], ["south", 5, 7]], header=["region", "Q1", "Q2"])
+        long = Unpivot(1).apply(wide)
+        back = Pivot().apply(long)
+        assert back == wide
+
+    def test_parse_program(self):
+        program = parse_program("promote_header; unpivot(2)")
+        assert [type(op).__name__ for op in program] == ["PromoteHeader", "Unpivot"]
+        assert program[1].n_id == 2
+
+    def test_parse_program_unknown(self):
+        with pytest.raises(TransformError):
+            parse_program("frobnicate")
+
+    def test_program_text_roundtrip(self):
+        program = [PromoteHeader(), Unpivot(2)]
+        assert parse_program(program_to_text(program)) == program
+
+    def test_apply_program(self):
+        grid = Grid([["name", "qty"], ["a", 1]])
+        out = apply_program(grid, parse_program("promote_header"))
+        assert out.header == ["name", "qty"]
+
+
+class TestScoring:
+    def test_empty_grid_scores_zero(self):
+        assert relational_score(Grid([])) == 0.0
+
+    def test_relational_table_scores_high(self):
+        grid = Grid([["a", 1], ["b", 2], ["c", 3]], header=["name", "qty"])
+        assert relational_score(grid) > 0.9
+
+    def test_headerless_scores_lower(self):
+        with_header = Grid([["a", 1], ["b", 2]], header=["n", "q"])
+        without = Grid([["a", 1], ["b", 2]])
+        assert relational_score(with_header) > relational_score(without)
+
+    def test_cell_f1_identical(self):
+        grid = Grid([["a", 1]], header=["n", "q"])
+        assert cell_f1(grid, grid) == 1.0
+
+    def test_cell_f1_partial(self):
+        gold = Grid([["a", 1], ["b", 2]], header=["n", "q"])
+        pred = Grid([["a", 1]], header=["n", "q"])
+        assert 0 < cell_f1(pred, gold) < 1
+
+    def test_cell_f1_order_insensitive(self):
+        gold = Grid([["a", 1], ["b", 2]], header=["n", "q"])
+        pred = Grid([["b", 2], ["a", 1]], header=["n", "q"])
+        assert cell_f1(pred, gold) == 1.0
+
+
+class TestSynthesis:
+    def test_promote_header_discovered(self):
+        grid = Grid([["name", "qty"], ["a", 1], ["b", 2]])
+        program, result, score = synthesize_program(grid)
+        assert any(type(op).__name__ == "PromoteHeader" for op in program)
+        assert result.header == ["name", "qty"]
+
+    def test_cleanup_sequence_discovered(self):
+        grid = Grid(
+            [["name", "qty", None], ["a", 1, None], [None, None, None], ["b", 2, None]]
+        )
+        _program, result, _score = synthesize_program(grid)
+        assert result.header == ["name", "qty"]
+        assert result.n_rows == 2
+        assert result.n_cols == 2
+
+    def test_target_mode_exact_match(self):
+        source = Grid([["name", "qty"], ["a", 1]])
+        target = Grid([["a", 1]], header=["name", "qty"])
+        program, result, score = synthesize_program(source, target=target)
+        assert score == 1.0
+        assert result == target
+
+    def test_transposed_grid_recovered(self):
+        # Attribute-per-row layout: transpose then promote header.
+        grid = Grid([["name", "a", "b", "c"], ["qty", 1, 2, 3]])
+        _program, result, score = synthesize_program(grid)
+        assert score > 0.85
+        assert result.n_rows >= result.n_cols
+
+    def test_already_relational_needs_no_ops(self):
+        grid = Grid([["a", 1], ["b", 2], ["c", 3]], header=["name", "qty"])
+        program, _result, _score = synthesize_program(grid)
+        assert program == []

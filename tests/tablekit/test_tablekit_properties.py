@@ -1,0 +1,68 @@
+"""Property-based tests for tablekit operators (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tablekit import Grid, Transpose, Unpivot
+from repro.tablekit.ops import Pivot
+
+cell = st.one_of(
+    st.integers(min_value=-999, max_value=999),
+    st.text(alphabet="abcxyz", min_size=1, max_size=5),
+)
+
+
+@st.composite
+def grids(draw, min_rows=1, max_rows=6, min_cols=1, max_cols=5):
+    n_rows = draw(st.integers(min_rows, max_rows))
+    n_cols = draw(st.integers(min_cols, max_cols))
+    cells = [[draw(cell) for _c in range(n_cols)] for _r in range(n_rows)]
+    return Grid(cells)
+
+
+@st.composite
+def wide_grids(draw):
+    """Headered grids with unique ids and no empty cells (unpivot-safe)."""
+    n_rows = draw(st.integers(1, 5))
+    n_vars = draw(st.integers(2, 4))
+    header = ["id"] + [f"v{j}" for j in range(n_vars)]
+    cells = []
+    for i in range(n_rows):
+        cells.append([f"row{i}"] + [draw(st.integers(0, 99)) for _j in range(n_vars)])
+    return Grid(cells, header=header)
+
+
+@settings(max_examples=40, deadline=None)
+@given(grid=grids())
+def test_transpose_is_involution(grid):
+    assert Transpose().apply(Transpose().apply(grid)) == grid
+
+
+@settings(max_examples=40, deadline=None)
+@given(grid=grids())
+def test_transpose_swaps_shape(grid):
+    out = Transpose().apply(grid)
+    assert (out.n_rows, out.n_cols) == (grid.n_cols, grid.n_rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(grid=wide_grids())
+def test_unpivot_pivot_roundtrip(grid):
+    assert Pivot().apply(Unpivot(1).apply(grid)) == grid
+
+
+@settings(max_examples=40, deadline=None)
+@given(grid=wide_grids())
+def test_unpivot_row_count(grid):
+    long = Unpivot(1).apply(grid)
+    assert long.n_rows == grid.n_rows * (grid.n_cols - 1)
+    assert long.header == ["id", "variable", "value"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(grid=grids())
+def test_render_roundtrip_headerless(grid):
+    # Rendering stringifies cells; round-trip preserves the string view.
+    rendered = grid.render()
+    back = Grid.from_render(rendered, has_header=False)
+    assert back.render() == rendered

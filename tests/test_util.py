@@ -1,0 +1,110 @@
+"""Unit tests for the shared helpers in repro._util."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import (
+    chunked,
+    cosine,
+    jaccard,
+    levenshtein,
+    levenshtein_ratio,
+    normalize_text,
+    rng_from,
+    softmax,
+    stable_hash,
+    words,
+)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("hello") == stable_hash("hello")
+
+    def test_different_inputs_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_bits_bound(self):
+        assert 0 <= stable_hash("x", bits=16) < (1 << 16)
+
+
+class TestRngFrom:
+    def test_int_seed_reproducible(self):
+        assert rng_from(7).random() == rng_from(7).random()
+
+    def test_string_seed_reproducible(self):
+        assert rng_from("seed").random() == rng_from("seed").random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert rng_from(rng) is rng
+
+
+class TestTextHelpers:
+    def test_normalize(self):
+        assert normalize_text("  Hello\t WORLD ") == "hello world"
+
+    def test_words(self):
+        assert words("it's a test-case 42") == ["it's", "a", "test", "case", "42"]
+
+    def test_jaccard(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+        assert jaccard([], []) == 1.0
+        assert jaccard(["a"], []) == 0.0
+
+    def test_levenshtein(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("same", "same") == 0
+
+    def test_levenshtein_ratio(self):
+        assert levenshtein_ratio("", "") == 1.0
+        assert levenshtein_ratio("ab", "ab") == 1.0
+        assert 0.0 <= levenshtein_ratio("abcd", "wxyz") <= 1.0
+
+
+class TestNumericHelpers:
+    def test_cosine_bounds(self):
+        assert cosine([1, 0], [0, 1]) == pytest.approx(0.0)
+        assert cosine([1, 1], [1, 1]) == pytest.approx(1.0)
+        assert cosine([0, 0], [1, 1]) == 0.0
+
+    def test_softmax_sums_to_one(self):
+        out = softmax([1.0, 2.0, 3.0])
+        assert sum(out) == pytest.approx(1.0)
+        assert out == sorted(out)
+
+    def test_softmax_empty(self):
+        assert softmax([]) == []
+
+    def test_softmax_stability(self):
+        out = softmax([1e5, 1e5 + 1])
+        assert all(np.isfinite(out))
+
+    def test_chunked(self):
+        assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+        assert chunked([], 3) == []
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=st.text(max_size=15), b=st.text(max_size=15))
+def test_levenshtein_symmetry(a, b):
+    assert levenshtein(a, b) == levenshtein(b, a)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=st.text(max_size=10), b=st.text(max_size=10), c=st.text(max_size=10))
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+@settings(max_examples=50, deadline=None)
+@given(xs=st.lists(st.sampled_from("abcdef"), max_size=12), ys=st.lists(st.sampled_from("abcdef"), max_size=12))
+def test_jaccard_bounds_and_symmetry(xs, ys):
+    value = jaccard(xs, ys)
+    assert 0.0 <= value <= 1.0
+    assert value == jaccard(ys, xs)

@@ -1,0 +1,191 @@
+"""Metadata filters, hybrid search strategies, and distance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CollectionError
+from repro.vectordb import Collection, FilterStrategy, Metric, MetadataFilter
+from repro.vectordb.distance import pairwise_similarity, similarity_matrix
+
+
+class TestMetadataFilter:
+    def test_equality(self):
+        f = MetadataFilter({"kind": "text"})
+        assert f.matches({"kind": "text"})
+        assert not f.matches({"kind": "table"})
+
+    def test_missing_field_fails(self):
+        assert not MetadataFilter({"kind": "text"}).matches({})
+
+    def test_empty_filter_matches_all(self):
+        f = MetadataFilter()
+        assert f.matches({"anything": 1})
+        assert not f  # falsy
+
+    def test_range_operators(self):
+        f = MetadataFilter({"year": {"gte": 2000, "lt": 2010}})
+        assert f.matches({"year": 2005})
+        assert not f.matches({"year": 2010})
+        assert not f.matches({"year": 1999})
+
+    def test_in_operator(self):
+        f = MetadataFilter({"tag": {"in": ["a", "b"]}})
+        assert f.matches({"tag": "a"})
+        assert not f.matches({"tag": "c"})
+
+    def test_contains(self):
+        f = MetadataFilter({"title": {"contains": "jordan"}})
+        assert f.matches({"title": "Michael Jordan bio"})
+        assert not f.matches({"title": "unrelated"})
+
+    def test_ne(self):
+        f = MetadataFilter({"kind": {"ne": "image"}})
+        assert f.matches({"kind": "text"})
+        assert not f.matches({"kind": "image"})
+
+    def test_conjunction(self):
+        f = MetadataFilter({"kind": "text", "year": {"gt": 2000}})
+        assert f.matches({"kind": "text", "year": 2001})
+        assert not f.matches({"kind": "text", "year": 1999})
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            MetadataFilter({"x": {"weird": 1}})
+
+    def test_selectivity(self):
+        f = MetadataFilter({"kind": "a"})
+        metas = [{"kind": "a"}, {"kind": "b"}, {"kind": "a"}, {"kind": "c"}]
+        assert f.selectivity(metas) == 0.5
+
+    def test_null_comparison_safe(self):
+        f = MetadataFilter({"year": {"lt": 5}})
+        assert not f.matches({"year": None})
+
+
+class TestDistance:
+    def test_cosine_identity(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert pairwise_similarity(v, v, Metric.COSINE) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        a, b = np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        assert pairwise_similarity(a, b, Metric.COSINE) == pytest.approx(0.0)
+
+    def test_cosine_zero_vector(self):
+        assert pairwise_similarity(np.zeros(3), np.ones(3), Metric.COSINE) == 0.0
+
+    def test_l2_negated(self):
+        a, b = np.zeros(2), np.array([3.0, 4.0])
+        assert pairwise_similarity(a, b, Metric.L2) == pytest.approx(-5.0)
+
+    def test_dot(self):
+        a, b = np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        assert pairwise_similarity(a, b, Metric.DOT) == pytest.approx(11.0)
+
+    def test_matrix_shape(self):
+        sims = similarity_matrix(np.ones(4), np.ones((7, 4)), Metric.COSINE)
+        assert sims.shape == (7,)
+
+    def test_empty_matrix(self):
+        assert similarity_matrix(np.ones(4), np.zeros((0, 4)), Metric.COSINE).shape == (0,)
+
+
+@pytest.fixture()
+def collection():
+    rng = np.random.default_rng(0)
+    c = Collection(dim=8)
+    for i in range(100):
+        c.add(
+            f"i{i}",
+            rng.normal(size=8),
+            metadata={"group": i % 10, "even": i % 2 == 0},
+            payload={"index": i},
+        )
+    return c
+
+
+class TestCollection:
+    def test_len_contains(self, collection):
+        assert len(collection) == 100
+        assert "i3" in collection
+
+    def test_payload_roundtrip(self, collection):
+        assert collection.get_payload("i5") == {"index": 5}
+
+    def test_metadata_roundtrip(self, collection):
+        assert collection.get_metadata("i4")["group"] == 4
+
+    def test_unknown_id(self, collection):
+        with pytest.raises(CollectionError):
+            collection.get_metadata("ghost")
+
+    def test_unfiltered_search(self, collection):
+        report = collection.search(collection.get_vector("i7"), k=5)
+        assert report.hits[0].id == "i7"
+        assert len(report) == 5
+        assert report.satisfied
+
+    def test_pre_filter_strategy(self, collection):
+        query = collection.get_vector("i13")
+        report = collection.search(query, k=5, where={"group": 3}, strategy=FilterStrategy.PRE)
+        assert report.strategy is FilterStrategy.PRE
+        assert all(h.metadata["group"] == 3 for h in report.hits)
+        assert "i13" in [h.id for h in report.hits]
+
+    def test_post_filter_strategy(self, collection):
+        query = collection.get_vector("i13")
+        report = collection.search(query, k=5, where={"group": 3}, strategy=FilterStrategy.POST)
+        assert report.strategy is FilterStrategy.POST
+        assert all(h.metadata["group"] == 3 for h in report.hits)
+
+    def test_adaptive_picks_pre_for_selective(self, collection):
+        report = collection.search(np.ones(8), k=3, where={"group": 3})
+        assert report.strategy is FilterStrategy.PRE  # selectivity 0.1 <= 0.25
+
+    def test_adaptive_picks_post_for_broad(self, collection):
+        report = collection.search(np.ones(8), k=3, where={"even": True})
+        assert report.strategy is FilterStrategy.POST  # selectivity 0.5
+
+    def test_post_filter_can_underfill_without_overfetch(self):
+        rng = np.random.default_rng(1)
+        c = Collection(dim=4, overfetch=1.0)  # no widening
+        for i in range(50):
+            c.add(f"i{i}", rng.normal(size=4), metadata={"rare": i == 49})
+        report = c.search(rng.normal(size=4), k=5, where={"rare": True}, strategy=FilterStrategy.POST)
+        # Only one item matches; satisfied only if it surfaced in top-5 scan.
+        assert len(report.hits) <= 1
+        if len(report.hits) < 1:
+            assert not report.satisfied
+
+    def test_remove(self, collection):
+        collection.remove("i0")
+        assert "i0" not in collection
+        assert len(collection) == 99
+
+    def test_duplicate_add_rejected(self, collection):
+        with pytest.raises(CollectionError):
+            collection.add("i1", np.ones(8))
+
+    def test_report_selectivity_estimate(self, collection):
+        report = collection.search(np.ones(8), k=3, where={"group": 2})
+        assert report.estimated_selectivity == pytest.approx(0.1)
+
+    def test_invalid_index_type(self):
+        with pytest.raises(ValueError):
+            Collection(dim=4, index="btree")
+
+    def test_ivf_backed_collection(self):
+        rng = np.random.default_rng(2)
+        c = Collection(dim=8, index="ivf", nlist=4, nprobe=4)
+        for i in range(60):
+            c.add(f"i{i}", rng.normal(size=8))
+        report = c.search(c.get_vector("i10"), k=1)
+        assert report.hits[0].id == "i10"
+
+    def test_hnsw_backed_collection(self):
+        rng = np.random.default_rng(3)
+        c = Collection(dim=8, index="hnsw")
+        for i in range(60):
+            c.add(f"i{i}", rng.normal(size=8))
+        report = c.search(c.get_vector("i10"), k=1)
+        assert report.hits[0].id == "i10"

@@ -1,0 +1,208 @@
+"""Vector index tests: flat (exact), IVF and HNSW (approximate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CollectionError, DimensionMismatchError
+from repro.vectordb import FlatIndex, HNSWIndex, IVFIndex, Metric
+
+
+def make_data(n=200, dim=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, dim))
+
+
+@pytest.fixture(params=["flat", "ivf", "hnsw"])
+def index_factory(request):
+    def factory(dim=16):
+        if request.param == "flat":
+            return FlatIndex(dim)
+        if request.param == "ivf":
+            return IVFIndex(dim, nlist=8, nprobe=8)  # full probe = near exact
+        return HNSWIndex(dim, m=8, ef_search=64)
+
+    factory.kind = request.param
+    return factory
+
+
+class TestCommonBehavior:
+    def test_add_and_len(self, index_factory):
+        index = index_factory()
+        index.add("a", np.ones(16))
+        assert len(index) == 1
+        assert "a" in index
+
+    def test_duplicate_id_rejected(self, index_factory):
+        index = index_factory()
+        index.add("a", np.ones(16))
+        with pytest.raises(CollectionError):
+            index.add("a", np.zeros(16))
+
+    def test_dimension_mismatch(self, index_factory):
+        index = index_factory()
+        with pytest.raises(DimensionMismatchError):
+            index.add("a", np.ones(8))
+
+    def test_get_roundtrip(self, index_factory):
+        index = index_factory()
+        vector = np.arange(16, dtype=float)
+        index.add("a", vector)
+        assert np.allclose(index.get("a"), vector)
+
+    def test_get_unknown(self, index_factory):
+        index = index_factory()
+        with pytest.raises(CollectionError):
+            index.get("ghost")
+
+    def test_remove(self, index_factory):
+        index = index_factory()
+        index.add("a", np.ones(16))
+        index.remove("a")
+        assert "a" not in index
+        with pytest.raises(CollectionError):
+            index.remove("a")
+
+    def test_search_empty(self, index_factory):
+        index = index_factory()
+        assert index.search(np.ones(16), k=3) == []
+
+    def test_search_k_zero(self, index_factory):
+        index = index_factory()
+        index.add("a", np.ones(16))
+        assert index.search(np.ones(16), k=0) == []
+
+    def test_self_query_returns_self_first(self, index_factory):
+        index = index_factory()
+        data = make_data(50)
+        for i, v in enumerate(data):
+            index.add(f"v{i}", v)
+        hits = index.search(data[7], k=1)
+        assert hits[0][0] == "v7"
+
+    def test_scores_descend(self, index_factory):
+        index = index_factory()
+        for i, v in enumerate(make_data(60)):
+            index.add(f"v{i}", v)
+        hits = index.search(make_data(1, seed=9)[0], k=10)
+        scores = [s for _i, s in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_allowed_ids_restrict(self, index_factory):
+        index = index_factory()
+        data = make_data(40)
+        for i, v in enumerate(data):
+            index.add(f"v{i}", v)
+        allowed = [f"v{i}" for i in range(5)]
+        hits = index.search(data[30], k=10, allowed_ids=allowed)
+        assert all(h[0] in allowed for h in hits)
+
+
+class TestRecall:
+    @pytest.mark.parametrize("kind", ["ivf", "hnsw"])
+    def test_ann_recall_against_flat(self, kind):
+        data = make_data(300, seed=3)
+        flat = FlatIndex(16)
+        ann = (
+            IVFIndex(16, nlist=10, nprobe=5, seed=1)
+            if kind == "ivf"
+            else HNSWIndex(16, m=8, ef_search=48, seed=1)
+        )
+        for i, v in enumerate(data):
+            flat.add(f"v{i}", v)
+            ann.add(f"v{i}", v)
+        rng = np.random.default_rng(5)
+        recalls = []
+        for _q in range(20):
+            query = data[rng.integers(0, 300)] + rng.normal(scale=0.05, size=16)
+            truth = {h[0] for h in flat.search(query, 10)}
+            got = {h[0] for h in ann.search(query, 10)}
+            recalls.append(len(truth & got) / 10)
+        assert sum(recalls) / len(recalls) >= 0.8
+
+    def test_ivf_nprobe_improves_recall(self):
+        data = make_data(400, seed=7)
+        flat = FlatIndex(16)
+        narrow = IVFIndex(16, nlist=16, nprobe=1, seed=1)
+        wide = IVFIndex(16, nlist=16, nprobe=16, seed=1)
+        for i, v in enumerate(data):
+            flat.add(f"v{i}", v)
+            narrow.add(f"v{i}", v)
+            wide.add(f"v{i}", v)
+        rng = np.random.default_rng(11)
+        narrow_recall = wide_recall = 0
+        for _q in range(15):
+            query = rng.normal(size=16)
+            truth = {h[0] for h in flat.search(query, 10)}
+            narrow_recall += len(truth & {h[0] for h in narrow.search(query, 10)})
+            wide_recall += len(truth & {h[0] for h in wide.search(query, 10)})
+        assert wide_recall >= narrow_recall
+        assert wide_recall == 150  # full probe = exact
+
+
+class TestFlatSpecifics:
+    def test_compaction_preserves_results(self):
+        index = FlatIndex(4)
+        data = make_data(100, dim=4)
+        for i, v in enumerate(data):
+            index.add(f"v{i}", v)
+        for i in range(0, 80):
+            index.remove(f"v{i}")
+        assert len(index) == 20
+        hits = index.search(data[90], k=1)
+        assert hits[0][0] == "v90"
+
+    def test_l2_metric(self):
+        index = FlatIndex(2, metric=Metric.L2)
+        index.add("near", np.array([1.0, 1.0]))
+        index.add("far", np.array([10.0, 10.0]))
+        hits = index.search(np.array([0.0, 0.0]), k=2)
+        assert hits[0][0] == "near"
+
+    def test_dot_metric(self):
+        index = FlatIndex(2, metric=Metric.DOT)
+        index.add("big", np.array([5.0, 5.0]))
+        index.add("small", np.array([1.0, 1.0]))
+        hits = index.search(np.array([1.0, 1.0]), k=2)
+        assert hits[0][0] == "big"
+
+
+class TestIVFSpecifics:
+    def test_train_on_empty_raises(self):
+        with pytest.raises(CollectionError):
+            IVFIndex(4).train()
+
+    def test_lazy_training_on_search(self):
+        index = IVFIndex(4, nlist=2)
+        for i, v in enumerate(make_data(20, dim=4)):
+            index.add(f"v{i}", v)
+        assert not index.is_trained
+        index.search(np.ones(4), k=1)
+        assert index.is_trained
+
+    def test_add_after_training_assigns(self):
+        index = IVFIndex(4, nlist=2, nprobe=2)
+        for i, v in enumerate(make_data(20, dim=4)):
+            index.add(f"v{i}", v)
+        index.train()
+        index.add("late", np.ones(4) * 0.1)
+        hits = index.search(np.ones(4) * 0.1, k=1)
+        assert hits[0][0] == "late"
+
+
+class TestHNSWSpecifics:
+    def test_entry_point_survives_removal(self):
+        index = HNSWIndex(4, seed=2)
+        data = make_data(30, dim=4)
+        for i, v in enumerate(data):
+            index.add(f"v{i}", v)
+        # Remove the current entry point, whatever it is.
+        entry = index._entry
+        index.remove(entry)
+        hits = index.search(data[3], k=3)
+        assert len(hits) == 3
+        assert entry not in [h[0] for h in hits]
+
+    def test_single_element(self):
+        index = HNSWIndex(4)
+        index.add("only", np.ones(4))
+        assert index.search(np.ones(4), k=5) == [("only", pytest.approx(1.0))]

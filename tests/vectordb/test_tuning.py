@@ -1,0 +1,93 @@
+"""ANN knob auto-tuning tests (refs [72, 73])."""
+
+import numpy as np
+import pytest
+
+from repro.vectordb import (
+    FlatIndex,
+    HNSWIndex,
+    IVFIndex,
+    measure_recall,
+    tune_ef_search,
+    tune_nprobe,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(13)
+    data = rng.normal(size=(400, 16))
+    flat = FlatIndex(16)
+    for i, v in enumerate(data):
+        flat.add(f"v{i}", v)
+    queries = [data[int(i)] + rng.normal(scale=0.05, size=16) for i in rng.integers(0, 400, 15)]
+    return data, flat, queries
+
+
+def build_ivf(data, nprobe=1):
+    ivf = IVFIndex(16, nlist=20, nprobe=nprobe, seed=1)
+    for i, v in enumerate(data):
+        ivf.add(f"v{i}", v)
+    ivf.train()
+    return ivf
+
+
+class TestMeasureRecall:
+    def test_reference_against_itself(self, corpus):
+        _data, flat, queries = corpus
+        assert measure_recall(flat, flat, queries) == 1.0
+
+    def test_requires_queries(self, corpus):
+        _data, flat, _queries = corpus
+        with pytest.raises(ValueError):
+            measure_recall(flat, flat, [])
+
+    def test_narrow_probe_lower_recall(self, corpus):
+        data, flat, queries = corpus
+        narrow = build_ivf(data, nprobe=1)
+        wide = build_ivf(data, nprobe=20)
+        assert measure_recall(narrow, flat, queries) <= measure_recall(wide, flat, queries)
+
+
+class TestTuneNprobe:
+    def test_meets_target(self, corpus):
+        data, flat, queries = corpus
+        ivf = build_ivf(data)
+        result = tune_nprobe(ivf, flat, queries, target_recall=0.9)
+        assert result.met_target
+        assert 1 <= result.value <= 20
+        assert ivf.nprobe == result.value
+
+    def test_minimality(self, corpus):
+        data, flat, queries = corpus
+        ivf = build_ivf(data)
+        result = tune_nprobe(ivf, flat, queries, target_recall=0.9)
+        if result.value > 1:
+            ivf.nprobe = result.value - 1
+            assert measure_recall(ivf, flat, queries) < 0.9
+            ivf.nprobe = result.value
+
+    def test_binary_search_cheaper_than_sweep(self, corpus):
+        data, flat, queries = corpus
+        ivf = build_ivf(data)
+        result = tune_nprobe(ivf, flat, queries, target_recall=0.9)
+        assert result.evaluations <= 6  # log2(20) rounds, not 20
+
+    def test_loose_target_small_knob(self, corpus):
+        data, flat, queries = corpus
+        ivf = build_ivf(data)
+        loose = tune_nprobe(ivf, flat, queries, target_recall=0.3)
+        ivf2 = build_ivf(data)
+        strict = tune_nprobe(ivf2, flat, queries, target_recall=0.97)
+        assert loose.value <= strict.value
+
+
+class TestTuneEfSearch:
+    def test_meets_target(self, corpus):
+        data, flat, queries = corpus
+        hnsw = HNSWIndex(16, m=8, ef_search=4, seed=1)
+        for i, v in enumerate(data):
+            hnsw.add(f"v{i}", v)
+        result = tune_ef_search(hnsw, flat, queries, target_recall=0.9)
+        assert result.met_target
+        assert hnsw.ef_search == result.value
