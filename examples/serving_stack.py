@@ -1,16 +1,17 @@
-"""The full Section III serving stack, composed.
+"""The full Section III serving stack, composed as middleware.
 
 An LLM proxy for data-management workloads, assembled from the paper's
-five challenge solutions: prompt selection feeds few-shot examples, the
-semantic cache absorbs repeats, the cascade routes cache misses through
-cheap models first, query decomposition shares sub-queries, and the secure
-deployment wrapper accounts for the privacy posture of every call.
+challenge solutions through `repro.serving`: the semantic cache absorbs
+repeats, the cascade routes cache misses through cheap models first, a
+budget layer caps spending, and every layer writes its counters into one
+ServiceStats snapshot. Query decomposition and the secure deployment
+wrapper round out the tour.
 
 Run with:  python examples/serving_stack.py
 """
 
 from repro.core.cache import SemanticCache
-from repro.core.cascade import CascadeClient, ConfidenceDecisionModel
+from repro.core.cascade import ConfidenceDecisionModel
 from repro.core.decompose import QueryOptimizer
 from repro.core.privacy.secure import Deployment, SecureLLMClient
 from repro.core.prompts.templates import qa_prompt
@@ -19,47 +20,50 @@ from repro.datasets.hotpot import paraphrase
 from repro.datasets.spider import execution_match
 from repro.llm import LLMClient
 from repro.llm.client import default_world
+from repro.serving import build_stack, last_question_key
 
 
 def main() -> None:
     world = default_world()
 
-    # --- 1. QA traffic through cache + cascade ---------------------------
-    print("== 1. Cache + cascade on repeated QA traffic ==")
+    # --- 1. The Table I workload through cache -> cascade -> client -------
+    print("== 1. Serving stack on repeated QA traffic (Table I workload) ==")
     examples = generate_hotpot(world, n=8, seed=91)
     client = LLMClient()
-    cascade = CascadeClient(
-        client, decision_models=[ConfidenceDecisionModel(0.55), ConfidenceDecisionModel(0.52)]
+    stack = build_stack(
+        client,
+        cache=SemanticCache(reuse_threshold=0.9, augment_threshold=0.75),
+        cache_key_fn=last_question_key,
+        chain=("babbage-002", "gpt-3.5-turbo", "gpt-4"),
+        decision_models=[ConfidenceDecisionModel(0.55), ConfidenceDecisionModel(0.52)],
+        budget_usd=5.0,
     )
-    cache = SemanticCache(reuse_threshold=0.9)
-    hits = llm_calls = 0
+    print(f" pipeline: {stack.describe()}")
     # Two rounds; the second re-phrased, so only semantic matching saves us.
     stream = [ex.question for ex in examples] + [paraphrase(ex.question) for ex in examples]
-    for question in stream:
-        lookup = cache.lookup(question)
-        if lookup.tier == "reuse":
-            hits += 1
-            continue
-        result = cascade.complete(qa_prompt(question))
-        llm_calls += 1
-        cache.put(question, result.text, cost=result.cost)
-    print(f" {len(stream)} queries -> {llm_calls} LLM calls, {hits} cache hits")
-    print(f" spend: ${client.meter.cost:.4f}")
-    print(client.meter.report())
+    answered = sum(
+        1
+        for ex, question in zip(examples + examples, stream)
+        if stack.complete(qa_prompt(question)).text == ex.answer
+    )
+    print(f" {len(stream)} queries -> {stack.stats.llm_calls} LLM calls, "
+          f"{stack.stats.cache_reuse_hits} cache hits, "
+          f"{stack.stats.escalations} escalations; accuracy {answered / len(stream):.2f}")
+    print(stack.report())
 
     # --- 2. NL2SQL batch through the min-cost planner ---------------------
     print("\n== 2. Min-cost decomposition on an NL2SQL batch ==")
     db = build_concert_db()
     workload = generate_nl2sql(n=12, seed=92, compound_fraction=0.7)
     questions = [e.question for e in workload]
-    planner_client = LLMClient(model="gpt-4")
-    optimizer = QueryOptimizer(planner_client, db.schema_text())
+    planner_stack = build_stack(LLMClient(model="gpt-4"))
+    optimizer = QueryOptimizer(planner_stack, db.schema_text())
     sqls, stats = optimizer.translate_min_cost(questions)
     accuracy = sum(
         execution_match(db, sql, e.gold_sql) for sql, e in zip(sqls, workload)
     ) / len(workload)
     print(f" plan: {stats}; execution accuracy {accuracy:.2f}; "
-          f"spend ${planner_client.meter.cost:.4f}")
+          f"spend ${planner_stack.stats.cost_usd:.4f}")
 
     # --- 3. The same request under each security posture ------------------
     print("\n== 3. Security posture of one request ==")

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.prompts.templates import sqlgen_prompt
 from repro.core.validation import SQLValidator, ValidationReport
 from repro.errors import SQLError
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.sqldb import Database
 
 
@@ -37,7 +37,7 @@ class SQLGenerator:
 
     DEFAULT_KINDS = ("simple", "join", "subquery", "aggregate")
 
-    def __init__(self, client: LLMClient, db: Database, model: Optional[str] = None) -> None:
+    def __init__(self, client: CompletionProvider, db: Database, model: Optional[str] = None) -> None:
         self.client = client
         self.db = db
         self.model = model
@@ -99,7 +99,7 @@ class LogicBugReport:
 
 
 def logic_bug_test(
-    client: LLMClient, db: Database, n_pairs: int = 5, model: Optional[str] = None
+    client: CompletionProvider, db: Database, n_pairs: int = 5, model: Optional[str] = None
 ) -> LogicBugReport:
     """Generate semantically-equivalent pairs and compare their results.
 

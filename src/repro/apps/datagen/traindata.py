@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.prompts.templates import exec_time_prompt, label_infer_prompt
 from repro.datasets.tabular import TabularDataset
 from repro.datasets.workloads import QueryTimingExample
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 
 
 class ExecutionTimePredictor:
@@ -26,7 +26,7 @@ class ExecutionTimePredictor:
 
     def __init__(
         self,
-        client: LLMClient,
+        client: CompletionProvider,
         example_pool: Sequence[QueryTimingExample],
         n_examples: int = 8,
         model: Optional[str] = None,
@@ -96,7 +96,7 @@ class AnnotationResult:
 class MissingLabelAnnotator:
     """Fills missing labels in tabular data via few-shot row serialization."""
 
-    def __init__(self, client: LLMClient, n_examples: int = 16, model: Optional[str] = None) -> None:
+    def __init__(self, client: CompletionProvider, n_examples: int = 16, model: Optional[str] = None) -> None:
         self.client = client
         self.n_examples = n_examples
         self.model = model

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.hybrid import HybridPlanner, PlanDecision
 from repro.datasets.lake import LakeItem
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.vectordb import Collection, FilterStrategy, Metric, SearchReport
 
 
@@ -34,7 +34,7 @@ class MultiModalLake:
 
     def __init__(
         self,
-        client: LLMClient,
+        client: CompletionProvider,
         embedding_dim: int = 64,
         index: str = "flat",
     ) -> None:

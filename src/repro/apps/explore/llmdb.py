@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.prompts.templates import qa_prompt
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.sqldb import Database, Result
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.parser import parse_statement
@@ -57,7 +57,7 @@ class VirtualTable:
 class LLMDatabase:
     """SQL façade over LLM-extracted knowledge."""
 
-    def __init__(self, client: LLMClient, model: Optional[str] = None) -> None:
+    def __init__(self, client: CompletionProvider, model: Optional[str] = None) -> None:
         self.client = client
         self.model = model
         self.tables: Dict[str, VirtualTable] = {}

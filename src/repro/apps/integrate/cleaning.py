@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.apps.transform.columns import synthesize_column_transform
 from repro.core.prompts.templates import label_infer_prompt
 from repro.errors import TransformError
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.llm.engines.patterns import mine_pattern, pattern_matches, tokenize_value
 
 
@@ -60,7 +60,7 @@ class CleaningReport:
 class DataCleaner:
     """Pattern-based detection + LLM-assisted repair over row dicts."""
 
-    def __init__(self, client: LLMClient, model: Optional[str] = None, min_support: int = 3) -> None:
+    def __init__(self, client: CompletionProvider, model: Optional[str] = None, min_support: int = 3) -> None:
         self.client = client
         self.model = model
         self.min_support = min_support

@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.prompts.templates import column_type_prompt
 from repro.datasets.columns import ColumnExample
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 
 
 @dataclass(frozen=True)
@@ -34,7 +34,7 @@ class ColumnTypeAnnotator:
 
     def __init__(
         self,
-        client: LLMClient,
+        client: CompletionProvider,
         candidate_types: Sequence[str],
         examples: Sequence[Tuple[Sequence[str], str]] = (),
         model: Optional[str] = None,

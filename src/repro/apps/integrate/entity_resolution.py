@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.prompts.templates import entity_match_prompt
 from repro.datasets.entities import ERPair
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.llm.engines.match import record_similarity
 
 
@@ -50,7 +50,7 @@ class EntityResolver:
 
     def __init__(
         self,
-        client: LLMClient,
+        client: CompletionProvider,
         examples: Sequence[Tuple[str, str, bool]] = (),
         model: Optional[str] = None,
     ) -> None:

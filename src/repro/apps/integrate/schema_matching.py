@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.prompts.templates import schema_match_prompt
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 
 
 @dataclass(frozen=True)
@@ -35,7 +35,7 @@ class MatchDecision:
 class SchemaMatcher:
     """LLM-scored, greedily-assigned column mapping between two schemas."""
 
-    def __init__(self, client: LLMClient, model: Optional[str] = None) -> None:
+    def __init__(self, client: CompletionProvider, model: Optional[str] = None) -> None:
         self.client = client
         self.model = model
 

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.prompts.templates import row_serialize_prompt, sql2nl_prompt
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.llm.tokenizer import count_tokens
 from repro.sqldb import Database
 from repro.sqldb.catalog import Table
@@ -41,7 +41,7 @@ class ChunkPlan:
 class TableUnderstanding:
     """LLM-assisted serialization, statistics facts and chunking."""
 
-    def __init__(self, client: LLMClient, db: Database, model: Optional[str] = None) -> None:
+    def __init__(self, client: CompletionProvider, db: Database, model: Optional[str] = None) -> None:
         self.client = client
         self.db = db
         self.model = model

@@ -18,7 +18,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.prompts.templates import pattern_mine_prompt
 from repro.errors import TransformError
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.llm.engines.patterns import mine_pattern, pattern_matches
 
 _MONTHS = [
@@ -188,7 +188,7 @@ def columns_joinable(source_values: Sequence[str], target_values: Sequence[str])
 
 
 def mine_column_pattern(
-    client: LLMClient, values: Sequence[str], model: Optional[str] = None
+    client: CompletionProvider, values: Sequence[str], model: Optional[str] = None
 ) -> str:
     """Mine a column's pattern through the LLM (Section II-B3)."""
     completion = client.complete(pattern_mine_prompt(values), model=model)
@@ -211,7 +211,7 @@ class PatternValidator:
 
     @classmethod
     def from_llm(
-        cls, client: LLMClient, baseline_values: Sequence[str], model: Optional[str] = None
+        cls, client: CompletionProvider, baseline_values: Sequence[str], model: Optional[str] = None
     ) -> "PatternValidator":
         """Mine the baseline pattern through the LLM."""
         pattern = mine_column_pattern(client, baseline_values, model=model)

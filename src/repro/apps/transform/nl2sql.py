@@ -16,7 +16,7 @@ from repro.core.prompts.selector import similarity_select
 from repro.core.prompts.templates import nl2sql_prompt
 from repro.core.validation import SQLValidator, ValidationReport
 from repro.datasets.spider import NLExample, execution_match
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.sqldb import Database
 
 
@@ -38,7 +38,7 @@ class NL2SQLTranslator:
 
     def __init__(
         self,
-        client: LLMClient,
+        client: CompletionProvider,
         db: Database,
         example_pool: Sequence[Tuple[str, str]] = (),
         n_examples: int = 3,

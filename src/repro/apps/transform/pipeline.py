@@ -25,7 +25,7 @@ import numpy as np
 from repro._util import rng_from
 from repro.core.prompts.templates import prep_code_prompt
 from repro.errors import PipelineError
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 
 # Operations the searcher may apply, in the snippet library's vocabulary.
 NUMERIC_OPS = (
@@ -141,7 +141,7 @@ class PipelineSearcher:
 
     def __init__(
         self,
-        client: LLMClient,
+        client: CompletionProvider,
         model: Optional[str] = None,
         max_steps: int = 3,
         beam_width: int = 3,

@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.prompts.templates import operator_synthesis_prompt, table_extract_prompt
 from repro.errors import TransformError
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.llm.engines.transform import parse_rendered_table
 from repro.tablekit import Grid, apply_program, parse_program, synthesize_program
 from repro.tablekit.synthesis import program_to_text, relational_score
@@ -42,7 +42,7 @@ def _grid_from_completion(text: str) -> Grid:
     return Grid(rows, header=columns)
 
 
-def json_to_grid(client: LLMClient, json_text: str, model: Optional[str] = None) -> TableTransformResult:
+def json_to_grid(client: CompletionProvider, json_text: str, model: Optional[str] = None) -> TableTransformResult:
     """Direct JSON → relational table through the LLM (Fig 4, left)."""
     completion = client.complete(table_extract_prompt(json_text), model=model)
     grid = _grid_from_completion(completion.text)
@@ -51,7 +51,7 @@ def json_to_grid(client: LLMClient, json_text: str, model: Optional[str] = None)
     )
 
 
-def xml_to_grid(client: LLMClient, xml_text: str, model: Optional[str] = None) -> TableTransformResult:
+def xml_to_grid(client: CompletionProvider, xml_text: str, model: Optional[str] = None) -> TableTransformResult:
     """Direct XML → relational table through the LLM (Fig 4, left)."""
     completion = client.complete(table_extract_prompt(xml_text), model=model)
     grid = _grid_from_completion(completion.text)
@@ -61,7 +61,7 @@ def xml_to_grid(client: LLMClient, xml_text: str, model: Optional[str] = None) -
 
 
 def relationalize(
-    client: LLMClient, grid: Grid, model: Optional[str] = None
+    client: CompletionProvider, grid: Grid, model: Optional[str] = None
 ) -> TableTransformResult:
     """Code-synthesis mode: LLM emits an operator program, applied locally.
 

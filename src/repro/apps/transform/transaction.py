@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 from repro.core.prompts.templates import transaction_prompt
 from repro.core.validation import TransactionValidator, ValidationReport
 from repro.errors import ValidationError
-from repro.llm.client import LLMClient
+from repro.serving import CompletionProvider
 from repro.sqldb import Database
 from repro.sqldb.types import SQLType
 
@@ -56,7 +56,7 @@ def make_accounts_db(balances: dict) -> Database:
 class NL2TransactionTranslator:
     """Scenario → validated, atomically-applied SQL transaction."""
 
-    def __init__(self, client: LLMClient, db: Database, model: Optional[str] = None) -> None:
+    def __init__(self, client: CompletionProvider, db: Database, model: Optional[str] = None) -> None:
         self.client = client
         self.db = db
         self.model = model

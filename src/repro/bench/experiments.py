@@ -27,6 +27,7 @@ from repro.datasets.spider import (
 )
 from repro.datasets.workloads import build_analytics_db, generate_timing_workload
 from repro.llm.client import LLMClient, default_world
+from repro.serving import ServiceStats, build_stack, last_question_key
 
 TABLE1_MODELS = ("babbage-002", "gpt-3.5-turbo", "gpt-4")
 
@@ -81,12 +82,16 @@ def run_table1(
         hits = sum(1 for ex in examples if client.complete(prompt_of(ex)).text == ex.answer)
         rows.append((model, hits / len(examples), round(client.meter.cost, 4)))
 
+    # The cascade row is served through the middleware stack — the same
+    # decision models and chain as the ad-hoc CascadeClient, so the routed
+    # calls (and therefore the meter) are identical.
     cascade_client = LLMClient()
-    cascade = CascadeClient(
+    stack = build_stack(
         cascade_client,
+        chain=TABLE1_MODELS,
         decision_models=[ConfidenceDecisionModel(t) for t in thresholds],
     )
-    hits = sum(1 for ex in examples if cascade.complete(prompt_of(ex)).text == ex.answer)
+    hits = sum(1 for ex in examples if stack.complete(prompt_of(ex)).text == ex.answer)
     rows.append(("LLM cascade", hits / len(examples), round(cascade_client.meter.cost, 4)))
     return Table1Result(rows=rows, n_queries=len(examples))
 
@@ -233,22 +238,19 @@ def run_table3(
     rows.append(("w/o Cache", hits / len(instances), round(client.meter.cost, 4)))
 
     # --- Cache(O): original queries only ------------------------------------
+    # Served through the middleware stack: the cache layer keys on the bare
+    # question (the trailing "Question:" line of the templated prompt),
+    # reproducing the ad-hoc loop's lookup/put sequence call for call.
     client = LLMClient(model=model)
     cache = SemanticCache(
         reuse_threshold=reuse_threshold,
         augment_threshold=reuse_threshold,
         policy=EvictionPolicy.WEIGHTED,
     )
-    hits = 0
-    for ex, question in instances:
-        lookup = cache.lookup(question)
-        if lookup.tier == "reuse" and lookup.entry is not None:
-            answer = lookup.entry.response
-        else:
-            completion = client.complete(full_prompt(question))
-            answer = completion.text
-            cache.put(question, answer, kind="original", cost=completion.cost)
-        hits += answer == ex.answer
+    stack = build_stack(client, cache=cache, cache_key_fn=last_question_key, stats=ServiceStats())
+    hits = sum(
+        1 for ex, question in instances if stack.complete(full_prompt(question)).text == ex.answer
+    )
     rows.append(("Cache(O)", hits / len(instances), round(client.meter.cost, 4)))
     diagnostics["Cache(O)"] = {
         "reuse_hits": cache.stats.reuse_hits,

@@ -25,6 +25,44 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title
     return "\n".join(out)
 
 
+def render_service_stats(stats) -> str:
+    """Render a :class:`repro.serving.ServiceStats` snapshot, layer by layer.
+
+    Duck-typed on :meth:`snapshot` so this module needs no import of the
+    serving layer (``serving`` depends on ``bench.reporting``, not the
+    other way around)."""
+    snapshot = stats.snapshot()
+    rows = []
+    llm = snapshot["llm"]
+    cache = snapshot["cache"]
+    cascade = snapshot["cascade"]
+    retry = snapshot["retry"]
+    budget = snapshot["budget"]
+    rows.append(("cache", "reuse hits", cache["reuse_hits"]))
+    rows.append(("cache", "augment hits", cache["augment_hits"]))
+    rows.append(("cache", "misses", cache["misses"]))
+    rows.append(("cache", "hit rate", cache["hit_rate"]))
+    rows.append(("cache", "cost saved ($)", cache["cost_saved_usd"]))
+    rows.append(("cascade", "requests", cascade["requests"]))
+    rows.append(("cascade", "escalations", cascade["escalations"]))
+    for model, count in cascade["answered_by"].items():
+        rows.append(("cascade", f"answered by {model}", count))
+    rows.append(("retry", "retries", retry["retries"]))
+    rows.append(("retry", "rescues", retry["rescues"]))
+    if budget["limit_usd"] is not None:
+        rows.append(("budget", "limit ($)", budget["limit_usd"]))
+        rows.append(("budget", "spent ($)", budget["spent_usd"]))
+        rows.append(("budget", "rejections", budget["rejections"]))
+    rows.append(("llm", "calls", llm["calls"]))
+    rows.append(("llm", "prompt tokens", llm["prompt_tokens"]))
+    rows.append(("llm", "completion tokens", llm["completion_tokens"]))
+    rows.append(("llm", "cost ($)", llm["cost_usd"]))
+    rows.append(("llm", "latency (ms)", llm["latency_ms"]))
+    for model, entry in llm["per_model"].items():
+        rows.append(("llm", f"{model} calls", int(entry["calls"])))
+    return format_table(["Layer", "Counter", "Value"], rows, title="Serving stack stats")
+
+
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         if abs(cell) >= 100:

@@ -27,8 +27,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro._util import cosine
-from repro.llm.client import Completion, LLMClient
 from repro.llm.embeddings import EmbeddingModel
+from repro.llm.provider import CompletionProvider
 
 REUSE_WEIGHT = 3.0  # case (1): no LLM call needed — most valuable
 AUGMENT_WEIGHT = 1.0  # case (2): still calls the LLM
@@ -288,11 +288,15 @@ class CachedLLMClient:
     *augment* hit the cached (query, response) pair is appended to the
     prompt as an extra example before calling the LLM (the paper's case
     (2): cached queries augment the new query).
+
+    For a wrapper that itself implements the provider protocol (and so
+    stacks under other layers), see
+    :class:`repro.serving.SemanticCacheMiddleware`.
     """
 
     def __init__(
         self,
-        client: LLMClient,
+        client: CompletionProvider,
         cache: Optional[SemanticCache] = None,
         cache_kind: str = "original",
     ) -> None:

@@ -22,7 +22,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.llm.client import Completion, LLMClient
+from repro.llm.client import Completion
+from repro.llm.provider import CompletionProvider
 
 
 @dataclass(frozen=True)
@@ -119,7 +120,7 @@ class CascadeClient:
 
     def __init__(
         self,
-        client: LLMClient,
+        client: CompletionProvider,
         chain: Sequence[str] = DEFAULT_CHAIN,
         decision_models: Optional[Sequence[object]] = None,
     ) -> None:

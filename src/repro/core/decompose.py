@@ -21,7 +21,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.llm.client import LLMClient
+from repro.llm.provider import CompletionProvider
 
 # --------------------------------------------------------------------------
 # NL2SQL decomposition
@@ -153,7 +153,7 @@ class QueryOptimizer:
 
     def __init__(
         self,
-        client: LLMClient,
+        client: CompletionProvider,
         schema: str,
         examples: Sequence[Tuple[str, str]] = (),
         model: str = "gpt-4",
@@ -413,7 +413,7 @@ def decompose_qa_question(question: str) -> QAPlan:
 
 
 def answer_via_decomposition(
-    client: LLMClient,
+    client: CompletionProvider,
     question: str,
     model: Optional[str] = None,
     sub_answer_fn: Optional[Callable[[str], str]] = None,

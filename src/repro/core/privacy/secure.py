@@ -24,7 +24,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.llm.client import Completion, LLMClient
+from repro.llm.client import Completion
+from repro.llm.provider import CompletionProvider, make_client
 
 
 class Deployment(enum.Enum):
@@ -91,7 +92,7 @@ class ExposureLedger:
 class SecureLLMClient:
     """LLM access under a chosen secure-deployment profile."""
 
-    def __init__(self, client: LLMClient, deployment: Deployment = Deployment.TEE) -> None:
+    def __init__(self, client: CompletionProvider, deployment: Deployment = Deployment.TEE) -> None:
         self.client = client
         self.deployment = deployment
         self.profile = PROFILES[deployment]
@@ -127,7 +128,7 @@ def compare_deployments(prompt: str, model: str = "gpt-4") -> Dict[str, Dict[str
     and exposure, never the result)."""
     out: Dict[str, Dict[str, float]] = {}
     for deployment in Deployment:
-        secure = SecureLLMClient(LLMClient(model=model), deployment=deployment)
+        secure = SecureLLMClient(make_client(model=model), deployment=deployment)
         result = secure.complete(prompt)
         out[deployment.value] = {
             "latency_ms": round(result.latency_ms, 2),

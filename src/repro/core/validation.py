@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro._util import rng_from, words
 from repro.errors import SQLError
-from repro.llm.client import LLMClient
+from repro.llm.provider import CompletionProvider, make_client
 from repro.sqldb import Database
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.parser import parse_sql
@@ -175,7 +175,7 @@ def self_consistency(
     model: str = "gpt-3.5-turbo",
     n_samples: int = 5,
     base_seed: int = 0,
-    client_factory: Optional[Callable[[int], LLMClient]] = None,
+    client_factory: Optional[Callable[[int], CompletionProvider]] = None,
 ) -> ConsistencyReport:
     """Sample the prompt across differently seeded clients; majority-vote.
 
@@ -183,7 +183,7 @@ def self_consistency(
     so we vary the client seed — the simulator's analogue of sampling."""
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
-    factory = client_factory or (lambda seed: LLMClient(model=model, seed=seed))
+    factory = client_factory or (lambda seed: make_client(model=model, seed=seed))
     samples = [factory(base_seed + i).complete(prompt).text for i in range(n_samples)]
     majority, count = Counter(samples).most_common(1)[0]
     return ConsistencyReport(answer=majority, agreement=count / n_samples, samples=tuple(samples))
@@ -195,7 +195,7 @@ def self_consistency(
 
 
 def explain_by_occlusion(
-    client: LLMClient,
+    client: CompletionProvider,
     prompt: str,
     model: Optional[str] = None,
     max_tokens: int = 40,

@@ -32,18 +32,22 @@ from repro.llm.client import Completion, LLMClient, Usage, UsageMeter
 from repro.llm.embeddings import EmbeddingModel, embed_text
 from repro.llm.knowledge import Fact, KnowledgeBase
 from repro.llm.models import MODEL_REGISTRY, ModelSpec, get_model, list_models
+from repro.llm.provider import CompletionProvider, ReseedableProvider, make_client
 from repro.llm.tokenizer import count_tokens, tokenize_text
 
 __all__ = [
     "Completion",
+    "CompletionProvider",
     "EmbeddingModel",
     "Fact",
     "KnowledgeBase",
     "LLMClient",
     "MODEL_REGISTRY",
     "ModelSpec",
+    "ReseedableProvider",
     "Usage",
     "UsageMeter",
+    "make_client",
     "count_tokens",
     "embed_text",
     "get_model",

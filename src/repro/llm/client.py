@@ -21,7 +21,7 @@ calibrated so the Table I workload lands near the paper's numbers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -77,6 +77,11 @@ class Completion:
     engine: str
     metadata: Dict[str, object] = field(default_factory=dict)
 
+    def with_usage(self, usage: Usage, cost: float, **changes: object) -> "Completion":
+        """A copy with rewritten metering (middleware that refunds tokens,
+        sums cascade attempts, or zeroes cache hits uses this)."""
+        return replace(self, usage=usage, cost=cost, **changes)
+
 
 @dataclass
 class UsageMeter:
@@ -101,6 +106,17 @@ class UsageMeter:
         entry["prompt_tokens"] += usage.prompt_tokens
         entry["completion_tokens"] += usage.completion_tokens
         entry["cost"] += cost
+
+    def refund(self, model: str, prompt_tokens: int, cost: float) -> None:
+        """Give back prompt tokens and dollars previously recorded for
+        ``model`` (shared-prefix accounting in batched completions)."""
+        self.prompt_tokens -= prompt_tokens
+        self.cost -= cost
+        entry = self.per_model.setdefault(
+            model, {"calls": 0, "prompt_tokens": 0, "completion_tokens": 0, "cost": 0.0}
+        )
+        entry["prompt_tokens"] -= prompt_tokens
+        entry["cost"] -= cost
 
     def reset(self) -> None:
         """Zero all counters (per-model and totals)."""
@@ -166,6 +182,18 @@ class LLMClient:
     def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
         """Run one completion request through the capability model."""
         spec = get_model(model) if model is not None else self.default_model
+        return self._complete(prompt, spec)
+
+    def _complete(
+        self,
+        prompt: str,
+        spec: ModelSpec,
+        prompt_token_discount: int = 0,
+        cost_discount: float = 0.0,
+    ) -> Completion:
+        """One request; the discounts refund a shared prefix already paid
+        for by an earlier item of the same batch. The budget check runs on
+        the *net* cost, so a batch whose net cost fits never raises."""
         prompt_tokens = count_tokens(prompt)
         if prompt_tokens > spec.context_window:
             raise ContextLengthExceededError(
@@ -191,13 +219,14 @@ class LLMClient:
         completion_tokens = count_tokens(text)
         usage = Usage(prompt_tokens=prompt_tokens, completion_tokens=completion_tokens)
         cost = spec.cost(prompt_tokens, completion_tokens)
-        if self.budget_usd is not None and self.meter.cost + cost > self.budget_usd:
+        net_cost = cost - cost_discount
+        if self.budget_usd is not None and self.meter.cost + net_cost > self.budget_usd:
             raise BudgetExceededError(
-                f"call would cost ${cost:.4f}, exceeding budget "
+                f"call would cost ${net_cost:.4f}, exceeding budget "
                 f"${self.budget_usd:.4f} (spent ${self.meter.cost:.4f})"
             )
         self.meter.record(spec.name, usage, cost)
-        return Completion(
+        completion = Completion(
             text=text,
             model=spec.name,
             usage=usage,
@@ -207,6 +236,16 @@ class LLMClient:
             engine=result.engine,
             metadata=dict(result.metadata),
         )
+        if prompt_token_discount or cost_discount:
+            self.meter.refund(spec.name, prompt_token_discount, cost_discount)
+            completion = completion.with_usage(
+                Usage(
+                    prompt_tokens=prompt_tokens - prompt_token_discount,
+                    completion_tokens=completion_tokens,
+                ),
+                net_cost,
+            )
+        return completion
 
     def complete_batch(
         self,
@@ -227,31 +266,34 @@ class LLMClient:
         completions: List[Completion] = []
         spec = get_model(model) if model is not None else self.default_model
         prefix_tokens = count_tokens(shared_prefix)
+        refund_cost = spec.cost(prefix_tokens, 0)
         for i, item in enumerate(items):
-            completion = self.complete(shared_prefix + item, model=spec.name)
-            if i > 0:
-                # Refund the duplicated prefix tokens from the meter.
-                refund_cost = spec.cost(prefix_tokens, 0)
-                self.meter.prompt_tokens -= prefix_tokens
-                self.meter.cost -= refund_cost
-                entry = self.meter.per_model[spec.name]
-                entry["prompt_tokens"] -= prefix_tokens
-                entry["cost"] -= refund_cost
-                completion = Completion(
-                    text=completion.text,
-                    model=completion.model,
-                    usage=Usage(
-                        prompt_tokens=completion.usage.prompt_tokens - prefix_tokens,
-                        completion_tokens=completion.usage.completion_tokens,
-                    ),
-                    cost=completion.cost - refund_cost,
-                    latency_ms=completion.latency_ms,
-                    confidence=completion.confidence,
-                    engine=completion.engine,
-                    metadata=completion.metadata,
+            completions.append(
+                self._complete(
+                    shared_prefix + item,
+                    spec,
+                    prompt_token_discount=prefix_tokens if i > 0 else 0,
+                    cost_discount=refund_cost if i > 0 else 0.0,
                 )
-            completions.append(completion)
+            )
         return completions
+
+    def reseeded(self, offset: int) -> "LLMClient":
+        """A sibling client whose error-injection stream is shifted by
+        ``offset`` — the simulator's analogue of resampling at temperature.
+
+        The sibling shares this client's meter, knowledge, engines and
+        budget, so retried calls are metered (and budget-capped) in one
+        place; only the seed differs."""
+        sibling = LLMClient.__new__(LLMClient)
+        sibling.default_model = self.default_model
+        sibling.knowledge = self.knowledge
+        sibling.seed = self.seed + offset
+        sibling.budget_usd = self.budget_usd
+        sibling.meter = self.meter
+        sibling.embedding_model = self.embedding_model
+        sibling.engines = self.engines
+        return sibling
 
     def embed(self, text: str) -> np.ndarray:
         """Embed text with the simulated embedding model (not metered —

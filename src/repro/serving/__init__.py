@@ -1,0 +1,50 @@
+"""repro.serving — the composable LLM serving stack (Section III, unified).
+
+The paper's Section III treats prompt/query/cache optimization and output
+validation as layers a data-management system composes *around* an LLM
+service. This package is that seam: a :class:`CompletionProvider` protocol
+(the ``complete`` / ``complete_batch`` / ``embed`` surface of
+:class:`~repro.llm.client.LLMClient`) plus middleware implementing each
+optimization as a layer over any provider:
+
+>>> from repro.llm import LLMClient
+>>> from repro.serving import build_stack
+>>> stack = build_stack(LLMClient(), cache=True, chain=("babbage-002", "gpt-4"))
+>>> stack.describe()
+'cache -> cascade -> metrics -> LLMClient'
+
+Every application in :mod:`repro.apps` accepts any provider, so the same
+workload runs against a bare client or a full cache→cascade→retry→budget
+pipeline without code changes; :class:`ServiceStats` snapshots what each
+layer did. A bare ``LLMClient`` *is* a valid provider and behaves
+bit-identically with or without this package installed around it.
+"""
+
+from repro.llm.provider import CompletionProvider, ReseedableProvider, make_client
+from repro.serving.middleware import (
+    BudgetMiddleware,
+    CascadeMiddleware,
+    MetricsMiddleware,
+    Middleware,
+    RetryMiddleware,
+    SemanticCacheMiddleware,
+    last_question_key,
+)
+from repro.serving.stack import ServingStack, build_stack
+from repro.serving.stats import ServiceStats
+
+__all__ = [
+    "BudgetMiddleware",
+    "CascadeMiddleware",
+    "CompletionProvider",
+    "MetricsMiddleware",
+    "Middleware",
+    "ReseedableProvider",
+    "RetryMiddleware",
+    "SemanticCacheMiddleware",
+    "ServiceStats",
+    "ServingStack",
+    "build_stack",
+    "last_question_key",
+    "make_client",
+]

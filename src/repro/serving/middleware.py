@@ -1,0 +1,372 @@
+"""The middleware layers of the serving stack.
+
+Each middleware both consumes and implements
+:class:`~repro.llm.provider.CompletionProvider`, so layers compose in any
+order over any terminal provider (normally a raw
+:class:`~repro.llm.client.LLMClient`). Layers adapt the Section III
+optimizations that previously each wrapped the client ad hoc:
+
+* :class:`SemanticCacheMiddleware` — the semantic cache (III-C) in front of
+  everything: *reuse* hits short-circuit the rest of the stack, *augment*
+  hits enrich the prompt with the cached pair as an extra example.
+* :class:`CascadeMiddleware` — the cheap→expensive model cascade (III-B1);
+  requests that name an explicit model bypass routing.
+* :class:`RetryMiddleware` — output validation feedback (III-E):
+  low-confidence or validator-rejected completions are re-drawn
+  deterministically through a seed-shifted sibling provider.
+* :class:`BudgetMiddleware` — a dollar ceiling across the whole stack
+  (III-B's cost control at the serving seam rather than per client).
+* :class:`MetricsMiddleware` — the terminal observer recording every
+  request that actually reaches the LLM service.
+
+All layers write their counters into one shared
+:class:`~repro.serving.stats.ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cache import SemanticCache
+from repro.core.cascade import DEFAULT_CHAIN, CascadeClient
+from repro.errors import BudgetExceededError
+from repro.llm.client import Completion, Usage
+from repro.llm.provider import CompletionProvider
+from repro.serving.stats import ServiceStats
+
+
+def last_question_key(prompt: str) -> str:
+    """Cache key extractor for the templated prompts of
+    :mod:`repro.core.prompts.templates`: the trailing ``Question: ...``
+    line, i.e. the bare question without context passages or examples.
+    Falls back to the whole prompt when no marker is present."""
+    marker = "\nQuestion: "
+    if marker in prompt:
+        return prompt.rsplit(marker, 1)[-1]
+    if prompt.startswith("Question: "):
+        return prompt[len("Question: "):]
+    return prompt
+
+
+class Middleware:
+    """Base layer: delegates the full provider surface to ``inner``."""
+
+    def __init__(self, inner: CompletionProvider, stats: Optional[ServiceStats] = None) -> None:
+        self.inner = inner
+        self.stats = stats if stats is not None else ServiceStats()
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
+        return self.inner.complete(prompt, model=model)
+
+    def complete_batch(
+        self,
+        shared_prefix: str,
+        items: List[str],
+        model: Optional[str] = None,
+    ) -> List[Completion]:
+        return self.inner.complete_batch(shared_prefix, items, model=model)
+
+    def embed(self, text: str) -> np.ndarray:
+        return self.inner.embed(text)
+
+    def reseeded(self, offset: int) -> "Middleware":
+        """A sibling layer over the seed-shifted inner provider. Mutable
+        layer state (cache entries, counters) is shared, not copied."""
+        clone = copy.copy(self)
+        if hasattr(self.inner, "reseeded"):
+            clone.inner = self.inner.reseeded(offset)
+        return clone
+
+
+class SemanticCacheMiddleware(Middleware):
+    """The semantic cache as a stack layer (adapts ``core/cache.py``).
+
+    A *reuse* hit returns the cached completion with zero cost and latency,
+    never touching the layers below. An *augment* hit prepends the cached
+    (query, response) pair to the prompt as an extra example — the paper's
+    case (2) — and forwards. ``key_fn`` maps the full prompt to the cache
+    key (e.g. :func:`last_question_key` to make matching robust to prompt
+    framing); it defaults to the identity.
+
+    Batched completions bypass the cache: a shared-prefix batch is already
+    a cost optimization and its items are new by construction.
+    """
+
+    def __init__(
+        self,
+        inner: CompletionProvider,
+        cache: Optional[SemanticCache] = None,
+        key_fn: Optional[Callable[[str], str]] = None,
+        cache_kind: str = "original",
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        super().__init__(inner, stats)
+        self.cache = cache if cache is not None else SemanticCache()
+        self.key_fn = key_fn
+        self.cache_kind = cache_kind
+        # Original completions by cache key, so reuse hits can replay the
+        # full Completion (model, confidence, engine) at zero cost.
+        self._completions: Dict[str, Completion] = {}
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
+        key = self.key_fn(prompt) if self.key_fn is not None else prompt
+        self.stats.cache_lookups += 1
+        lookup = self.cache.lookup(key)
+        if lookup.tier == "reuse" and lookup.entry is not None:
+            self.stats.cache_reuse_hits += 1
+            self.stats.cache_cost_saved += lookup.entry.cost_of_miss
+            return self._replay(lookup.entry.key, lookup.entry.response, lookup.similarity)
+        effective_prompt = prompt
+        if lookup.tier == "augment" and lookup.entry is not None:
+            self.stats.cache_augment_hits += 1
+            effective_prompt = (
+                f"Example: Question: {lookup.entry.key} Answer: {lookup.entry.response}\n"
+                + prompt
+            )
+        else:
+            self.stats.cache_misses += 1
+        completion = self.inner.complete(effective_prompt, model=model)
+        if self.cache.put(key, completion.text, kind=self.cache_kind, cost=completion.cost):
+            self._completions[key] = completion
+            self._prune_replay_store()
+        return completion
+
+    def _replay(self, key: str, response: str, similarity: float) -> Completion:
+        marker = {"tier": "reuse", "similarity": round(similarity, 6)}
+        original = self._completions.get(key)
+        if original is not None:
+            metadata = dict(original.metadata)
+            metadata["serving.cache"] = marker
+            return original.with_usage(
+                Usage(prompt_tokens=0, completion_tokens=0),
+                0.0,
+                latency_ms=0.0,
+                metadata=metadata,
+            )
+        # The source completion was evicted from the replay store (or the
+        # entry predates this layer): synthesize a minimal completion.
+        return Completion(
+            text=response,
+            model="cache",
+            usage=Usage(prompt_tokens=0, completion_tokens=0),
+            cost=0.0,
+            latency_ms=0.0,
+            confidence=1.0,
+            engine="cache",
+            metadata={"serving.cache": marker},
+        )
+
+    def _prune_replay_store(self) -> None:
+        # Keep the replay store aligned with the cache after evictions.
+        if len(self._completions) > 2 * self.cache.capacity:
+            self._completions = {
+                key: completion
+                for key, completion in self._completions.items()
+                if key in self.cache.entries
+            }
+
+
+class CascadeMiddleware(Middleware):
+    """The LLM cascade as a stack layer (adapts ``core/cascade.py``).
+
+    Default-model requests route through the cheap→expensive chain exactly
+    like :class:`~repro.core.cascade.CascadeClient`; the returned completion
+    is the accepted one with usage, cost and latency summed over every
+    attempted stage, so outer layers (budget, cache) account the cascade's
+    true price. Requests naming an explicit model bypass routing.
+    """
+
+    def __init__(
+        self,
+        inner: CompletionProvider,
+        chain: Sequence[str] = DEFAULT_CHAIN,
+        decision_models: Optional[Sequence[object]] = None,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        super().__init__(inner, stats)
+        self._cascade = CascadeClient(inner, chain=chain, decision_models=decision_models)
+
+    @property
+    def chain(self) -> List[str]:
+        return self._cascade.chain
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
+        if model is not None:
+            return self.inner.complete(prompt, model=model)
+        result = self._cascade.complete(prompt)
+        self.stats.cascade_requests += 1
+        self.stats.escalations += result.escalations
+        self.stats.answered_by[result.model] = self.stats.answered_by.get(result.model, 0) + 1
+        final = result.final
+        metadata = dict(final.metadata)
+        metadata["serving.cascade"] = {
+            "escalations": result.escalations,
+            "attempts": [attempt.model for attempt in result.attempts],
+        }
+        return final.with_usage(
+            Usage(
+                prompt_tokens=sum(a.usage.prompt_tokens for a in result.attempts),
+                completion_tokens=sum(a.usage.completion_tokens for a in result.attempts),
+            ),
+            result.cost,
+            latency_ms=result.latency_ms,
+            metadata=metadata,
+        )
+
+    def reseeded(self, offset: int) -> "CascadeMiddleware":
+        clone = super().reseeded(offset)
+        clone._cascade = CascadeClient(
+            clone.inner, chain=list(self._cascade.chain), decision_models=self._cascade.decision_models
+        )
+        return clone
+
+
+class RetryMiddleware(Middleware):
+    """Deterministic re-draw of rejected completions (III-E feedback).
+
+    A completion is rejected when its confidence is below
+    ``min_confidence`` or the ``validator`` (a predicate over the
+    :class:`Completion`) returns False. Rejected completions are re-drawn
+    up to ``max_retries`` times through a seed-shifted sibling of the inner
+    provider (``inner.reseeded(attempt * seed_step)``), so retries are as
+    deterministic as everything else. The best completion by confidence is
+    returned if no redraw is accepted; inner providers that cannot reseed
+    are retried once at most (an identical redraw proves nothing).
+    """
+
+    def __init__(
+        self,
+        inner: CompletionProvider,
+        max_retries: int = 2,
+        min_confidence: Optional[float] = None,
+        validator: Optional[Callable[[Completion], bool]] = None,
+        seed_step: int = 1,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        super().__init__(inner, stats)
+        self.max_retries = max_retries
+        self.min_confidence = min_confidence
+        self.validator = validator
+        self.seed_step = seed_step
+
+    def _acceptable(self, completion: Completion) -> bool:
+        if self.min_confidence is not None and completion.confidence < self.min_confidence:
+            return False
+        if self.validator is not None and not self.validator(completion):
+            return False
+        return True
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
+        self.stats.retry_requests += 1
+        completion = self.inner.complete(prompt, model=model)
+        if self._acceptable(completion):
+            return completion
+        best = completion
+        retries = 0
+        for attempt in range(1, self.max_retries + 1):
+            reseedable = hasattr(self.inner, "reseeded")
+            provider = self.inner.reseeded(attempt * self.seed_step) if reseedable else self.inner
+            redraw = provider.complete(prompt, model=model)
+            retries += 1
+            self.stats.retries += 1
+            if redraw.confidence > best.confidence:
+                best = redraw
+            if self._acceptable(redraw):
+                best = redraw
+                self.stats.retry_rescues += 1
+                break
+            if not reseedable:
+                break
+        metadata = dict(best.metadata)
+        metadata["serving.retries"] = retries
+        return best.with_usage(best.usage, best.cost, metadata=metadata)
+
+
+class BudgetMiddleware(Middleware):
+    """A dollar ceiling over everything below this layer.
+
+    The stack cannot know a call's price before running it (that is the
+    terminal client's own pre-call check), so the ceiling is enforced
+    *between* calls: once the observed spend reaches ``budget_usd``,
+    further requests raise :class:`~repro.errors.BudgetExceededError`. At
+    most one call can overshoot, by at most its own cost.
+    """
+
+    def __init__(
+        self,
+        inner: CompletionProvider,
+        budget_usd: float,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        if budget_usd < 0:
+            raise ValueError("budget_usd must be non-negative")
+        super().__init__(inner, stats)
+        self.budget_usd = budget_usd
+        self.spent_usd = 0.0
+        self.stats.budget_limit_usd = budget_usd
+
+    def remaining(self) -> float:
+        return max(0.0, self.budget_usd - self.spent_usd)
+
+    def _check(self) -> None:
+        if self.spent_usd >= self.budget_usd:
+            self.stats.budget_rejections += 1
+            raise BudgetExceededError(
+                f"serving budget ${self.budget_usd:.4f} exhausted "
+                f"(spent ${self.spent_usd:.4f})"
+            )
+
+    def _charge(self, cost: float) -> None:
+        self.spent_usd += cost
+        self.stats.budget_spent_usd = self.spent_usd
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
+        self._check()
+        completion = self.inner.complete(prompt, model=model)
+        self._charge(completion.cost)
+        return completion
+
+    def complete_batch(
+        self,
+        shared_prefix: str,
+        items: List[str],
+        model: Optional[str] = None,
+    ) -> List[Completion]:
+        self._check()
+        completions = self.inner.complete_batch(shared_prefix, items, model=model)
+        self._charge(sum(completion.cost for completion in completions))
+        return completions
+
+
+class MetricsMiddleware(Middleware):
+    """The terminal observer: records every request that reaches the LLM.
+
+    Sits directly above the terminal client, below every optimization, so
+    its counters measure what the service actually billed — cache hits and
+    budget rejections never show up here, cascade attempts all do.
+    """
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
+        completion = self.inner.complete(prompt, model=model)
+        self.stats.record_llm_call(
+            completion.model, completion.usage, completion.cost, completion.latency_ms
+        )
+        return completion
+
+    def complete_batch(
+        self,
+        shared_prefix: str,
+        items: List[str],
+        model: Optional[str] = None,
+    ) -> List[Completion]:
+        completions = self.inner.complete_batch(shared_prefix, items, model=model)
+        for completion in completions:
+            self.stats.record_llm_call(
+                completion.model, completion.usage, completion.cost, completion.latency_ms
+            )
+        return completions

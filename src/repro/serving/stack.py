@@ -1,0 +1,133 @@
+"""Stack composition: one call site to assemble a serving pipeline.
+
+:func:`build_stack` wires the standard layer order
+
+    cache → cascade → retry → budget → metrics → client
+
+installing only the layers asked for, and shares one
+:class:`~repro.serving.stats.ServiceStats` across all of them. The result
+is a :class:`ServingStack` — itself a
+:class:`~repro.llm.provider.CompletionProvider`, so applications take it
+anywhere they take a raw client. With no layers requested the stack is a
+bare metrics observer over the client and behaves bit-identically to the
+client itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.cache import SemanticCache
+from repro.core.cascade import DEFAULT_CHAIN
+from repro.llm.client import Completion
+from repro.llm.provider import CompletionProvider
+from repro.serving.middleware import (
+    BudgetMiddleware,
+    CascadeMiddleware,
+    MetricsMiddleware,
+    RetryMiddleware,
+    SemanticCacheMiddleware,
+)
+from repro.serving.stats import ServiceStats
+
+
+class ServingStack:
+    """A composed middleware pipeline, usable anywhere a provider is."""
+
+    def __init__(
+        self,
+        provider: CompletionProvider,
+        stats: ServiceStats,
+        layers: Sequence[str],
+    ) -> None:
+        self.provider = provider
+        self.stats = stats
+        self.layers = list(layers)
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
+        return self.provider.complete(prompt, model=model)
+
+    def complete_batch(
+        self,
+        shared_prefix: str,
+        items: List[str],
+        model: Optional[str] = None,
+    ) -> List[Completion]:
+        return self.provider.complete_batch(shared_prefix, items, model=model)
+
+    def embed(self, text: str) -> np.ndarray:
+        return self.provider.embed(text)
+
+    def reseeded(self, offset: int) -> "ServingStack":
+        if hasattr(self.provider, "reseeded"):
+            return ServingStack(self.provider.reseeded(offset), self.stats, self.layers)
+        return self
+
+    def describe(self) -> str:
+        """The layer chain, outermost first (e.g. for example scripts)."""
+        return " -> ".join(self.layers)
+
+    def report(self) -> str:
+        return self.stats.render()
+
+
+def build_stack(
+    client: CompletionProvider,
+    *,
+    cache: Union[SemanticCache, bool, None] = None,
+    cache_key_fn: Optional[Callable[[str], str]] = None,
+    cache_kind: str = "original",
+    chain: Optional[Sequence[str]] = None,
+    decision_models: Optional[Sequence[object]] = None,
+    max_retries: int = 0,
+    min_confidence: Optional[float] = None,
+    validator: Optional[Callable[[Completion], bool]] = None,
+    budget_usd: Optional[float] = None,
+    stats: Optional[ServiceStats] = None,
+) -> ServingStack:
+    """Assemble a serving stack over ``client`` with the requested layers.
+
+    Parameters mirror the middleware constructors: pass ``cache=True`` (or
+    a configured :class:`SemanticCache`) for the cache layer, a model
+    ``chain`` (and optional ``decision_models``) for the cascade,
+    ``max_retries`` with ``min_confidence``/``validator`` for retries, and
+    ``budget_usd`` for the spend ceiling. The metrics layer is always
+    installed so ``stats`` reflects the terminal traffic.
+    """
+    stats = stats if stats is not None else ServiceStats()
+    layers: List[str] = [type(client).__name__, "metrics"]
+    provider: CompletionProvider = MetricsMiddleware(client, stats=stats)
+    if budget_usd is not None:
+        provider = BudgetMiddleware(provider, budget_usd, stats=stats)
+        layers.append("budget")
+    if max_retries > 0 and (min_confidence is not None or validator is not None):
+        provider = RetryMiddleware(
+            provider,
+            max_retries=max_retries,
+            min_confidence=min_confidence,
+            validator=validator,
+            stats=stats,
+        )
+        layers.append("retry")
+    if chain is not None or decision_models is not None:
+        provider = CascadeMiddleware(
+            provider,
+            chain=chain if chain is not None else DEFAULT_CHAIN,
+            decision_models=decision_models,
+            stats=stats,
+        )
+        layers.append("cascade")
+    # NB: an empty SemanticCache is len()==0 and therefore falsy — test
+    # identity, not truthiness.
+    if cache is not None and cache is not False:
+        provider = SemanticCacheMiddleware(
+            provider,
+            cache=cache if isinstance(cache, SemanticCache) else None,
+            key_fn=cache_key_fn,
+            cache_kind=cache_kind,
+            stats=stats,
+        )
+        layers.append("cache")
+    return ServingStack(provider, stats, list(reversed(layers)))

@@ -1,0 +1,125 @@
+"""Per-layer counters for a serving stack.
+
+One :class:`ServiceStats` instance is shared by every middleware in a
+stack; each layer writes only its own counters, so a snapshot reads like a
+cross-section of the pipeline: how much traffic the cache absorbed, how far
+the cascade escalated, how many rejected completions were re-drawn, and
+what the terminal client actually billed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.llm.client import Usage
+
+
+@dataclass
+class ServiceStats:
+    """Counters recorded by the middleware layers of one serving stack."""
+
+    # Terminal layer (MetricsMiddleware): what reached the LLM service.
+    llm_calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost_usd: float = 0.0
+    latency_ms: float = 0.0
+    per_model: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    # Cache layer.
+    cache_lookups: int = 0
+    cache_reuse_hits: int = 0
+    cache_augment_hits: int = 0
+    cache_misses: int = 0
+    cache_cost_saved: float = 0.0
+
+    # Cascade layer.
+    cascade_requests: int = 0
+    escalations: int = 0
+    answered_by: Dict[str, int] = field(default_factory=dict)
+
+    # Retry layer.
+    retry_requests: int = 0
+    retries: int = 0
+    retry_rescues: int = 0
+
+    # Budget layer.
+    budget_limit_usd: Optional[float] = None
+    budget_spent_usd: float = 0.0
+    budget_rejections: int = 0
+
+    # ------------------------------------------------------------ recording
+
+    def record_llm_call(
+        self, model: str, usage: Usage, cost: float, latency_ms: float
+    ) -> None:
+        """Accumulate one request that actually hit the terminal client."""
+        self.llm_calls += 1
+        self.prompt_tokens += usage.prompt_tokens
+        self.completion_tokens += usage.completion_tokens
+        self.cost_usd += cost
+        self.latency_ms += latency_ms
+        entry = self.per_model.setdefault(
+            model, {"calls": 0, "prompt_tokens": 0, "completion_tokens": 0, "cost": 0.0}
+        )
+        entry["calls"] += 1
+        entry["prompt_tokens"] += usage.prompt_tokens
+        entry["completion_tokens"] += usage.completion_tokens
+        entry["cost"] += cost
+
+    # ------------------------------------------------------------ reading
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.cache_lookups == 0:
+            return 0.0
+        return (self.cache_reuse_hits + self.cache_augment_hits) / self.cache_lookups
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict snapshot, layer by layer (stable keys for reports)."""
+        return {
+            "llm": {
+                "calls": self.llm_calls,
+                "prompt_tokens": self.prompt_tokens,
+                "completion_tokens": self.completion_tokens,
+                "cost_usd": round(self.cost_usd, 6),
+                "latency_ms": round(self.latency_ms, 2),
+                "per_model": {m: dict(e) for m, e in sorted(self.per_model.items())},
+            },
+            "cache": {
+                "lookups": self.cache_lookups,
+                "reuse_hits": self.cache_reuse_hits,
+                "augment_hits": self.cache_augment_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hit_rate, 4),
+                "cost_saved_usd": round(self.cache_cost_saved, 6),
+            },
+            "cascade": {
+                "requests": self.cascade_requests,
+                "escalations": self.escalations,
+                "answered_by": dict(sorted(self.answered_by.items())),
+            },
+            "retry": {
+                "requests": self.retry_requests,
+                "retries": self.retries,
+                "rescues": self.retry_rescues,
+            },
+            "budget": {
+                "limit_usd": self.budget_limit_usd,
+                "spent_usd": round(self.budget_spent_usd, 6),
+                "rejections": self.budget_rejections,
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (budget limit included)."""
+        fresh = ServiceStats()
+        for name in fresh.__dataclass_fields__:
+            setattr(self, name, getattr(fresh, name))
+
+    def render(self) -> str:
+        """Human-readable per-layer report (rendered by the bench layer)."""
+        from repro.bench.reporting import render_service_stats
+
+        return render_service_stats(self)

@@ -1,0 +1,65 @@
+"""Determinism of the simulated LLM's randomness source.
+
+The serving stack (semantic cache, cascade, retry-with-reseed) only
+reproduces the paper's tables because `LLMClient._draws` is a pure
+function of (seed, model, prompt). These properties pin that contract.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm import LLMClient
+
+MODELS = ["babbage-002", "gpt-3.5-turbo", "gpt-4"]
+
+prompt_text = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd", "Zs"), whitelist_characters="?:.-"),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000), model=st.sampled_from(MODELS), prompt=prompt_text)
+def test_draws_identical_across_fresh_instances(seed, model, prompt):
+    a = LLMClient(model=model, seed=seed)
+    b = LLMClient(model=model, seed=seed)
+    assert a._draws(model, prompt) == b._draws(model, prompt)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    delta=st.integers(min_value=1, max_value=1_000),
+    model=st.sampled_from(MODELS),
+    prompt=prompt_text,
+)
+def test_draws_differ_across_seeds(seed, delta, model, prompt):
+    a = LLMClient(model=model, seed=seed)
+    b = LLMClient(model=model, seed=seed + delta)
+    assert a._draws(model, prompt) != b._draws(model, prompt)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100_000), model=st.sampled_from(MODELS))
+def test_completions_identical_across_fresh_instances(seed, model):
+    prompt = "Question: Who directed The Silent Mirror?"
+    a = LLMClient(model=model, seed=seed).complete(prompt)
+    b = LLMClient(model=model, seed=seed).complete(prompt)
+    assert (a.text, a.confidence, a.cost, a.usage) == (b.text, b.confidence, b.cost, b.usage)
+
+
+def test_reseeded_shifts_the_seed_and_shares_the_meter():
+    client = LLMClient(model="gpt-3.5-turbo", seed=7)
+    sibling = client.reseeded(3)
+    assert sibling.seed == 10
+    assert sibling.meter is client.meter
+    assert sibling.default_model is client.default_model
+    prompt = "Question: Who directed The Glass Harbor?"
+    assert sibling._draws("gpt-3.5-turbo", prompt) == LLMClient(
+        model="gpt-3.5-turbo", seed=10
+    )._draws("gpt-3.5-turbo", prompt)
+    # offset 0 reproduces the original draws exactly
+    assert client.reseeded(0)._draws("gpt-3.5-turbo", prompt) == client._draws(
+        "gpt-3.5-turbo", prompt
+    )

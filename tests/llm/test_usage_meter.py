@@ -1,0 +1,136 @@
+"""UsageMeter accounting and the shared-prefix refund in batched calls."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.llm.client import Completion, LLMClient, Usage, UsageMeter
+from repro.llm.models import get_model
+from repro.llm.tokenizer import count_tokens
+
+
+class TestUsageMeter:
+    def test_record_accumulates_totals_and_per_model(self):
+        meter = UsageMeter()
+        meter.record("gpt-4", Usage(prompt_tokens=100, completion_tokens=10), 0.5)
+        meter.record("gpt-4", Usage(prompt_tokens=50, completion_tokens=5), 0.25)
+        meter.record("babbage-002", Usage(prompt_tokens=10, completion_tokens=1), 0.01)
+        assert meter.calls == 3
+        assert meter.prompt_tokens == 160
+        assert meter.completion_tokens == 16
+        assert meter.cost == pytest.approx(0.76)
+        assert meter.per_model["gpt-4"]["calls"] == 2
+        assert meter.per_model["gpt-4"]["prompt_tokens"] == 150
+
+    def test_refund_reverses_prompt_tokens_and_cost(self):
+        meter = UsageMeter()
+        meter.record("gpt-4", Usage(prompt_tokens=100, completion_tokens=10), 0.5)
+        meter.refund("gpt-4", 40, 0.2)
+        assert meter.calls == 1  # refunds never change call counts
+        assert meter.prompt_tokens == 60
+        assert meter.completion_tokens == 10
+        assert meter.cost == pytest.approx(0.3)
+        assert meter.per_model["gpt-4"]["prompt_tokens"] == 60
+        assert meter.per_model["gpt-4"]["cost"] == pytest.approx(0.3)
+
+    def test_record_refund_round_trip_is_identity(self):
+        meter = UsageMeter()
+        meter.record("gpt-4", Usage(prompt_tokens=80, completion_tokens=8), 0.4)
+        before = (meter.prompt_tokens, meter.cost, dict(meter.per_model["gpt-4"]))
+        meter.record("gpt-4", Usage(prompt_tokens=30, completion_tokens=0), 0.1)
+        meter.refund("gpt-4", 30, 0.1)
+        meter.calls -= 1  # undo the extra call to compare pure token/cost state
+        assert meter.prompt_tokens == before[0]
+        assert meter.cost == pytest.approx(before[1])
+        assert meter.per_model["gpt-4"]["prompt_tokens"] == before[2]["prompt_tokens"]
+        assert meter.per_model["gpt-4"]["cost"] == pytest.approx(before[2]["cost"])
+
+    def test_report_contains_totals_and_models(self):
+        meter = UsageMeter()
+        meter.record("gpt-4", Usage(prompt_tokens=100, completion_tokens=10), 0.5)
+        meter.refund("gpt-4", 40, 0.2)
+        report = meter.report()
+        assert "TOTAL" in report and "gpt-4" in report
+        assert "60" in report  # refunded prompt tokens
+
+    def test_reset_zeroes_everything(self):
+        meter = UsageMeter()
+        meter.record("gpt-4", Usage(prompt_tokens=100, completion_tokens=10), 0.5)
+        meter.reset()
+        assert meter.calls == 0
+        assert meter.prompt_tokens == 0
+        assert meter.cost == 0.0
+        assert not meter.per_model
+
+
+class TestCompletionHelpers:
+    def test_with_usage_rewrites_metering_only(self):
+        completion = Completion(
+            text="42",
+            model="gpt-4",
+            usage=Usage(prompt_tokens=10, completion_tokens=2),
+            cost=0.1,
+            latency_ms=5.0,
+            confidence=0.9,
+            engine="qa",
+        )
+        rewritten = completion.with_usage(Usage(prompt_tokens=4, completion_tokens=2), 0.04)
+        assert rewritten.text == completion.text
+        assert rewritten.usage.prompt_tokens == 4
+        assert rewritten.cost == pytest.approx(0.04)
+        assert rewritten.latency_ms == completion.latency_ms
+        # extra fields pass through dataclasses.replace
+        relabelled = completion.with_usage(completion.usage, 0.0, latency_ms=0.0)
+        assert relabelled.latency_ms == 0.0
+        assert dataclasses.is_dataclass(relabelled)
+
+
+class TestBatchBudget:
+    WORKLOAD = dict(
+        shared_prefix="Answer the question with a single name or value.\n"
+        "Context: stadium capacity figures for the 2014 season are listed below.\n",
+        items=[
+            "Question: Who directed The Silent Mirror?",
+            "Question: Who directed The Glass Harbor?",
+            "Question: Who directed The Paper Sky?",
+        ],
+    )
+
+    def _net_and_gross(self):
+        client = LLMClient(model="gpt-3.5-turbo")
+        completions = client.complete_batch(**self.WORKLOAD)
+        net = client.meter.cost
+        spec = get_model("gpt-3.5-turbo")
+        prefix_cost = spec.cost(count_tokens(self.WORKLOAD["shared_prefix"]), 0)
+        gross = net + (len(self.WORKLOAD["items"]) - 1) * prefix_cost
+        return completions, net, gross
+
+    def test_net_budget_batch_does_not_raise(self):
+        # The seed bug: the per-call budget check ran before the refund, so
+        # a batch whose *net* cost fits the budget still raised.
+        completions, net, gross = self._net_and_gross()
+        assert gross > net  # the refund is real money on this workload
+        budgeted = LLMClient(model="gpt-3.5-turbo", budget_usd=net * 1.001)
+        result = budgeted.complete_batch(**self.WORKLOAD)
+        assert [c.text for c in result] == [c.text for c in completions]
+        assert budgeted.meter.cost == pytest.approx(net)
+
+    def test_budget_below_net_still_raises(self):
+        _completions, net, _gross = self._net_and_gross()
+        budgeted = LLMClient(model="gpt-3.5-turbo", budget_usd=net * 0.5)
+        with pytest.raises(BudgetExceededError):
+            budgeted.complete_batch(**self.WORKLOAD)
+
+    def test_batch_completions_carry_net_metering(self):
+        completions, net, _gross = self._net_and_gross()
+        assert sum(c.cost for c in completions) == pytest.approx(net)
+        prefix_tokens = count_tokens(self.WORKLOAD["shared_prefix"])
+        # Item 0 pays for the shared prefix; the rest are metered net of it.
+        full = [
+            count_tokens(self.WORKLOAD["shared_prefix"] + item)
+            for item in self.WORKLOAD["items"]
+        ]
+        assert completions[0].usage.prompt_tokens == full[0]
+        for completion, full_tokens in zip(completions[1:], full[1:]):
+            assert completion.usage.prompt_tokens == full_tokens - prefix_tokens
