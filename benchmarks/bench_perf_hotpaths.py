@@ -1,0 +1,79 @@
+"""Perf bench: vectorized similarity hot paths vs the seed linear scans.
+
+Times ``SemanticCache`` lookup/put, ``AdmissionPredictor`` probes, and
+few-shot selection at several cache sizes against the frozen linear-scan
+references (:mod:`repro.bench.perf`), asserts decision-for-decision
+equivalence, and writes ``BENCH_hotpaths.json`` so future PRs have a perf
+trajectory to compare against.
+
+Run standalone for the full size ladder (1k/10k/50k):
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py --smoke  # CI
+
+Under pytest the bench uses 1k/10k (the acceptance size) to stay fast.
+"""
+
+import json
+import os
+import sys
+
+from repro.bench.perf import DEFAULT_REPORT_PATH, run_equivalence, run_hotpaths
+
+# The headline acceptance: one vectorized probe replaces a 10k-entry Python
+# loop at >= this factor, with zero decision divergence.
+ACCEPTANCE_SIZE = 10_000
+ACCEPTANCE_SPEEDUP = 10.0
+
+
+def _report_path() -> str:
+    return os.environ.get("REPRO_BENCH_HOTPATHS_PATH", DEFAULT_REPORT_PATH)
+
+
+def test_equivalence_all_policies(once):
+    report = once(run_equivalence)
+    assert report["diverged"] == 0
+    for policy, cell in report["policies"].items():
+        assert cell["diverged"] == 0, f"{policy} diverged"
+        assert cell["evictions"] > 0, f"{policy} workload never evicted"
+    assert report["admission"]["diverged"] == 0
+    assert report["selection"]["diverged"] == 0
+
+
+def test_hotpath_speedups(once):
+    report = once(run_hotpaths, sizes=(1000, ACCEPTANCE_SIZE), write_path=_report_path())
+    print()
+    print(report.render())
+    assert report.diverged == 0
+    assert report.speedup("cache_lookup", ACCEPTANCE_SIZE) >= ACCEPTANCE_SPEEDUP
+    assert report.speedup("admission", ACCEPTANCE_SIZE) >= ACCEPTANCE_SPEEDUP
+    assert report.speedup("selection_mmr", ACCEPTANCE_SIZE) >= ACCEPTANCE_SPEEDUP
+    # Top-k selection is embed-bound rather than scan-bound, so the bar is
+    # lower — but vectorized scoring must never lose to the Python loop.
+    assert report.speedup("selection_topk", ACCEPTANCE_SIZE) >= 1.0
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    sizes = (1000,) if smoke else (1000, 10_000, 50_000)
+    report = run_hotpaths(sizes=sizes, write_path=_report_path())
+    print(report.render())
+    print(f"wrote {_report_path()}")
+    if report.diverged != 0:
+        print("FAIL: vectorized hot paths diverged from the linear scan", file=sys.stderr)
+        return 1
+    if not smoke and report.speedup("cache_lookup", ACCEPTANCE_SIZE) < ACCEPTANCE_SPEEDUP:
+        print(
+            f"FAIL: cache_lookup speedup at {ACCEPTANCE_SIZE} below "
+            f"{ACCEPTANCE_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    # Smoke mode still validates the report round-trips as JSON.
+    with open(_report_path(), "r", encoding="utf-8") as handle:
+        json.load(handle)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -49,6 +49,12 @@ def main() -> None:
     print(f" {len(stream)} queries -> {stack.stats.llm_calls} LLM calls, "
           f"{stack.stats.cache_reuse_hits} cache hits, "
           f"{stack.stats.escalations} escalations; accuracy {answered / len(stream):.2f}")
+    # Per-layer lookup latency: the vectordb-backed cache probe is a single
+    # matrix reduction, so the mean stays flat as the cache fills.
+    print(f" cache layer time: {stack.stats.cache_lookup_ms:.3f} ms across "
+          f"{stack.stats.cache_lookups} probes "
+          f"(mean {stack.stats.cache_mean_lookup_ms:.4f} ms/probe, "
+          f"puts {stack.stats.cache_put_ms:.3f} ms)")
     print(stack.report())
 
     # --- 2. NL2SQL batch through the min-cost planner ---------------------

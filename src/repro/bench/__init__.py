@@ -28,9 +28,21 @@ from repro.bench.experiments import (
     run_table2,
     run_table3,
 )
+from repro.bench.perf import (
+    HotpathReport,
+    LinearScanAdmission,
+    LinearScanCache,
+    run_equivalence,
+    run_hotpaths,
+)
 from repro.bench.reporting import format_table
 
 __all__ = [
+    "HotpathReport",
+    "LinearScanAdmission",
+    "LinearScanCache",
+    "run_equivalence",
+    "run_hotpaths",
     "Fig1Result",
     "Fig2Result",
     "Fig3Result",

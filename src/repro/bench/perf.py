@@ -1,0 +1,575 @@
+"""Hot-path performance harness: vectorized similarity paths vs linear scan.
+
+The serving hot paths — semantic-cache probes, admission checks, few-shot
+selection — were originally per-entry Python loops calling
+:func:`repro._util.cosine`. They are now one matrix reduction each, backed
+by :mod:`repro.vectordb`. This module keeps the original linear-scan
+implementations frozen as references and provides two entry points:
+
+* :func:`run_equivalence` — replays identical randomized workloads through
+  the reference and the vectorized implementations and demands
+  **bit-identical** results: lookup tiers, similarities, matched keys,
+  stats, eviction order, admission decisions, selection order.
+* :func:`run_hotpaths` — times both sides at several cache sizes and
+  writes ``BENCH_hotpaths.json`` so successive PRs accumulate a perf
+  trajectory.
+
+The references deliberately reuse the (unchanged) ``CacheEntry`` /
+``CacheStats`` machinery and the same refresh semantics as the current
+cache, so the comparison isolates exactly one variable: the scan strategy.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import cosine, rng_from
+from repro.bench.reporting import format_table
+from repro.core.cache import (
+    AdmissionPredictor,
+    CacheEntry,
+    CacheLookup,
+    CacheStats,
+    EvictionPolicy,
+    SemanticCache,
+)
+from repro.core.prompts.selector import mmr_select, similarity_select
+from repro.llm.embeddings import EmbeddingModel
+
+DEFAULT_REPORT_PATH = "BENCH_hotpaths.json"
+SCHEMA = "repro.bench.hotpaths/v1"
+
+
+# ===========================================================================
+# Frozen references: the pre-vectorization linear scans
+# ===========================================================================
+
+
+class LinearScanCache:
+    """The seed ``SemanticCache``: an O(n) Python loop per probe.
+
+    Kept verbatim (plus the put-refresh fix shared with the live cache) as
+    the equivalence and benchmark baseline."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        reuse_threshold: float = 0.95,
+        augment_threshold: float = 0.75,
+        policy: EvictionPolicy = EvictionPolicy.WEIGHTED,
+        embedding_dim: int = 64,
+        lrfu_lambda: float = 0.1,
+    ) -> None:
+        self.capacity = capacity
+        self.reuse_threshold = reuse_threshold
+        self.augment_threshold = augment_threshold
+        self.policy = policy
+        self.lrfu_lambda = lrfu_lambda
+        self.embedder = EmbeddingModel(dim=embedding_dim)
+        self.entries: Dict[str, CacheEntry] = {}
+        self.stats = CacheStats()
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def lookup(self, query: str) -> CacheLookup:
+        self._clock += 1
+        self.stats.lookups += 1
+        if not self.entries:
+            self.stats.misses += 1
+            return CacheLookup(tier="miss")
+        query_vec = self.embedder.embed(query)
+        best_entry: Optional[CacheEntry] = None
+        best_sim = -1.0
+        for entry in self.entries.values():
+            sim = cosine(query_vec, entry.embedding)
+            if sim > best_sim:
+                best_sim, best_entry = sim, entry
+        assert best_entry is not None
+        if best_sim >= self.reuse_threshold:
+            best_entry.reuse_hits += 1
+            best_entry.last_access = self._clock
+            best_entry.touch_lrfu(self._clock, self.lrfu_lambda)
+            self.stats.reuse_hits += 1
+            self.stats.cost_saved += best_entry.cost_of_miss
+            return CacheLookup(tier="reuse", entry=best_entry, similarity=best_sim)
+        if best_sim >= self.augment_threshold:
+            best_entry.augment_hits += 1
+            best_entry.last_access = self._clock
+            best_entry.touch_lrfu(self._clock, self.lrfu_lambda)
+            self.stats.augment_hits += 1
+            return CacheLookup(tier="augment", entry=best_entry, similarity=best_sim)
+        self.stats.misses += 1
+        return CacheLookup(tier="miss")
+
+    def put(
+        self, query: str, response: str, kind: str = "original", cost: float = 0.0
+    ) -> Optional[CacheEntry]:
+        self._clock += 1
+        if query in self.entries:
+            entry = self.entries[query]
+            entry.response = response
+            entry.cost_of_miss = cost
+            entry.last_access = self._clock
+            entry.touch_lrfu(self._clock, self.lrfu_lambda)
+            return entry
+        while len(self.entries) >= self.capacity:
+            self._evict()
+        entry = CacheEntry(
+            key=query,
+            embedding=self.embedder.embed(query),
+            response=response,
+            kind=kind,
+            cost_of_miss=cost,
+            last_access=self._clock,
+            inserted_at=self._clock,
+        )
+        entry.touch_lrfu(self._clock, self.lrfu_lambda)
+        self.entries[query] = entry
+        return entry
+
+    def _evict(self) -> None:
+        if not self.entries:
+            return
+        if self.policy is EvictionPolicy.LRU:
+            victim = min(self.entries.values(), key=lambda e: (e.last_access, e.key))
+        elif self.policy is EvictionPolicy.LFU:
+            victim = min(
+                self.entries.values(),
+                key=lambda e: (e.reuse_hits + e.augment_hits, e.last_access, e.key),
+            )
+        elif self.policy is EvictionPolicy.LRFU:
+            victim = min(
+                self.entries.values(),
+                key=lambda e: (e.lrfu_score(self._clock, self.lrfu_lambda), e.key),
+            )
+        else:
+            victim = min(
+                self.entries.values(),
+                key=lambda e: (e.weighted_score(self._clock), e.key),
+            )
+        del self.entries[victim.key]
+        self.stats.evictions += 1
+
+
+class LinearScanAdmission:
+    """The seed ``AdmissionPredictor``: list-of-vectors history scan."""
+
+    def __init__(
+        self,
+        history: int = 256,
+        similarity_threshold: float = 0.92,
+        admit_subqueries: bool = True,
+        embedding_dim: int = 64,
+    ) -> None:
+        self.history = history
+        self.similarity_threshold = similarity_threshold
+        self.admit_subqueries = admit_subqueries
+        self.embedder = EmbeddingModel(dim=embedding_dim)
+        self._seen: List[np.ndarray] = []
+
+    def observe(self, query: str) -> None:
+        self._seen.append(self.embedder.embed(query))
+        if len(self._seen) > self.history:
+            del self._seen[0]
+
+    def seen_similar(self, query: str) -> bool:
+        vec = self.embedder.embed(query)
+        return any(cosine(vec, other) >= self.similarity_threshold for other in self._seen)
+
+    def should_admit(self, query: str, kind: str = "original") -> bool:
+        if self.admit_subqueries and kind == "sub":
+            self.observe(query)
+            return True
+        admit = self.seen_similar(query)
+        self.observe(query)
+        return admit
+
+
+def linear_similarity_select(
+    query: str,
+    candidates: Sequence[str],
+    k: int,
+    embedder: Optional[EmbeddingModel] = None,
+) -> List[str]:
+    """The seed per-candidate-loop ``similarity_select``."""
+    if k <= 0 or not candidates:
+        return []
+    embedder = embedder or EmbeddingModel()
+    query_vec = embedder.embed(query)
+    scored = [
+        (cosine(query_vec, embedder.embed(c)), i, c) for i, c in enumerate(candidates)
+    ]
+    scored.sort(key=lambda t: (-t[0], t[1]))
+    return [c for _s, _i, c in scored[:k]]
+
+
+def linear_mmr_select(
+    query: str,
+    candidates: Sequence[str],
+    k: int,
+    lambda_relevance: float = 0.7,
+    embedder: Optional[EmbeddingModel] = None,
+) -> List[str]:
+    """The seed per-pair-loop ``mmr_select``."""
+    if k <= 0 or not candidates:
+        return []
+    embedder = embedder or EmbeddingModel()
+    query_vec = embedder.embed(query)
+    vectors = [embedder.embed(c) for c in candidates]
+    relevance = [cosine(query_vec, v) for v in vectors]
+
+    selected: List[int] = []
+    remaining = list(range(len(candidates)))
+    while remaining and len(selected) < k:
+
+        def mmr_score(idx: int) -> float:
+            redundancy = max(
+                (cosine(vectors[idx], vectors[j]) for j in selected), default=0.0
+            )
+            return lambda_relevance * relevance[idx] - (1 - lambda_relevance) * redundancy
+
+        best = max(remaining, key=lambda idx: (mmr_score(idx), -idx))
+        selected.append(best)
+        remaining.remove(best)
+    return [candidates[i] for i in selected]
+
+
+# ===========================================================================
+# Workloads
+# ===========================================================================
+
+_VOCAB = (
+    "stadium concert film director privacy cache query patient table column "
+    "vector index model data lake schema entity match join federated budget "
+    "transaction ledger revenue forecast cluster shard replica batch stream"
+).split()
+
+
+def make_queries(n: int, seed: int = 11) -> List[str]:
+    """``n`` distinct synthetic queries over a small vocabulary."""
+    rng = rng_from(seed)
+    queries: List[str] = []
+    seen = set()
+    i = 0
+    while len(queries) < n:
+        words = rng.choice(_VOCAB, size=int(rng.integers(3, 8)))
+        text = " ".join(words) + f" #{i}"
+        i += 1
+        if text not in seen:
+            seen.add(text)
+            queries.append(text)
+    return queries
+
+
+def make_stream(queries: Sequence[str], length: int, seed: int = 13) -> List[str]:
+    """A lookup stream with skewed repetition over ``queries``."""
+    rng = rng_from(seed)
+    n = len(queries)
+    # Zipf-ish skew: squaring a uniform concentrates mass on low indexes.
+    picks = (rng.random(length) ** 2 * n).astype(int)
+    return [queries[min(int(p), n - 1)] for p in picks]
+
+
+# ===========================================================================
+# Equivalence
+# ===========================================================================
+
+
+def _lookup_sig(lookup: CacheLookup) -> Tuple[str, float, Optional[str]]:
+    return (
+        lookup.tier,
+        lookup.similarity,
+        lookup.entry.key if lookup.entry is not None else None,
+    )
+
+
+def run_equivalence(
+    n_queries: int = 150,
+    n_ops: int = 500,
+    capacity: int = 48,
+    seed: int = 11,
+    policies: Sequence[EvictionPolicy] = tuple(EvictionPolicy),
+) -> Dict[str, object]:
+    """Replay one workload through both cache implementations and compare.
+
+    Returns a report with a ``diverged`` count per policy; any non-zero
+    value means the vectorized cache is NOT a drop-in replacement."""
+    queries = make_queries(n_queries, seed=seed)
+    stream = make_stream(queries, n_ops, seed=seed + 1)
+    report: Dict[str, object] = {"ops_per_policy": n_ops, "policies": {}}
+    total_diverged = 0
+    for policy in policies:
+        reference = LinearScanCache(
+            capacity=capacity, policy=policy, reuse_threshold=0.9, augment_threshold=0.7
+        )
+        vectorized = SemanticCache(
+            capacity=capacity, policy=policy, reuse_threshold=0.9, augment_threshold=0.7
+        )
+        diverged = 0
+        for query in stream:
+            ref_lookup = reference.lookup(query)
+            vec_lookup = vectorized.lookup(query)
+            if _lookup_sig(ref_lookup) != _lookup_sig(vec_lookup):
+                diverged += 1
+            if ref_lookup.tier != "reuse":
+                reference.put(query, "answer", cost=0.01)
+            if vec_lookup.tier != "reuse":
+                vectorized.put(query, "answer", cost=0.01)
+            if list(reference.entries) != list(vectorized.entries):
+                diverged += 1
+        if reference.stats != vectorized.stats:
+            diverged += 1
+        total_diverged += diverged
+        report["policies"][policy.value] = {
+            "diverged": diverged,
+            "reuse_hits": vectorized.stats.reuse_hits,
+            "augment_hits": vectorized.stats.augment_hits,
+            "misses": vectorized.stats.misses,
+            "evictions": vectorized.stats.evictions,
+        }
+
+    # Admission decisions.
+    reference_admission = LinearScanAdmission(history=64, similarity_threshold=0.9)
+    vector_admission = AdmissionPredictor(history=64, similarity_threshold=0.9)
+    admission_diverged = sum(
+        1
+        for query in stream
+        if reference_admission.should_admit(query) != vector_admission.should_admit(query)
+    )
+    total_diverged += admission_diverged
+    report["admission"] = {"ops": len(stream), "diverged": admission_diverged}
+
+    # Selection order.
+    pool = queries
+    shared = EmbeddingModel(memo_size=2 * len(pool) + 16)
+    sel_diverged = 0
+    for probe in stream[:20]:
+        if linear_similarity_select(probe, pool, 8, embedder=shared) != similarity_select(
+            probe, pool, 8, text_of=lambda s: s, embedder=shared
+        ):
+            sel_diverged += 1
+        if linear_mmr_select(probe, pool, 8, embedder=shared) != mmr_select(
+            probe, pool, 8, text_of=lambda s: s, embedder=shared
+        ):
+            sel_diverged += 1
+    total_diverged += sel_diverged
+    report["selection"] = {"ops": 40, "diverged": sel_diverged}
+    report["diverged"] = total_diverged
+    return report
+
+
+# ===========================================================================
+# Timing
+# ===========================================================================
+
+
+def _time_per_op(fn: Callable[[], object], min_ops: int, budget_s: float) -> Tuple[float, int]:
+    """Mean milliseconds per call of ``fn`` — at least ``min_ops`` calls,
+    stopping early once ``budget_s`` wall-clock is spent."""
+    ops = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        ops += 1
+        elapsed = time.perf_counter() - start
+        if ops >= min_ops and elapsed >= budget_s:
+            break
+        if ops >= 10 * min_ops:
+            break
+    return (elapsed * 1000.0) / ops, ops
+
+
+@dataclass
+class HotpathReport:
+    """Timings + equivalence for every similarity hot path."""
+
+    sizes: List[int]
+    ops: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    equivalence: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def diverged(self) -> int:
+        return int(self.equivalence.get("diverged", -1))
+
+    def speedup(self, op: str, size: int) -> float:
+        return float(self.ops[op][str(size)]["speedup"])
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "sizes": self.sizes,
+            "ops": self.ops,
+            "equivalence": self.equivalence,
+        }
+
+    def write(self, path: str = DEFAULT_REPORT_PATH) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def render(self) -> str:
+        rows = []
+        for op, by_size in self.ops.items():
+            for size in sorted(by_size, key=int):
+                cell = by_size[size]
+                rows.append(
+                    (
+                        op,
+                        int(size),
+                        round(cell["linear_ms_per_op"], 4),
+                        round(cell["vector_ms_per_op"], 4),
+                        round(cell["speedup"], 1),
+                    )
+                )
+        table = format_table(
+            ["Hot path", "Size", "Linear ms/op", "Vector ms/op", "Speedup"],
+            rows,
+            title="Similarity hot paths: linear scan vs vectordb-backed",
+        )
+        return table + f"\nEquivalence: diverged={self.diverged} (0 = drop-in)"
+
+
+def run_hotpaths(
+    sizes: Sequence[int] = (1000, 10000, 50000),
+    seed: int = 11,
+    budget_s: float = 0.35,
+    selection_k: int = 8,
+    write_path: Optional[str] = None,
+) -> HotpathReport:
+    """Time lookup/put/admission/selection at each size, both backends.
+
+    Embeddings are pre-warmed into the shared memo before timing, so the
+    measured work is the scan/scoring itself — the part this PR vectorizes.
+    Pass ``write_path`` to persist the JSON perf trajectory.
+    """
+    report = HotpathReport(sizes=list(sizes))
+    ops: Dict[str, Dict[str, Dict[str, float]]] = {
+        "cache_lookup": {},
+        "cache_put": {},
+        "admission": {},
+        "selection_topk": {},
+        "selection_mmr": {},
+    }
+    for size in sizes:
+        queries = make_queries(size, seed=seed)
+        probes = make_stream(queries, 256, seed=seed + 2)
+
+        # --- cache put + lookup ------------------------------------------
+        reference = LinearScanCache(capacity=size, reuse_threshold=0.9, augment_threshold=0.7)
+        vectorized = SemanticCache(capacity=size, reuse_threshold=0.9, augment_threshold=0.7)
+        for cache in (reference, vectorized):  # warm the embedding memos
+            cache.embedder = EmbeddingModel(memo_size=2 * size + 512)
+            cache.embedder.embed_batch(queries)
+            cache.embedder.embed_batch(probes)
+
+        put_iter = iter(queries)
+        linear_put_ms, _ = _time_per_op(
+            lambda: reference.put(next(put_iter), "answer", cost=0.01), size, 0.0
+        )
+        put_iter = iter(queries)
+        vector_put_ms, _ = _time_per_op(
+            lambda: vectorized.put(next(put_iter), "answer", cost=0.01), size, 0.0
+        )
+        ops["cache_put"][str(size)] = {
+            "linear_ms_per_op": linear_put_ms,
+            "vector_ms_per_op": vector_put_ms,
+            "speedup": linear_put_ms / max(vector_put_ms, 1e-9),
+        }
+
+        probe_cycle = _cycler(probes)
+        linear_lookup_ms, _ = _time_per_op(
+            lambda: reference.lookup(next(probe_cycle)), 3, budget_s
+        )
+        probe_cycle = _cycler(probes)
+        vector_lookup_ms, _ = _time_per_op(
+            lambda: vectorized.lookup(next(probe_cycle)), 50, budget_s
+        )
+        ops["cache_lookup"][str(size)] = {
+            "linear_ms_per_op": linear_lookup_ms,
+            "vector_ms_per_op": vector_lookup_ms,
+            "speedup": linear_lookup_ms / max(vector_lookup_ms, 1e-9),
+        }
+
+        # --- admission ----------------------------------------------------
+        history = min(size, 8192)
+        reference_admission = LinearScanAdmission(history=history, similarity_threshold=0.9)
+        vector_admission = AdmissionPredictor(history=history, similarity_threshold=0.9)
+        for predictor in (reference_admission, vector_admission):
+            predictor.embedder = EmbeddingModel(memo_size=2 * size + 512)
+            predictor.embedder.embed_batch(queries)
+            for query in queries[:history]:
+                predictor.observe(query)
+        probe_cycle = _cycler(probes)
+        linear_adm_ms, _ = _time_per_op(
+            lambda: reference_admission.seen_similar(next(probe_cycle)), 3, budget_s
+        )
+        probe_cycle = _cycler(probes)
+        vector_adm_ms, _ = _time_per_op(
+            lambda: vector_admission.seen_similar(next(probe_cycle)), 50, budget_s
+        )
+        ops["admission"][str(size)] = {
+            "linear_ms_per_op": linear_adm_ms,
+            "vector_ms_per_op": vector_adm_ms,
+            "speedup": linear_adm_ms / max(vector_adm_ms, 1e-9),
+        }
+
+        # --- selection ----------------------------------------------------
+        shared = EmbeddingModel(memo_size=2 * size + 512)
+        shared.embed_batch(queries)
+        probe = probes[0]
+        shared.embed(probe)
+        linear_topk_ms, _ = _time_per_op(
+            lambda: linear_similarity_select(probe, queries, selection_k, embedder=shared),
+            1,
+            budget_s,
+        )
+        vector_topk_ms, _ = _time_per_op(
+            lambda: similarity_select(
+                probe, queries, selection_k, text_of=lambda s: s, embedder=shared
+            ),
+            3,
+            budget_s,
+        )
+        ops["selection_topk"][str(size)] = {
+            "linear_ms_per_op": linear_topk_ms,
+            "vector_ms_per_op": vector_topk_ms,
+            "speedup": linear_topk_ms / max(vector_topk_ms, 1e-9),
+        }
+        linear_mmr_ms, _ = _time_per_op(
+            lambda: linear_mmr_select(probe, queries, selection_k, embedder=shared),
+            1,
+            budget_s,
+        )
+        vector_mmr_ms, _ = _time_per_op(
+            lambda: mmr_select(probe, queries, selection_k, text_of=lambda s: s, embedder=shared),
+            3,
+            budget_s,
+        )
+        ops["selection_mmr"][str(size)] = {
+            "linear_ms_per_op": linear_mmr_ms,
+            "vector_ms_per_op": vector_mmr_ms,
+            "speedup": linear_mmr_ms / max(vector_mmr_ms, 1e-9),
+        }
+
+    report.ops = ops
+    report.equivalence = run_equivalence(seed=seed)
+    if write_path is not None:
+        report.write(write_path)
+    return report
+
+
+def _cycler(items: Sequence[str]):
+    def gen():
+        while True:
+            for item in items:
+                yield item
+
+    return gen()

@@ -43,6 +43,9 @@ def render_service_stats(stats) -> str:
     rows.append(("cache", "misses", cache["misses"]))
     rows.append(("cache", "hit rate", cache["hit_rate"]))
     rows.append(("cache", "cost saved ($)", cache["cost_saved_usd"]))
+    rows.append(("cache", "lookup time (ms)", cache["lookup_ms"]))
+    rows.append(("cache", "mean lookup (ms)", cache["mean_lookup_ms"]))
+    rows.append(("cache", "put time (ms)", cache["put_ms"]))
     rows.append(("cascade", "requests", cascade["requests"]))
     rows.append(("cascade", "escalations", cascade["escalations"]))
     for model, count in cascade["answered_by"].items():

@@ -16,19 +16,28 @@ Differences from a conventional exact-match cache, following the paper:
   recency decay and evicts the lowest score.
 * **Sub-query caching** — entries are tagged ``original`` or ``sub`` so the
   Table III Cache(O)/Cache(A) comparison can be reproduced.
+
+Similarity matching is backed by the :mod:`repro.vectordb` layer (GPTCache
+style): a probe is one matrix reduction over a dense embedding index
+instead of a per-entry Python loop. The default :class:`FlatIndex` backend
+is *exact* — probes return bit-identical tiers and similarities to the
+original linear scan (``benchmarks/bench_perf_hotpaths.py`` asserts this
+decision for decision). ``index="ivf"`` / ``index="hnsw"`` trade that
+exactness for sublinear probes at large capacities.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro._util import cosine
 from repro.llm.embeddings import EmbeddingModel
 from repro.llm.provider import CompletionProvider
+from repro.vectordb import FlatIndex, HNSWIndex, IVFIndex
 
 REUSE_WEIGHT = 3.0  # case (1): no LLM call needed — most valuable
 AUGMENT_WEIGHT = 1.0  # case (2): still calls the LLM
@@ -117,6 +126,13 @@ class AdmissionPredictor:
     been seen before (one-hit wonders have not), or when it is a sub-query
     (sub-queries are shared across originals by construction — the Fig 7
     overlap). The predictor is trained online by its own traffic.
+
+    The history is a fixed ring-buffer matrix: recording an occurrence is
+    one row write (no list shifting), and a similarity probe is one matrix
+    reduction instead of a per-entry Python loop. Rows scoring within the
+    float-reconciliation band of the threshold are re-checked with the
+    scalar :func:`~repro._util.cosine`, so decisions are bit-identical to
+    the original linear scan.
     """
 
     def __init__(
@@ -132,30 +148,93 @@ class AdmissionPredictor:
         self.similarity_threshold = similarity_threshold
         self.admit_subqueries = admit_subqueries
         self.embedder = EmbeddingModel(dim=embedding_dim)
-        self._seen: List[np.ndarray] = []
+        self._ring = np.zeros((history, embedding_dim), dtype=np.float64)
+        self._ring_norms = np.zeros(history, dtype=np.float64)
+        self._count = 0  # rows filled, saturates at history
+        self._next = 0  # next row to overwrite
+
+    @property
+    def _seen(self) -> List[np.ndarray]:
+        """The recorded embeddings, oldest first (compatibility view)."""
+        if self._count < self.history:
+            rows = range(self._count)
+        else:
+            rows = [(self._next + i) % self.history for i in range(self.history)]
+        return [self._ring[i].copy() for i in rows]
+
+    def _observe_vec(self, vec: np.ndarray) -> None:
+        row = self._next
+        self._ring[row] = vec
+        self._ring_norms[row] = float(np.linalg.norm(self._ring[row]))
+        self._next = (row + 1) % self.history
+        if self._count < self.history:
+            self._count += 1
+
+    def _seen_similar_vec(self, vec: np.ndarray) -> bool:
+        if self._count == 0:
+            return False
+        ring = self._ring[: self._count]
+        norms = self._ring_norms[: self._count]
+        qn = float(np.linalg.norm(vec))
+        denom = norms * qn
+        dots = ring @ vec
+        sims = np.divide(dots, denom, out=np.zeros_like(dots), where=denom > 0)
+        threshold = self.similarity_threshold
+        best = float(np.max(sims))
+        if best < threshold - 1e-9:
+            return False
+        if best >= threshold + 1e-9:
+            return True
+        # Borderline rows: reconcile with the scalar cosine the original
+        # linear scan computed, so the decision cannot drift by an ulp.
+        for row in np.flatnonzero(sims >= threshold - 1e-9):
+            if cosine(vec, self._ring[row]) >= threshold:
+                return True
+        return False
 
     def observe(self, query: str) -> None:
         """Record one query occurrence."""
-        self._seen.append(self.embedder.embed(query))
-        if len(self._seen) > self.history:
-            del self._seen[0]
+        self._observe_vec(self.embedder.embed(query))
 
     def seen_similar(self, query: str) -> bool:
-        vec = self.embedder.embed(query)
-        return any(cosine(vec, other) >= self.similarity_threshold for other in self._seen)
+        return self._seen_similar_vec(self.embedder.embed(query))
 
     def should_admit(self, query: str, kind: str = "original") -> bool:
-        """Admission decision; also records the occurrence."""
+        """Admission decision; also records the occurrence.
+
+        The query is embedded exactly once and the vector shared between
+        the decision and the history write."""
+        vec = self.embedder.embed(query)
         if self.admit_subqueries and kind == "sub":
-            self.observe(query)
+            self._observe_vec(vec)
             return True
-        admit = self.seen_similar(query)
-        self.observe(query)
+        admit = self._seen_similar_vec(vec)
+        self._observe_vec(vec)
         return admit
 
 
+def _build_index(index: Union[str, object], dim: int) -> object:
+    if not isinstance(index, str):
+        return index
+    if index == "flat":
+        return FlatIndex(dim=dim)
+    if index == "ivf":
+        return IVFIndex(dim=dim)
+    if index == "hnsw":
+        return HNSWIndex(dim=dim)
+    raise ValueError(f"unknown cache index kind: {index!r} (flat|ivf|hnsw)")
+
+
 class SemanticCache:
-    """Similarity-matched, budget-bounded LLM response cache."""
+    """Similarity-matched, budget-bounded LLM response cache.
+
+    ``index`` selects the vector backend for probes: ``"flat"`` (default)
+    is an exact dense-matrix scan, decision-identical to a per-entry linear
+    scan; ``"ivf"`` / ``"hnsw"`` are the approximate
+    :mod:`repro.vectordb` indexes for very large capacities, where a probe
+    may miss the true nearest entry but runs sublinearly. A prebuilt index
+    object (anything with ``add``/``remove``/``search``) is accepted too.
+    """
 
     def __init__(
         self,
@@ -166,6 +245,7 @@ class SemanticCache:
         embedding_dim: int = 64,
         lrfu_lambda: float = 0.1,
         admission: Optional[AdmissionPredictor] = None,
+        index: Union[str, object] = "flat",
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -182,6 +262,7 @@ class SemanticCache:
         self.admission_rejects = 0
         self.embedder = EmbeddingModel(dim=embedding_dim)
         self.entries: Dict[str, CacheEntry] = {}
+        self.index = _build_index(index, embedding_dim)
         self.stats = CacheStats()
         self._clock = 0
 
@@ -193,6 +274,13 @@ class SemanticCache:
 
     # ------------------------------------------------------------- lookups
 
+    def _best_match(self, query_vec: np.ndarray) -> Optional[Tuple[str, float]]:
+        """Nearest cached key and its similarity, via the vector index."""
+        if isinstance(self.index, FlatIndex):
+            return self.index.search_top1(query_vec, refine_exact=True)
+        hits = self.index.search(query_vec, k=1)
+        return hits[0] if hits else None
+
     def lookup(self, query: str) -> CacheLookup:
         """Probe the cache; updates hit statistics."""
         self._clock += 1
@@ -200,14 +288,12 @@ class SemanticCache:
         if not self.entries:
             self.stats.misses += 1
             return CacheLookup(tier="miss")
-        query_vec = self.embedder.embed(query)
-        best_entry: Optional[CacheEntry] = None
-        best_sim = -1.0
-        for entry in self.entries.values():
-            sim = cosine(query_vec, entry.embedding)
-            if sim > best_sim:
-                best_sim, best_entry = sim, entry
-        assert best_entry is not None
+        best = self._best_match(self.embedder.embed(query))
+        if best is None:
+            self.stats.misses += 1
+            return CacheLookup(tier="miss")
+        best_key, best_sim = best
+        best_entry = self.entries[best_key]
         if best_sim >= self.reuse_threshold:
             best_entry.reuse_hits += 1
             best_entry.last_access = self._clock
@@ -237,16 +323,19 @@ class SemanticCache:
         if query in self.entries:
             entry = self.entries[query]
             entry.response = response
+            entry.cost_of_miss = cost
             entry.last_access = self._clock
+            entry.touch_lrfu(self._clock, self.lrfu_lambda)
             return entry
         if self.admission is not None and not self.admission.should_admit(query, kind=kind):
             self.admission_rejects += 1
             return None
         while len(self.entries) >= self.capacity:
             self._evict()
+        embedding = self.embedder.embed(query)
         entry = CacheEntry(
             key=query,
-            embedding=self.embedder.embed(query),
+            embedding=embedding,
             response=response,
             kind=kind,
             cost_of_miss=cost,
@@ -255,6 +344,7 @@ class SemanticCache:
         )
         entry.touch_lrfu(self._clock, self.lrfu_lambda)
         self.entries[query] = entry
+        self.index.add(query, embedding)
         return entry
 
     def _evict(self) -> None:
@@ -278,6 +368,7 @@ class SemanticCache:
                 key=lambda e: (e.weighted_score(self._clock), e.key),
             )
         del self.entries[victim.key]
+        self.index.remove(victim.key)
         self.stats.evictions += 1
 
 

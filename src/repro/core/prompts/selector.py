@@ -5,18 +5,32 @@ prompt optimization: similar examples help the model most, but redundant
 ones waste tokens (the observation behind query combination's example
 dedup). ``mmr_select`` implements maximal marginal relevance over the
 simulated embedding space.
+
+Both selectors are vectorized: candidates are embedded once as an
+(n, dim) matrix via :meth:`EmbeddingModel.embed_batch`, the relevance
+vector is one matrix reduction, and each MMR round updates the redundancy
+penalties with a single row-versus-matrix product — no per-candidate
+Python loop on the scoring path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
-from repro._util import cosine
 from repro.llm.embeddings import EmbeddingModel
 
 T = TypeVar("T")
+
+
+def _cosines_to(matrix: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    """Cosine of ``vec`` against every row of ``matrix`` (0.0 on zeros)."""
+    qn = float(np.linalg.norm(vec))
+    norms = np.linalg.norm(matrix, axis=1)
+    denom = norms * qn
+    dots = matrix @ vec
+    return np.divide(dots, denom, out=np.zeros_like(dots), where=denom > 0)
 
 
 def similarity_select(
@@ -24,19 +38,20 @@ def similarity_select(
     candidates: Sequence[T],
     k: int,
     text_of: Callable[[T], str],
-    embedder: EmbeddingModel = None,
+    embedder: Optional[EmbeddingModel] = None,
 ) -> List[T]:
-    """Top-k candidates by embedding similarity to the query."""
+    """Top-k candidates by embedding similarity to the query.
+
+    Ties keep candidate order (stable sort), matching a scored linear scan.
+    """
     if k <= 0 or not candidates:
         return []
     embedder = embedder or EmbeddingModel()
     query_vec = embedder.embed(query)
-    scored = [
-        (cosine(query_vec, embedder.embed(text_of(c))), i, c)
-        for i, c in enumerate(candidates)
-    ]
-    scored.sort(key=lambda t: (-t[0], t[1]))
-    return [c for _s, _i, c in scored[:k]]
+    vectors = embedder.embed_batch([text_of(c) for c in candidates])
+    sims = _cosines_to(vectors, query_vec)
+    order = np.argsort(-sims, kind="stable")[:k]
+    return [candidates[int(i)] for i in order]
 
 
 def mmr_select(
@@ -45,29 +60,37 @@ def mmr_select(
     k: int,
     text_of: Callable[[T], str],
     lambda_relevance: float = 0.7,
-    embedder: EmbeddingModel = None,
+    embedder: Optional[EmbeddingModel] = None,
 ) -> List[T]:
     """Maximal-marginal-relevance selection: relevant *and* diverse.
 
     Score of a candidate = ``λ·sim(query, c) − (1−λ)·max sim(c, selected)``.
+
+    Each round picks the highest-scoring remaining candidate (lowest index
+    on ties) and folds its similarities into the running redundancy maxima
+    with one vectorized update, so a full selection is O(k·n) numpy work.
     """
     if k <= 0 or not candidates:
         return []
     embedder = embedder or EmbeddingModel()
     query_vec = embedder.embed(query)
-    vectors = [embedder.embed(text_of(c)) for c in candidates]
-    relevance = [cosine(query_vec, v) for v in vectors]
+    vectors = embedder.embed_batch([text_of(c) for c in candidates])
+    relevance = _cosines_to(vectors, query_vec)
 
+    n = len(candidates)
+    # max similarity to any selected candidate; 0.0 while nothing selected
+    # (the linear scan's `max(..., default=0.0)`).
+    redundancy = np.zeros(n, dtype=np.float64)
+    picked_any = False
+    available = np.ones(n, dtype=bool)
     selected: List[int] = []
-    remaining = list(range(len(candidates)))
-    while remaining and len(selected) < k:
-        def mmr_score(idx: int) -> float:
-            redundancy = max(
-                (cosine(vectors[idx], vectors[j]) for j in selected), default=0.0
-            )
-            return lambda_relevance * relevance[idx] - (1 - lambda_relevance) * redundancy
-
-        best = max(remaining, key=lambda idx: (mmr_score(idx), -idx))
+    for _round in range(min(k, n)):
+        scores = lambda_relevance * relevance - (1 - lambda_relevance) * redundancy
+        scores[~available] = -np.inf
+        best = int(np.argmax(scores))  # first max == lowest-index tie-break
         selected.append(best)
-        remaining.remove(best)
+        available[best] = False
+        sims_to_best = _cosines_to(vectors, vectors[best])
+        redundancy = sims_to_best if not picked_any else np.maximum(redundancy, sims_to_best)
+        picked_any = True
     return [candidates[i] for i in selected]

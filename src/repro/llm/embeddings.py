@@ -15,6 +15,7 @@ stores, semantic caches and multi-modal lakes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, List
 
 import numpy as np
@@ -22,6 +23,7 @@ import numpy as np
 from repro._util import stable_hash, words
 
 DEFAULT_DIM = 64
+DEFAULT_MEMO_SIZE = 4096
 
 _STOPWORDS = frozenset(
     """
@@ -77,15 +79,37 @@ def embed_text(text: str, dim: int = DEFAULT_DIM) -> np.ndarray:
 
 
 class EmbeddingModel:
-    """Object-style wrapper so callers can inject alternative embedders."""
+    """Object-style wrapper so callers can inject alternative embedders.
 
-    def __init__(self, dim: int = DEFAULT_DIM) -> None:
+    Repeated texts skip feature hashing entirely through a bounded LRU memo
+    (``memo_size`` entries; 0 disables it). Memoized vectors are shared
+    between callers and therefore returned read-only — every consumer in
+    this codebase copies on store, so sharing is safe and keeps a memo hit
+    allocation-free on the serving hot path.
+    """
+
+    def __init__(self, dim: int = DEFAULT_DIM, memo_size: int = DEFAULT_MEMO_SIZE) -> None:
         if dim <= 0:
             raise ValueError("dim must be positive")
+        if memo_size < 0:
+            raise ValueError("memo_size must be non-negative")
         self.dim = dim
+        self.memo_size = memo_size
+        self._memo: "OrderedDict[str, np.ndarray]" = OrderedDict()
 
     def embed(self, text: str) -> np.ndarray:
-        return embed_text(text, dim=self.dim)
+        memo = self._memo
+        vec = memo.get(text)
+        if vec is not None:
+            memo.move_to_end(text)
+            return vec
+        vec = embed_text(text, dim=self.dim)
+        vec.setflags(write=False)
+        if self.memo_size > 0:
+            memo[text] = vec
+            if len(memo) > self.memo_size:
+                memo.popitem(last=False)
+        return vec
 
     def embed_batch(self, texts: List[str]) -> np.ndarray:
         """Embed several texts; returns an (n, dim) matrix."""

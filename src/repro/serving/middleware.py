@@ -26,6 +26,7 @@ All layers write their counters into one shared
 from __future__ import annotations
 
 import copy
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -114,7 +115,9 @@ class SemanticCacheMiddleware(Middleware):
     def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
         key = self.key_fn(prompt) if self.key_fn is not None else prompt
         self.stats.cache_lookups += 1
+        probe_start = time.perf_counter()
         lookup = self.cache.lookup(key)
+        self.stats.cache_lookup_ms += (time.perf_counter() - probe_start) * 1000.0
         if lookup.tier == "reuse" and lookup.entry is not None:
             self.stats.cache_reuse_hits += 1
             self.stats.cache_cost_saved += lookup.entry.cost_of_miss
@@ -129,7 +132,10 @@ class SemanticCacheMiddleware(Middleware):
         else:
             self.stats.cache_misses += 1
         completion = self.inner.complete(effective_prompt, model=model)
-        if self.cache.put(key, completion.text, kind=self.cache_kind, cost=completion.cost):
+        put_start = time.perf_counter()
+        admitted = self.cache.put(key, completion.text, kind=self.cache_kind, cost=completion.cost)
+        self.stats.cache_put_ms += (time.perf_counter() - put_start) * 1000.0
+        if admitted:
             self._completions[key] = completion
             self._prune_replay_store()
         return completion

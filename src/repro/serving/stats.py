@@ -33,6 +33,11 @@ class ServiceStats:
     cache_augment_hits: int = 0
     cache_misses: int = 0
     cache_cost_saved: float = 0.0
+    # Wall-clock spent inside the cache layer itself (vector-index probes
+    # and admission-gated inserts) — the serving-side view of the hot path
+    # that benchmarks/bench_perf_hotpaths.py measures in isolation.
+    cache_lookup_ms: float = 0.0
+    cache_put_ms: float = 0.0
 
     # Cascade layer.
     cascade_requests: int = 0
@@ -76,6 +81,12 @@ class ServiceStats:
             return 0.0
         return (self.cache_reuse_hits + self.cache_augment_hits) / self.cache_lookups
 
+    @property
+    def cache_mean_lookup_ms(self) -> float:
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_lookup_ms / self.cache_lookups
+
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict snapshot, layer by layer (stable keys for reports)."""
         return {
@@ -94,6 +105,9 @@ class ServiceStats:
                 "misses": self.cache_misses,
                 "hit_rate": round(self.cache_hit_rate, 4),
                 "cost_saved_usd": round(self.cache_cost_saved, 6),
+                "lookup_ms": round(self.cache_lookup_ms, 3),
+                "mean_lookup_ms": round(self.cache_mean_lookup_ms, 4),
+                "put_ms": round(self.cache_put_ms, 3),
             },
             "cascade": {
                 "requests": self.cascade_requests,

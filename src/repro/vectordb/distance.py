@@ -47,3 +47,25 @@ def similarity_matrix(query: np.ndarray, vectors: np.ndarray, metric: Metric) ->
 def pairwise_similarity(a: np.ndarray, b: np.ndarray, metric: Metric) -> float:
     """Similarity between two single vectors under ``metric``."""
     return float(similarity_matrix(a, b[None, :], metric)[0])
+
+
+def scalar_similarity(a: np.ndarray, b: np.ndarray, metric: Metric) -> float:
+    """Similarity of two single vectors using scalar (non-batched) numpy ops.
+
+    Bit-identical to what a pure-Python linear scan computes per pair —
+    e.g. :func:`repro._util.cosine` for :attr:`Metric.COSINE` — whereas
+    batched BLAS reductions (:func:`similarity_matrix`) may differ in the
+    last ulp. The exact top-1 refinement in
+    :meth:`~repro.vectordb.FlatIndex.search_top1` relies on this parity.
+    """
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    if metric is Metric.COSINE:
+        na = float(np.linalg.norm(a))
+        nb = float(np.linalg.norm(b))
+        if na == 0.0 or nb == 0.0:
+            return 0.0
+        return float(np.dot(a, b) / (na * nb))
+    if metric is Metric.DOT:
+        return float(np.dot(a, b))
+    return -float(np.linalg.norm(a - b))

@@ -7,14 +7,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import CollectionError, DimensionMismatchError
-from repro.vectordb.distance import Metric, similarity_matrix
+from repro.vectordb.distance import Metric, scalar_similarity, similarity_matrix
+
+# Batched BLAS reductions agree with scalar per-pair similarities to far
+# better than this; rows ranking within the band of the batched maximum are
+# re-scored scalar-exactly by search_top1(refine_exact=True).
+REFINE_BAND = 1e-9
 
 
 class FlatIndex:
     """Stores vectors in a dense matrix; search is an exact linear scan.
 
     Deletion is lazy (tombstones) with periodic compaction so that ids stay
-    stable for the :class:`~repro.vectordb.Collection` layer.
+    stable for the :class:`~repro.vectordb.Collection` layer. The backing
+    matrix grows by capacity doubling, so ``add`` is amortized O(1) instead
+    of the O(n) reallocation a naive ``vstack`` per insert would cost; row
+    norms are cached at insert time so cosine search never re-reduces the
+    stored matrix.
     """
 
     def __init__(self, dim: int, metric: Metric = Metric.COSINE) -> None:
@@ -22,7 +31,10 @@ class FlatIndex:
             raise ValueError("dim must be positive")
         self.dim = dim
         self.metric = metric
-        self._matrix = np.zeros((0, dim), dtype=np.float64)
+        self._buf = np.zeros((0, dim), dtype=np.float64)
+        self._norms_buf = np.zeros(0, dtype=np.float64)
+        self._live_buf = np.zeros(0, dtype=bool)
+        self._size = 0  # rows of _buf in use
         self._ids: List[str] = []
         self._live: Dict[str, int] = {}
         self._tombstones = 0
@@ -33,6 +45,11 @@ class FlatIndex:
     def __contains__(self, vector_id: str) -> bool:
         return vector_id in self._live
 
+    # Dense view of the used rows — everything below searches this.
+    @property
+    def _matrix(self) -> np.ndarray:
+        return self._buf[: self._size]
+
     def _check(self, vector: np.ndarray) -> np.ndarray:
         vector = np.asarray(vector, dtype=np.float64).reshape(-1)
         if vector.shape[0] != self.dim:
@@ -41,19 +58,41 @@ class FlatIndex:
             )
         return vector
 
+    def _grow_to(self, rows: int) -> None:
+        capacity = self._buf.shape[0]
+        if rows <= capacity:
+            return
+        new_capacity = max(8, capacity * 2, rows)
+        buf = np.zeros((new_capacity, self.dim), dtype=np.float64)
+        buf[: self._size] = self._buf[: self._size]
+        self._buf = buf
+        norms = np.zeros(new_capacity, dtype=np.float64)
+        norms[: self._size] = self._norms_buf[: self._size]
+        self._norms_buf = norms
+        live = np.zeros(new_capacity, dtype=bool)
+        live[: self._size] = self._live_buf[: self._size]
+        self._live_buf = live
+
     def add(self, vector_id: str, vector: np.ndarray) -> None:
-        """Insert one vector under a unique id."""
+        """Insert one vector under a unique id (amortized O(1))."""
         if vector_id in self._live:
             raise CollectionError(f"duplicate vector id: {vector_id!r}")
         vector = self._check(vector)
-        self._matrix = np.vstack([self._matrix, vector[None, :]])
+        row = self._size
+        self._grow_to(row + 1)
+        self._buf[row] = vector
+        # 1-D norm (BLAS ddot path) — matches the scalar per-pair math.
+        self._norms_buf[row] = float(np.linalg.norm(self._buf[row]))
+        self._live_buf[row] = True
+        self._size = row + 1
         self._ids.append(vector_id)
-        self._live[vector_id] = len(self._ids) - 1
+        self._live[vector_id] = row
 
     def remove(self, vector_id: str) -> None:
         """Delete a vector by id; raises on unknown ids."""
         if vector_id not in self._live:
             raise CollectionError(f"unknown vector id: {vector_id!r}")
+        self._live_buf[self._live[vector_id]] = False
         del self._live[vector_id]
         self._tombstones += 1
         if self._tombstones > max(32, len(self._live)):
@@ -61,11 +100,11 @@ class FlatIndex:
 
     def _compact(self) -> None:
         keep = sorted(self._live.items(), key=lambda kv: kv[1])
-        self._matrix = (
-            self._matrix[[idx for _i, idx in keep], :]
-            if keep
-            else np.zeros((0, self.dim), dtype=np.float64)
-        )
+        rows = [idx for _vid, idx in keep]
+        self._buf = self._buf[rows] if rows else np.zeros((0, self.dim), dtype=np.float64)
+        self._norms_buf = self._norms_buf[rows] if rows else np.zeros(0, dtype=np.float64)
+        self._live_buf = np.ones(len(rows), dtype=bool)
+        self._size = len(rows)
         self._ids = [vid for vid, _idx in keep]
         self._live = {vid: i for i, vid in enumerate(self._ids)}
         self._tombstones = 0
@@ -74,7 +113,56 @@ class FlatIndex:
         """Return a copy of the stored vector."""
         if vector_id not in self._live:
             raise CollectionError(f"unknown vector id: {vector_id!r}")
-        return self._matrix[self._live[vector_id]].copy()
+        return self._buf[self._live[vector_id]].copy()
+
+    def _scores(self, query: np.ndarray) -> np.ndarray:
+        """Similarity of ``query`` against every used row, dead rows -inf.
+
+        One matrix reduction over the dense buffer — no per-row Python work.
+        """
+        matrix = self._matrix
+        if self.metric is Metric.COSINE:
+            qn = float(np.linalg.norm(query))
+            denom = self._norms_buf[: self._size] * qn
+            dots = matrix @ query
+            sims = np.divide(dots, denom, out=np.zeros_like(dots), where=denom > 0)
+        else:
+            sims = similarity_matrix(query, matrix, self.metric)
+        if self._tombstones:
+            sims = np.where(self._live_buf[: self._size], sims, -np.inf)
+        return sims
+
+    def search_top1(
+        self, query: np.ndarray, refine_exact: bool = False
+    ) -> Optional[Tuple[str, float]]:
+        """The single most similar live vector, via one vectorized scan.
+
+        This is the incremental hot-path API: callers that only ever need
+        the best match (semantic cache probes, admission checks) skip the
+        candidate-list build and argsort of :meth:`search`.
+
+        With ``refine_exact=True``, rows scoring within ``REFINE_BAND`` of
+        the batched maximum are re-scored with
+        :func:`~repro.vectordb.distance.scalar_similarity` and the winner is
+        the first-inserted row with the strictly greatest scalar score —
+        bit-identical (id *and* similarity) to a Python linear scan using
+        scalar per-pair similarity, which batched BLAS alone is not.
+        """
+        if not self._live:
+            return None
+        query = self._check(query)
+        sims = self._scores(query)
+        best_row = int(np.argmax(sims))
+        if not refine_exact:
+            return self._ids[best_row], float(sims[best_row])
+        band = np.flatnonzero(sims >= sims[best_row] - REFINE_BAND)
+        best_sim = -np.inf
+        winner = best_row
+        for row in band:
+            sim = scalar_similarity(query, self._buf[row], self.metric)
+            if sim > best_sim:
+                best_sim, winner = sim, int(row)
+        return self._ids[winner], float(best_sim)
 
     def search(
         self,
@@ -99,4 +187,4 @@ class FlatIndex:
         return [(candidates[i][0], float(sims[i])) for i in order]
 
     def items(self) -> List[Tuple[str, np.ndarray]]:
-        return [(vid, self._matrix[idx].copy()) for vid, idx in self._live.items()]
+        return [(vid, self._buf[idx].copy()) for vid, idx in self._live.items()]

@@ -1,0 +1,162 @@
+"""Property tests: the vectordb-backed cache is a bit-identical drop-in
+for the seed linear scan — tiers, similarities, matched entries, stats,
+and eviction order, over randomized workloads and all four policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.perf import (
+    LinearScanAdmission,
+    LinearScanCache,
+    linear_mmr_select,
+    linear_similarity_select,
+)
+from repro.core.cache import AdmissionPredictor, EvictionPolicy, SemanticCache
+from repro.core.prompts.selector import mmr_select, similarity_select
+from repro.llm.embeddings import EmbeddingModel
+from repro.vectordb import FlatIndex, HNSWIndex, IVFIndex
+
+_words = st.sampled_from(
+    ["stadium", "concert", "privacy", "cache", "query", "film", "director",
+     "patient", "table", "column", "vector", "index", "lake", "schema"]
+)
+query_strategy = st.lists(_words, min_size=2, max_size=6).map(" ".join)
+
+
+def _sig(lookup):
+    return (lookup.tier, lookup.similarity, lookup.entry.key if lookup.entry else None)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    queries=st.lists(query_strategy, min_size=1, max_size=60),
+    capacity=st.integers(min_value=1, max_value=8),
+    policy=st.sampled_from(list(EvictionPolicy)),
+)
+def test_vectorized_cache_bit_identical_to_linear_scan(queries, capacity, policy):
+    reference = LinearScanCache(
+        capacity=capacity, policy=policy, reuse_threshold=0.9, augment_threshold=0.7
+    )
+    vectorized = SemanticCache(
+        capacity=capacity, policy=policy, reuse_threshold=0.9, augment_threshold=0.7
+    )
+    for query in queries:
+        ref_lookup = reference.lookup(query)
+        vec_lookup = vectorized.lookup(query)
+        # Bitwise float equality on similarity, not approx.
+        assert _sig(ref_lookup) == _sig(vec_lookup)
+        if ref_lookup.tier != "reuse":
+            reference.put(query, f"answer {query}", cost=0.01)
+            vectorized.put(query, f"answer {query}", cost=0.01)
+        # Same keys in the same insertion order == same eviction victims.
+        assert list(reference.entries) == list(vectorized.entries)
+    assert reference.stats == vectorized.stats
+    assert reference.stats.evictions == vectorized.stats.evictions
+
+
+@settings(max_examples=25, deadline=None)
+@given(queries=st.lists(query_strategy, min_size=1, max_size=50))
+def test_admission_decisions_bit_identical(queries):
+    reference = LinearScanAdmission(history=8, similarity_threshold=0.9)
+    vectorized = AdmissionPredictor(history=8, similarity_threshold=0.9)
+    for query in queries:
+        assert reference.should_admit(query) == vectorized.should_admit(query)
+    assert len(reference._seen) == len(vectorized._seen)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pool=st.lists(query_strategy, min_size=1, max_size=25),
+    query=query_strategy,
+    k=st.integers(min_value=1, max_value=8),
+)
+def test_selectors_match_linear_scan(pool, query, k):
+    embedder = EmbeddingModel()
+    assert linear_similarity_select(query, pool, k, embedder=embedder) == similarity_select(
+        query, pool, k, text_of=lambda s: s, embedder=embedder
+    )
+    assert linear_mmr_select(query, pool, k, embedder=embedder) == mmr_select(
+        query, pool, k, text_of=lambda s: s, embedder=embedder
+    )
+
+
+class TestPutRefresh:
+    def test_refresh_updates_cost_of_miss(self):
+        cache = SemanticCache()
+        cache.put("query about stadiums", "old", cost=0.10)
+        cache.put("query about stadiums", "new", cost=0.25)
+        entry = cache.entries["query about stadiums"]
+        assert entry.response == "new"
+        assert entry.cost_of_miss == pytest.approx(0.25)
+        # A reuse hit after refresh credits the refreshed cost.
+        cache.lookup("query about stadiums")
+        assert cache.stats.cost_saved == pytest.approx(0.25)
+
+    def test_refresh_touches_lrfu(self):
+        cache = SemanticCache(policy=EvictionPolicy.LRFU)
+        cache.put("query about stadiums", "a")
+        crf_before = cache.entries["query about stadiums"].crf
+        cache.put("query about stadiums", "b")
+        assert cache.entries["query about stadiums"].crf > crf_before
+
+
+class TestIndexBackends:
+    def _fill(self, cache, n=20):
+        for i in range(n):
+            cache.put(f"query number {i} about topic {i}", f"answer {i}")
+
+    @pytest.mark.parametrize("kind,cls", [("ivf", IVFIndex), ("hnsw", HNSWIndex)])
+    def test_approximate_backends_serve_lookups(self, kind, cls):
+        cache = SemanticCache(capacity=32, index=kind)
+        assert isinstance(cache.index, cls)
+        self._fill(cache)
+        lookup = cache.lookup("query number 3 about topic 3")
+        assert lookup.tier == "reuse"
+        assert lookup.entry.response == "answer 3"
+
+    def test_prebuilt_index_object_accepted(self):
+        index = FlatIndex(dim=64)
+        cache = SemanticCache(index=index)
+        assert cache.index is index
+        self._fill(cache, n=5)
+        assert len(index) == 5
+
+    def test_unknown_index_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticCache(index="faiss")
+
+    def test_eviction_keeps_index_in_sync(self):
+        cache = SemanticCache(capacity=4)
+        self._fill(cache, n=12)
+        assert len(cache) == 4
+        assert len(cache.index) == 4
+        assert sorted(cache.entries) == sorted(vid for vid, _v in cache.index.items())
+
+
+class TestAdmissionEmbedsOnce:
+    def test_should_admit_embeds_query_once(self):
+        predictor = AdmissionPredictor()
+        calls = []
+        original = predictor.embedder.embed
+
+        def counting_embed(text):
+            calls.append(text)
+            return original(text)
+
+        predictor.embedder.embed = counting_embed
+        predictor.should_admit("some query about concerts")
+        assert len(calls) == 1
+        predictor.should_admit("a sub query", kind="sub")
+        assert len(calls) == 2
+
+    def test_ring_buffer_overwrites_oldest(self):
+        predictor = AdmissionPredictor(history=3, similarity_threshold=0.99)
+        for i in range(5):
+            predictor.observe(f"filler query number {i}")
+        seen = predictor._seen
+        assert len(seen) == 3
+        expected = [predictor.embedder.embed(f"filler query number {i}") for i in (2, 3, 4)]
+        for got, want in zip(seen, expected):
+            assert np.array_equal(got, want)

@@ -67,6 +67,38 @@ class TestEmbeddings:
         with pytest.raises(ValueError):
             EmbeddingModel(dim=0)
 
+    def test_memo_returns_identical_values(self):
+        model = EmbeddingModel(dim=32)
+        first = model.embed("repeated query about stadium concerts")
+        second = model.embed("repeated query about stadium concerts")
+        assert np.array_equal(first, embed_text("repeated query about stadium concerts", dim=32))
+        assert second is first  # memo hit: no recompute, no copy
+
+    def test_memo_is_bounded_lru(self):
+        model = EmbeddingModel(dim=16, memo_size=4)
+        for i in range(10):
+            model.embed(f"query number {i}")
+        assert len(model._memo) == 4
+        assert "query number 9" in model._memo
+        assert "query number 0" not in model._memo
+
+    def test_memo_vectors_are_read_only(self):
+        model = EmbeddingModel(dim=16)
+        vec = model.embed("some words here")
+        with pytest.raises(ValueError):
+            vec[0] = 99.0
+
+    def test_memo_disabled(self):
+        model = EmbeddingModel(dim=16, memo_size=0)
+        a = model.embed("hello there")
+        b = model.embed("hello there")
+        assert a is not b
+        assert np.array_equal(a, b)
+
+    def test_invalid_memo_size(self):
+        with pytest.raises(ValueError):
+            EmbeddingModel(dim=16, memo_size=-1)
+
 
 class TestKnowledgeBase:
     def test_add_and_query(self):

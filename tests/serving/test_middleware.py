@@ -75,6 +75,22 @@ class TestSemanticCacheMiddleware:
         cached.complete_batch("Shared prefix.\n", ["Question: A?", "Question: B?"])
         assert stats.cache_lookups == 0
 
+    def test_lookup_latency_counters_populated(self, examples):
+        stats = ServiceStats()
+        cached = SemanticCacheMiddleware(LLMClient(), key_fn=last_question_key, stats=stats)
+        prompt = qa_prompt(examples[0].question)
+        cached.complete(prompt)  # miss -> put
+        cached.complete(prompt)  # reuse hit -> no put
+        assert stats.cache_lookup_ms > 0.0
+        assert stats.cache_put_ms > 0.0
+        assert stats.cache_mean_lookup_ms == pytest.approx(stats.cache_lookup_ms / 2)
+        snapshot = stats.snapshot()["cache"]
+        assert snapshot["lookup_ms"] >= 0.0
+        assert snapshot["mean_lookup_ms"] >= 0.0
+        assert snapshot["put_ms"] >= 0.0
+        report = stats.render()
+        assert "lookup time (ms)" in report
+
 
 class TestCascadeMiddleware:
     def test_matches_cascade_client_decisions_and_cost(self, examples):

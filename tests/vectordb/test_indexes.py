@@ -166,6 +166,69 @@ class TestFlatSpecifics:
         assert hits[0][0] == "big"
 
 
+class TestFlatTop1:
+    def test_agrees_with_search_k1(self):
+        index = FlatIndex(16)
+        data = make_data(300, dim=16)
+        for i, v in enumerate(data):
+            index.add(f"v{i}", v)
+        for probe in make_data(25, dim=16, seed=3):
+            (hit_id, hit_sim) = index.search(probe, k=1)[0]
+            top = index.search_top1(probe)
+            assert top[0] == hit_id
+            assert top[1] == pytest.approx(hit_sim, abs=1e-9)
+
+    def test_refine_exact_matches_scalar_linear_scan(self):
+        from repro._util import cosine
+
+        index = FlatIndex(16)
+        data = make_data(200, dim=16, seed=5)
+        for i, v in enumerate(data):
+            index.add(f"v{i}", v)
+        for probe in make_data(10, dim=16, seed=7):
+            best_id, best_sim = None, -1.0
+            for i, v in enumerate(data):  # the reference Python loop
+                sim = cosine(probe, v)
+                if sim > best_sim:
+                    best_sim, best_id = sim, f"v{i}"
+            got_id, got_sim = index.search_top1(probe, refine_exact=True)
+            assert got_id == best_id
+            assert got_sim == best_sim  # bitwise, not approx
+
+    def test_respects_tombstones(self):
+        index = FlatIndex(4)
+        index.add("a", np.array([1.0, 0, 0, 0]))
+        index.add("b", np.array([0.9, 0.1, 0, 0]))
+        assert index.search_top1(np.array([1.0, 0, 0, 0]))[0] == "a"
+        index.remove("a")
+        assert index.search_top1(np.array([1.0, 0, 0, 0]))[0] == "b"
+
+    def test_empty_index_returns_none(self):
+        assert FlatIndex(4).search_top1(np.ones(4)) is None
+
+    def test_growth_preserves_vectors(self):
+        # Force many doublings past the initial capacity.
+        index = FlatIndex(8)
+        data = make_data(67, dim=8, seed=9)
+        for i, v in enumerate(data):
+            index.add(f"v{i}", v)
+        for i, v in enumerate(data):
+            assert np.array_equal(index.get(f"v{i}"), v)
+        assert index.search_top1(data[66])[0] == "v66"
+
+    def test_growth_after_compaction(self):
+        index = FlatIndex(4)
+        data = make_data(120, dim=4, seed=11)
+        for i, v in enumerate(data):
+            index.add(f"v{i}", v)
+        for i in range(100):
+            index.remove(f"v{i}")
+        for i in range(200, 240):
+            index.add(f"v{i}", data[i - 200])
+        assert len(index) == 60
+        assert index.search_top1(data[119])[0] == "v119"
+
+
 class TestIVFSpecifics:
     def test_train_on_empty_raises(self):
         with pytest.raises(CollectionError):
