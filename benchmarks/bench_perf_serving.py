@@ -1,0 +1,78 @@
+"""Perf bench: concurrent serving throughput vs the serial loop.
+
+Drives one skewed prompt stream through a cache-fronted serving stack —
+serially, then through the micro-batching scheduler at several
+worker/batch configurations over a :class:`SimulatedServiceProvider` that
+charges realistic per-call wall-clock — and writes ``BENCH_serving.json``.
+The same run re-executes Table I/III with ``parallel=True`` and fails on
+any byte of divergence from the serial render: throughput must not cost
+determinism.
+
+Run standalone for the full sweep, or in CI smoke mode:
+
+    PYTHONPATH=src python benchmarks/bench_perf_serving.py
+    PYTHONPATH=src python benchmarks/bench_perf_serving.py --smoke
+
+Acceptance (non-smoke): >= 3x QPS at 8 workers over the serial baseline,
+zero parallel-table divergence.
+"""
+
+import json
+import os
+import sys
+
+from repro.bench.perf import DEFAULT_SERVING_REPORT_PATH, run_serving
+
+ACCEPTANCE_CONFIG = "w8_b8_combined"
+ACCEPTANCE_SPEEDUP = 3.0
+
+
+def _report_path() -> str:
+    return os.environ.get("REPRO_BENCH_SERVING_PATH", DEFAULT_SERVING_REPORT_PATH)
+
+
+def _run(smoke: bool, write: bool = True):
+    return run_serving(
+        n_requests=64 if smoke else 256,
+        worker_counts=(1, 8) if smoke else (1, 2, 8),
+        batch_sizes=(1, 8),
+        write_path=_report_path() if write else None,
+    )
+
+
+def test_serving_throughput_and_determinism(once):
+    report = once(_run, smoke=True, write=False)
+    print()
+    print(report.render())
+    assert report.diverged == 0
+    assert report.speedup(ACCEPTANCE_CONFIG) >= ACCEPTANCE_SPEEDUP
+    # Batching at 8 workers must also beat unbatched 1-worker dispatch.
+    assert report.configs[ACCEPTANCE_CONFIG]["qps"] > report.configs["w1_b1"]["qps"]
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    report = _run(smoke)
+    print(report.render())
+    print(f"wrote {_report_path()}")
+    if report.diverged != 0:
+        print(
+            "FAIL: parallel Table I/III runs diverged from the serial render",
+            file=sys.stderr,
+        )
+        return 1
+    if report.speedup(ACCEPTANCE_CONFIG) < ACCEPTANCE_SPEEDUP:
+        print(
+            f"FAIL: {ACCEPTANCE_CONFIG} speedup "
+            f"{report.speedup(ACCEPTANCE_CONFIG):.2f}x below {ACCEPTANCE_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    # Validate the report round-trips as JSON.
+    with open(_report_path(), "r", encoding="utf-8") as handle:
+        json.load(handle)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

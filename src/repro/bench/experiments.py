@@ -27,9 +27,30 @@ from repro.datasets.spider import (
 )
 from repro.datasets.workloads import build_analytics_db, generate_timing_workload
 from repro.llm.client import LLMClient, default_world
-from repro.serving import ServiceStats, build_stack, last_question_key
+from repro.serving import ConcurrentStack, ServiceStats, build_stack, last_question_key
 
 TABLE1_MODELS = ("babbage-002", "gpt-3.5-turbo", "gpt-4")
+
+
+def _served_texts(
+    provider: object, prompts: Sequence[str], parallel: bool, workers: int
+) -> List[str]:
+    """Answer ``prompts`` in order, serially or through the scheduler.
+
+    The parallel path feeds the batching scheduler from ``workers``
+    submitter threads with explicit submission indexes and executes with a
+    single dispatch worker, so completions — and every stateful layer the
+    provider carries (cache, budget, meter) — are bit-identical to the
+    serial loop. This is the determinism contract the Table I/III
+    ``parallel=`` flags rely on; it trades execution overlap for exact
+    reproducibility (use :func:`repro.bench.perf.run_serving` to measure
+    the throughput side instead).
+    """
+    if not parallel:
+        return [provider.complete(prompt).text for prompt in prompts]
+    with ConcurrentStack(provider, workers=1) as served:
+        completions = served.complete_many(prompts, submitters=max(1, workers))
+    return [completion.text for completion in completions]
 
 
 # ===========================================================================
@@ -63,8 +84,14 @@ def run_table1(
     seed: int = 1,
     with_context: bool = True,
     thresholds: Tuple[float, float] = (0.55, 0.52),
+    parallel: bool = False,
+    workers: int = 4,
 ) -> Table1Result:
-    """Reproduce Table I: per-model accuracy/cost plus the cascade row."""
+    """Reproduce Table I: per-model accuracy/cost plus the cascade row.
+
+    ``parallel=True`` serves each workload through the batching scheduler
+    with ``workers`` submitter threads; results are bit-identical to the
+    serial run (see :func:`_served_texts`)."""
     world = default_world()
     examples = generate_hotpot(world, n=n_queries, seed=seed)
 
@@ -76,10 +103,13 @@ def run_table1(
         )
         return qa_prompt(example.question, context=context)
 
+    prompts = [prompt_of(ex) for ex in examples]
+    answers = [ex.answer for ex in examples]
     rows: List[Tuple[str, float, float]] = []
     for model in TABLE1_MODELS:
         client = LLMClient(model=model)
-        hits = sum(1 for ex in examples if client.complete(prompt_of(ex)).text == ex.answer)
+        texts = _served_texts(client, prompts, parallel, workers)
+        hits = sum(1 for text, answer in zip(texts, answers) if text == answer)
         rows.append((model, hits / len(examples), round(client.meter.cost, 4)))
 
     # The cascade row is served through the middleware stack — the same
@@ -91,7 +121,8 @@ def run_table1(
         chain=TABLE1_MODELS,
         decision_models=[ConfidenceDecisionModel(t) for t in thresholds],
     )
-    hits = sum(1 for ex in examples if stack.complete(prompt_of(ex)).text == ex.answer)
+    texts = _served_texts(stack, prompts, parallel, workers)
+    hits = sum(1 for text, answer in zip(texts, answers) if text == answer)
     rows.append(("LLM cascade", hits / len(examples), round(cascade_client.meter.cost, 4)))
     return Table1Result(rows=rows, n_queries=len(examples))
 
@@ -202,6 +233,8 @@ def run_table3(
     seed: int = 17,
     model: str = "gpt-4",
     reuse_threshold: float = 0.90,
+    parallel: bool = False,
+    workers: int = 4,
 ) -> Table3Result:
     """Reproduce Table III: w/o Cache vs Cache(O) vs Cache(A).
 
@@ -210,7 +243,13 @@ def run_table3(
     Cache(O) stores only original queries; Cache(A) answers through
     decomposition and additionally caches canonical sub-queries, which both
     raises accuracy (simpler sub-queries) and survives re-phrasing (the
-    paraphrase decomposes into the same canonical sub-questions)."""
+    paraphrase decomposes into the same canonical sub-questions).
+
+    ``parallel=True`` routes the w/o-Cache and Cache(O) rows through the
+    batching scheduler (bit-identical results; see :func:`_served_texts`).
+    The Cache(A) row always runs serially: each instance's decomposition
+    consults and updates the cache *mid-request*, so its requests are
+    inherently sequentially dependent."""
     world = default_world()
     examples = generate_hotpot(world, n=n_queries, seed=seed)
     # (example, phrasing) instances: round 1 canonical, round 2 paraphrased.
@@ -230,11 +269,13 @@ def run_table3(
     rows: List[Tuple[str, float, float]] = []
     diagnostics: Dict[str, Dict[str, float]] = {}
 
+    prompts = [full_prompt(question) for _ex, question in instances]
+    answers = [ex.answer for ex, _question in instances]
+
     # --- w/o cache --------------------------------------------------------
     client = LLMClient(model=model)
-    hits = sum(
-        1 for ex, question in instances if client.complete(full_prompt(question)).text == ex.answer
-    )
+    texts = _served_texts(client, prompts, parallel, workers)
+    hits = sum(1 for text, answer in zip(texts, answers) if text == answer)
     rows.append(("w/o Cache", hits / len(instances), round(client.meter.cost, 4)))
 
     # --- Cache(O): original queries only ------------------------------------
@@ -248,9 +289,8 @@ def run_table3(
         policy=EvictionPolicy.WEIGHTED,
     )
     stack = build_stack(client, cache=cache, cache_key_fn=last_question_key, stats=ServiceStats())
-    hits = sum(
-        1 for ex, question in instances if stack.complete(full_prompt(question)).text == ex.answer
-    )
+    texts = _served_texts(stack, prompts, parallel, workers)
+    hits = sum(1 for text, answer in zip(texts, answers) if text == answer)
     rows.append(("Cache(O)", hits / len(instances), round(client.meter.cost, 4)))
     diagnostics["Cache(O)"] = {
         "reuse_hits": cache.stats.reuse_hits,

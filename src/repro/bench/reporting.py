@@ -63,6 +63,23 @@ def render_service_stats(stats) -> str:
     rows.append(("llm", "latency (ms)", llm["latency_ms"]))
     for model, entry in llm["per_model"].items():
         rows.append(("llm", f"{model} calls", int(entry["calls"])))
+    latency = snapshot.get("latency", {})
+    if latency.get("count"):
+        rows.append(("latency", "p50 (ms)", latency["p50_ms"]))
+        rows.append(("latency", "p95 (ms)", latency["p95_ms"]))
+        rows.append(("latency", "p99 (ms)", latency["p99_ms"]))
+        rows.append(("latency", "max (ms)", latency["max_ms"]))
+    scheduler = snapshot.get("scheduler", {})
+    if scheduler.get("batches"):
+        rows.append(("scheduler", "submitted", scheduler["submitted"]))
+        rows.append(("scheduler", "completed", scheduler["completed"]))
+        rows.append(("scheduler", "batches", scheduler["batches"]))
+        rows.append(("scheduler", "mean batch size", scheduler["mean_batch_size"]))
+        for size, count in scheduler["batch_sizes"].items():
+            rows.append(("scheduler", f"batches of {size}", count))
+        depths = scheduler["queue_depths"]
+        if depths:
+            rows.append(("scheduler", "max queue depth", max(int(d) for d in depths)))
     return format_table(["Layer", "Counter", "Value"], rows, title="Serving stack stats")
 
 

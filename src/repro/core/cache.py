@@ -29,6 +29,7 @@ exactness for sublinear probes at large capacities.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -152,15 +153,21 @@ class AdmissionPredictor:
         self._ring_norms = np.zeros(history, dtype=np.float64)
         self._count = 0  # rows filled, saturates at history
         self._next = 0  # next row to overwrite
+        # Guards the ring buffer and cursors. A half-written row (vector
+        # stored, norm not yet) would let a probe divide by a stale norm;
+        # the lock also keeps should_admit's decide-then-record atomic.
+        # Embedding happens *outside* this lock — it is the expensive part.
+        self._lock = threading.RLock()
 
     @property
     def _seen(self) -> List[np.ndarray]:
         """The recorded embeddings, oldest first (compatibility view)."""
-        if self._count < self.history:
-            rows = range(self._count)
-        else:
-            rows = [(self._next + i) % self.history for i in range(self.history)]
-        return [self._ring[i].copy() for i in rows]
+        with self._lock:
+            if self._count < self.history:
+                rows = range(self._count)
+            else:
+                rows = [(self._next + i) % self.history for i in range(self.history)]
+            return [self._ring[i].copy() for i in rows]
 
     def _observe_vec(self, vec: np.ndarray) -> None:
         row = self._next
@@ -194,23 +201,29 @@ class AdmissionPredictor:
 
     def observe(self, query: str) -> None:
         """Record one query occurrence."""
-        self._observe_vec(self.embedder.embed(query))
+        vec = self.embedder.embed(query)
+        with self._lock:
+            self._observe_vec(vec)
 
     def seen_similar(self, query: str) -> bool:
-        return self._seen_similar_vec(self.embedder.embed(query))
+        vec = self.embedder.embed(query)
+        with self._lock:
+            return self._seen_similar_vec(vec)
 
     def should_admit(self, query: str, kind: str = "original") -> bool:
         """Admission decision; also records the occurrence.
 
         The query is embedded exactly once and the vector shared between
-        the decision and the history write."""
+        the decision and the history write; decision and write are atomic
+        under the predictor lock."""
         vec = self.embedder.embed(query)
-        if self.admit_subqueries and kind == "sub":
+        with self._lock:
+            if self.admit_subqueries and kind == "sub":
+                self._observe_vec(vec)
+                return True
+            admit = self._seen_similar_vec(vec)
             self._observe_vec(vec)
-            return True
-        admit = self._seen_similar_vec(vec)
-        self._observe_vec(vec)
-        return admit
+            return admit
 
 
 def _build_index(index: Union[str, object], dim: int) -> object:
@@ -234,6 +247,17 @@ class SemanticCache:
     :mod:`repro.vectordb` indexes for very large capacities, where a probe
     may miss the true nearest entry but runs sublinearly. A prebuilt index
     object (anything with ``add``/``remove``/``search``) is accepted too.
+
+    Thread safety: every probe and mutation holds one re-entrant cache
+    lock, so concurrent callers can never observe a torn state (an entry
+    in ``entries`` missing from the index, a half-compacted FlatIndex
+    buffer, a clock that went backwards). Embedding — the expensive part
+    of both paths — runs *outside* the lock. Note the distinction from
+    determinism: the lock guarantees consistency under any interleaving,
+    but cache *contents* still depend on the order operations arrive, so
+    reproducing a serial run bit-for-bit requires issuing operations in
+    the serial order (the batching scheduler's single-worker mode does
+    exactly this).
     """
 
     def __init__(
@@ -265,6 +289,9 @@ class SemanticCache:
         self.index = _build_index(index, embedding_dim)
         self.stats = CacheStats()
         self._clock = 0
+        # Guards entries, the vector index, stats, and the LRFU clock as
+        # one unit: the index and the entry dict must never disagree.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -283,32 +310,36 @@ class SemanticCache:
 
     def lookup(self, query: str) -> CacheLookup:
         """Probe the cache; updates hit statistics."""
-        self._clock += 1
-        self.stats.lookups += 1
-        if not self.entries:
+        # Embed before taking the lock: the embedder memoizes under its
+        # own lock and the vector is a pure function of the query text.
+        query_vec = self.embedder.embed(query)
+        with self._lock:
+            self._clock += 1
+            self.stats.lookups += 1
+            if not self.entries:
+                self.stats.misses += 1
+                return CacheLookup(tier="miss")
+            best = self._best_match(query_vec)
+            if best is None:
+                self.stats.misses += 1
+                return CacheLookup(tier="miss")
+            best_key, best_sim = best
+            best_entry = self.entries[best_key]
+            if best_sim >= self.reuse_threshold:
+                best_entry.reuse_hits += 1
+                best_entry.last_access = self._clock
+                best_entry.touch_lrfu(self._clock, self.lrfu_lambda)
+                self.stats.reuse_hits += 1
+                self.stats.cost_saved += best_entry.cost_of_miss
+                return CacheLookup(tier="reuse", entry=best_entry, similarity=best_sim)
+            if best_sim >= self.augment_threshold:
+                best_entry.augment_hits += 1
+                best_entry.last_access = self._clock
+                best_entry.touch_lrfu(self._clock, self.lrfu_lambda)
+                self.stats.augment_hits += 1
+                return CacheLookup(tier="augment", entry=best_entry, similarity=best_sim)
             self.stats.misses += 1
             return CacheLookup(tier="miss")
-        best = self._best_match(self.embedder.embed(query))
-        if best is None:
-            self.stats.misses += 1
-            return CacheLookup(tier="miss")
-        best_key, best_sim = best
-        best_entry = self.entries[best_key]
-        if best_sim >= self.reuse_threshold:
-            best_entry.reuse_hits += 1
-            best_entry.last_access = self._clock
-            best_entry.touch_lrfu(self._clock, self.lrfu_lambda)
-            self.stats.reuse_hits += 1
-            self.stats.cost_saved += best_entry.cost_of_miss
-            return CacheLookup(tier="reuse", entry=best_entry, similarity=best_sim)
-        if best_sim >= self.augment_threshold:
-            best_entry.augment_hits += 1
-            best_entry.last_access = self._clock
-            best_entry.touch_lrfu(self._clock, self.lrfu_lambda)
-            self.stats.augment_hits += 1
-            return CacheLookup(tier="augment", entry=best_entry, similarity=best_sim)
-        self.stats.misses += 1
-        return CacheLookup(tier="miss")
 
     # ------------------------------------------------------------- updates
 
@@ -319,33 +350,48 @@ class SemanticCache:
 
         With an :class:`AdmissionPredictor` configured, entries predicted
         to never be re-accessed are refused (returns None)."""
-        self._clock += 1
-        if query in self.entries:
-            entry = self.entries[query]
-            entry.response = response
-            entry.cost_of_miss = cost
-            entry.last_access = self._clock
-            entry.touch_lrfu(self._clock, self.lrfu_lambda)
-            return entry
+        with self._lock:
+            self._clock += 1
+            if query in self.entries:
+                entry = self.entries[query]
+                entry.response = response
+                entry.cost_of_miss = cost
+                entry.last_access = self._clock
+                entry.touch_lrfu(self._clock, self.lrfu_lambda)
+                return entry
+        # Admission probe and embedding run off the cache lock: the
+        # predictor and the embedder memo each carry their own lock, and
+        # neither depends on cache state.
         if self.admission is not None and not self.admission.should_admit(query, kind=kind):
-            self.admission_rejects += 1
+            with self._lock:
+                self.admission_rejects += 1
             return None
-        while len(self.entries) >= self.capacity:
-            self._evict()
         embedding = self.embedder.embed(query)
-        entry = CacheEntry(
-            key=query,
-            embedding=embedding,
-            response=response,
-            kind=kind,
-            cost_of_miss=cost,
-            last_access=self._clock,
-            inserted_at=self._clock,
-        )
-        entry.touch_lrfu(self._clock, self.lrfu_lambda)
-        self.entries[query] = entry
-        self.index.add(query, embedding)
-        return entry
+        with self._lock:
+            if query in self.entries:
+                # Another thread inserted the same key while we were off
+                # the lock — refresh rather than duplicate the index row.
+                entry = self.entries[query]
+                entry.response = response
+                entry.cost_of_miss = cost
+                entry.last_access = self._clock
+                entry.touch_lrfu(self._clock, self.lrfu_lambda)
+                return entry
+            while len(self.entries) >= self.capacity:
+                self._evict()
+            entry = CacheEntry(
+                key=query,
+                embedding=embedding,
+                response=response,
+                kind=kind,
+                cost_of_miss=cost,
+                last_access=self._clock,
+                inserted_at=self._clock,
+            )
+            entry.touch_lrfu(self._clock, self.lrfu_lambda)
+            self.entries[query] = entry
+            self.index.add(query, embedding)
+            return entry
 
     def _evict(self) -> None:
         if not self.entries:

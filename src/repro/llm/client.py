@@ -21,6 +21,7 @@ calibrated so the Table I workload lands near the paper's numbers
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -85,46 +86,57 @@ class Completion:
 
 @dataclass
 class UsageMeter:
-    """Accumulates calls, tokens and dollars, per model and in total."""
+    """Accumulates calls, tokens and dollars, per model and in total.
+
+    Updates are taken under an internal lock so concurrent completions
+    (see :mod:`repro.serving.scheduler`) never lose a read-modify-write;
+    note that float totals still depend on summation *order*, which is
+    why deterministic concurrent runs serialize execution order."""
 
     calls: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     cost: float = 0.0
     per_model: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, model: str, usage: Usage, cost: float) -> None:
         """Accumulate one request's usage and cost."""
-        self.calls += 1
-        self.prompt_tokens += usage.prompt_tokens
-        self.completion_tokens += usage.completion_tokens
-        self.cost += cost
-        entry = self.per_model.setdefault(
-            model, {"calls": 0, "prompt_tokens": 0, "completion_tokens": 0, "cost": 0.0}
-        )
-        entry["calls"] += 1
-        entry["prompt_tokens"] += usage.prompt_tokens
-        entry["completion_tokens"] += usage.completion_tokens
-        entry["cost"] += cost
+        with self._lock:
+            self.calls += 1
+            self.prompt_tokens += usage.prompt_tokens
+            self.completion_tokens += usage.completion_tokens
+            self.cost += cost
+            entry = self.per_model.setdefault(
+                model, {"calls": 0, "prompt_tokens": 0, "completion_tokens": 0, "cost": 0.0}
+            )
+            entry["calls"] += 1
+            entry["prompt_tokens"] += usage.prompt_tokens
+            entry["completion_tokens"] += usage.completion_tokens
+            entry["cost"] += cost
 
     def refund(self, model: str, prompt_tokens: int, cost: float) -> None:
         """Give back prompt tokens and dollars previously recorded for
         ``model`` (shared-prefix accounting in batched completions)."""
-        self.prompt_tokens -= prompt_tokens
-        self.cost -= cost
-        entry = self.per_model.setdefault(
-            model, {"calls": 0, "prompt_tokens": 0, "completion_tokens": 0, "cost": 0.0}
-        )
-        entry["prompt_tokens"] -= prompt_tokens
-        entry["cost"] -= cost
+        with self._lock:
+            self.prompt_tokens -= prompt_tokens
+            self.cost -= cost
+            entry = self.per_model.setdefault(
+                model, {"calls": 0, "prompt_tokens": 0, "completion_tokens": 0, "cost": 0.0}
+            )
+            entry["prompt_tokens"] -= prompt_tokens
+            entry["cost"] -= cost
 
     def reset(self) -> None:
-        """Zero all counters (per-model and totals)."""
-        self.calls = 0
-        self.prompt_tokens = 0
-        self.completion_tokens = 0
-        self.cost = 0.0
-        self.per_model.clear()
+        """Zero all counters (per-model and totals); the lock survives."""
+        with self._lock:
+            self.calls = 0
+            self.prompt_tokens = 0
+            self.completion_tokens = 0
+            self.cost = 0.0
+            self.per_model.clear()
 
     def report(self) -> str:
         """Human-readable usage summary (per model + totals)."""

@@ -15,6 +15,7 @@ stores, semantic caches and multi-modal lakes.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List
 
@@ -32,6 +33,9 @@ _STOPWORDS = frozenset(
     """.split()
 )
 
+# Process-wide feature-direction memo. Left unlocked on purpose: single
+# get/set dict operations are atomic under CPython, values are pure
+# functions of the key, and a racy double-compute stores the same vector.
 _direction_cache: Dict[str, np.ndarray] = {}
 
 
@@ -86,6 +90,12 @@ class EmbeddingModel:
     between callers and therefore returned read-only — every consumer in
     this codebase copies on store, so sharing is safe and keeps a memo hit
     allocation-free on the serving hot path.
+
+    Thread safety: the memo's hit bookkeeping (``move_to_end``) and its
+    insert/evict pair mutate the OrderedDict and are guarded by a lock.
+    The actual embedding runs *off* the lock — a concurrent double-compute
+    of the same text produces the identical vector, so losing that race
+    only costs a little CPU, never correctness.
     """
 
     def __init__(self, dim: int = DEFAULT_DIM, memo_size: int = DEFAULT_MEMO_SIZE) -> None:
@@ -96,19 +106,22 @@ class EmbeddingModel:
         self.dim = dim
         self.memo_size = memo_size
         self._memo: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._memo_lock = threading.Lock()
 
     def embed(self, text: str) -> np.ndarray:
         memo = self._memo
-        vec = memo.get(text)
-        if vec is not None:
-            memo.move_to_end(text)
-            return vec
+        with self._memo_lock:
+            vec = memo.get(text)
+            if vec is not None:
+                memo.move_to_end(text)
+                return vec
         vec = embed_text(text, dim=self.dim)
         vec.setflags(write=False)
         if self.memo_size > 0:
-            memo[text] = vec
-            if len(memo) > self.memo_size:
-                memo.popitem(last=False)
+            with self._memo_lock:
+                memo[text] = vec
+                if len(memo) > self.memo_size:
+                    memo.popitem(last=False)
         return vec
 
     def embed_batch(self, texts: List[str]) -> np.ndarray:

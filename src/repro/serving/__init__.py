@@ -18,9 +18,15 @@ workload runs against a bare client or a full cache→cascade→retry→budget
 pipeline without code changes; :class:`ServiceStats` snapshots what each
 layer did. A bare ``LLMClient`` *is* a valid provider and behaves
 bit-identically with or without this package installed around it.
+
+For traffic from many threads, :class:`ConcurrentStack` puts the
+micro-batching :class:`BatchingScheduler` in front of any stack:
+``submit()`` returns futures that resolve in submission order, and with
+one dispatch worker a concurrent run is bit-identical to the serial loop.
 """
 
 from repro.llm.provider import CompletionProvider, ReseedableProvider, make_client
+from repro.serving.concurrent import ConcurrentStack
 from repro.serving.middleware import (
     BudgetMiddleware,
     CascadeMiddleware,
@@ -30,13 +36,17 @@ from repro.serving.middleware import (
     SemanticCacheMiddleware,
     last_question_key,
 )
+from repro.serving.scheduler import BatchingScheduler, shared_prefix
 from repro.serving.stack import ServingStack, build_stack
-from repro.serving.stats import ServiceStats
+from repro.serving.stats import LatencyHistogram, ServiceStats
 
 __all__ = [
+    "BatchingScheduler",
     "BudgetMiddleware",
     "CascadeMiddleware",
     "CompletionProvider",
+    "ConcurrentStack",
+    "LatencyHistogram",
     "MetricsMiddleware",
     "Middleware",
     "ReseedableProvider",
@@ -47,4 +57,5 @@ __all__ = [
     "build_stack",
     "last_question_key",
     "make_client",
+    "shared_prefix",
 ]

@@ -1,0 +1,152 @@
+"""ConcurrentStack: a serving stack behind the micro-batching scheduler.
+
+The facade applications use when traffic comes from many threads: wrap any
+provider (normally a composed :class:`~repro.serving.stack.ServingStack`),
+``submit()`` requests for futures or ``complete_many()`` a whole workload,
+and read the same :class:`~repro.serving.stats.ServiceStats` the stack's
+middleware writes — now including batch-size and queue-depth distributions
+from the scheduler.
+
+>>> from repro.llm import LLMClient
+>>> from repro.serving import ConcurrentStack, build_stack
+>>> with ConcurrentStack(build_stack(LLMClient(), cache=True)) as served:
+...     future = served.submit("Question: Who directed The Silent Mirror?")
+...     text = future.result().text
+
+Determinism: with the default ``workers=1`` the scheduler executes requests
+in submission-index order, so ``complete_many(prompts)`` is bit-identical
+to the serial ``[stack.complete(p) for p in prompts]`` loop no matter how
+many submitter threads feed it. ``workers > 1`` overlaps batch execution
+for wall-clock throughput; the locked hot state stays consistent but
+stateful layers (cache contents, budget order) then evolve in arrival
+order rather than submission order.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.serving.scheduler import BatchingScheduler
+from repro.serving.stats import ServiceStats
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    import numpy as np
+
+    from repro.llm.client import Completion
+    from repro.llm.provider import CompletionProvider
+
+
+class ConcurrentStack:
+    """Thread-safe ``submit()/complete_many()`` facade over a provider.
+
+    Scheduler knobs (``max_batch_size``, ``max_wait_ms``, ``workers``,
+    ``max_queue``, ``combine``, ``seed_stride``) are forwarded to
+    :class:`~repro.serving.scheduler.BatchingScheduler`; ``stats`` defaults
+    to the wrapped stack's own instance so scheduler and middleware
+    counters land in one snapshot.
+    """
+
+    def __init__(
+        self,
+        stack: "CompletionProvider",
+        *,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        workers: int = 1,
+        max_queue: int = 1024,
+        combine: bool = False,
+        seed_stride: int = 0,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        self.stack = stack
+        if stats is None:
+            stats = getattr(stack, "stats", None) or ServiceStats()
+        self.stats = stats
+        self.scheduler = BatchingScheduler(
+            stack,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            workers=workers,
+            max_queue=max_queue,
+            combine=combine,
+            seed_stride=seed_stride,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------ requests
+
+    def submit(self, prompt: str, model: Optional[str] = None) -> "Future[Completion]":
+        """Enqueue one request; the future resolves in submission order."""
+        return self.scheduler.submit(prompt, model=model)
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> "Completion":
+        """Synchronous single request through the scheduler."""
+        return self.submit(prompt, model=model).result()
+
+    def complete_many(
+        self,
+        prompts: Sequence[str],
+        model: Optional[str] = None,
+        submitters: int = 1,
+    ) -> List["Completion"]:
+        """Answer a whole workload; results come back in ``prompts`` order.
+
+        ``submitters`` client threads split the workload round-robin, each
+        submitting with an explicit submission index so the scheduler
+        coalesces in *logical* order however the threads interleave — with
+        ``workers=1`` the result is bit-identical to the serial loop.
+        The first failed request re-raises its exception.
+        """
+        if not prompts:
+            return []
+        submitters = max(1, min(submitters, len(prompts)))
+        base = self.scheduler.reserve(len(prompts))
+        futures: List[Optional[Future]] = [None] * len(prompts)
+
+        def feed(offset: int) -> None:
+            for i in range(offset, len(prompts), submitters):
+                futures[i] = self.scheduler.submit(prompts[i], model=model, index=base + i)
+
+        if submitters == 1:
+            feed(0)
+        else:
+            threads = [
+                threading.Thread(target=feed, args=(offset,), daemon=True)
+                for offset in range(submitters)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        return [future.result() for future in futures]
+
+    def embed(self, text: str) -> "np.ndarray":
+        return self.stack.embed(text)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self, wait: bool = True) -> None:
+        """Drain the queue and stop the scheduler threads."""
+        self.scheduler.close(wait=wait)
+
+    def __enter__(self) -> "ConcurrentStack":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ reporting
+
+    def describe(self) -> str:
+        """The pipeline with the scheduler stage prepended."""
+        inner = self.stack.describe() if hasattr(self.stack, "describe") else type(self.stack).__name__
+        scheduler = self.scheduler
+        return (
+            f"scheduler(batch={scheduler.max_batch_size}, "
+            f"workers={scheduler.workers}) -> {inner}"
+        )
+
+    def report(self) -> str:
+        return self.stats.render()

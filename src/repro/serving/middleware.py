@@ -20,12 +20,19 @@ optimizations that previously each wrapped the client ad hoc:
   request that actually reaches the LLM service.
 
 All layers write their counters into one shared
-:class:`~repro.serving.stats.ServiceStats`.
+:class:`~repro.serving.stats.ServiceStats`, holding its lock around each
+update so a stack can be driven from many threads at once (see
+:mod:`repro.serving.scheduler`). Layer-local mutable state (the cache
+middleware's replay store, the budget ledger) carries its own lock; the
+hot structures underneath — :class:`~repro.core.cache.SemanticCache`, the
+admission predictor, the embedding memo, the usage meter — are locked
+where they live.
 """
 
 from __future__ import annotations
 
 import copy
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -109,35 +116,44 @@ class SemanticCacheMiddleware(Middleware):
         self.key_fn = key_fn
         self.cache_kind = cache_kind
         # Original completions by cache key, so reuse hits can replay the
-        # full Completion (model, confidence, engine) at zero cost.
+        # full Completion (model, confidence, engine) at zero cost. Guarded
+        # by its own lock: pruning rebuilds the dict.
         self._completions: Dict[str, Completion] = {}
+        self._replay_lock = threading.Lock()
 
     def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
         key = self.key_fn(prompt) if self.key_fn is not None else prompt
-        self.stats.cache_lookups += 1
         probe_start = time.perf_counter()
         lookup = self.cache.lookup(key)
-        self.stats.cache_lookup_ms += (time.perf_counter() - probe_start) * 1000.0
+        probe_ms = (time.perf_counter() - probe_start) * 1000.0
+        with self.stats.lock:
+            self.stats.cache_lookups += 1
+            self.stats.cache_lookup_ms += probe_ms
+            if lookup.tier == "reuse" and lookup.entry is not None:
+                self.stats.cache_reuse_hits += 1
+                self.stats.cache_cost_saved += lookup.entry.cost_of_miss
+            elif lookup.tier == "augment" and lookup.entry is not None:
+                self.stats.cache_augment_hits += 1
+            else:
+                self.stats.cache_misses += 1
         if lookup.tier == "reuse" and lookup.entry is not None:
-            self.stats.cache_reuse_hits += 1
-            self.stats.cache_cost_saved += lookup.entry.cost_of_miss
             return self._replay(lookup.entry.key, lookup.entry.response, lookup.similarity)
         effective_prompt = prompt
         if lookup.tier == "augment" and lookup.entry is not None:
-            self.stats.cache_augment_hits += 1
             effective_prompt = (
                 f"Example: Question: {lookup.entry.key} Answer: {lookup.entry.response}\n"
                 + prompt
             )
-        else:
-            self.stats.cache_misses += 1
         completion = self.inner.complete(effective_prompt, model=model)
         put_start = time.perf_counter()
         admitted = self.cache.put(key, completion.text, kind=self.cache_kind, cost=completion.cost)
-        self.stats.cache_put_ms += (time.perf_counter() - put_start) * 1000.0
+        put_ms = (time.perf_counter() - put_start) * 1000.0
+        with self.stats.lock:
+            self.stats.cache_put_ms += put_ms
         if admitted:
-            self._completions[key] = completion
-            self._prune_replay_store()
+            with self._replay_lock:
+                self._completions[key] = completion
+                self._prune_replay_store()
         return completion
 
     def _replay(self, key: str, response: str, similarity: float) -> Completion:
@@ -167,6 +183,8 @@ class SemanticCacheMiddleware(Middleware):
 
     def _prune_replay_store(self) -> None:
         # Keep the replay store aligned with the cache after evictions.
+        # Callers hold _replay_lock; the rebuilt dict is swapped in whole so
+        # lock-free readers (_replay) always see a consistent mapping.
         if len(self._completions) > 2 * self.cache.capacity:
             self._completions = {
                 key: completion
@@ -203,9 +221,12 @@ class CascadeMiddleware(Middleware):
         if model is not None:
             return self.inner.complete(prompt, model=model)
         result = self._cascade.complete(prompt)
-        self.stats.cascade_requests += 1
-        self.stats.escalations += result.escalations
-        self.stats.answered_by[result.model] = self.stats.answered_by.get(result.model, 0) + 1
+        with self.stats.lock:
+            self.stats.cascade_requests += 1
+            self.stats.escalations += result.escalations
+            self.stats.answered_by[result.model] = (
+                self.stats.answered_by.get(result.model, 0) + 1
+            )
         final = result.final
         metadata = dict(final.metadata)
         metadata["serving.cascade"] = {
@@ -268,7 +289,8 @@ class RetryMiddleware(Middleware):
         return True
 
     def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
-        self.stats.retry_requests += 1
+        with self.stats.lock:
+            self.stats.retry_requests += 1
         completion = self.inner.complete(prompt, model=model)
         if self._acceptable(completion):
             return completion
@@ -279,12 +301,14 @@ class RetryMiddleware(Middleware):
             provider = self.inner.reseeded(attempt * self.seed_step) if reseedable else self.inner
             redraw = provider.complete(prompt, model=model)
             retries += 1
-            self.stats.retries += 1
+            with self.stats.lock:
+                self.stats.retries += 1
             if redraw.confidence > best.confidence:
                 best = redraw
             if self._acceptable(redraw):
                 best = redraw
-                self.stats.retry_rescues += 1
+                with self.stats.lock:
+                    self.stats.retry_rescues += 1
                 break
             if not reseedable:
                 break
@@ -300,7 +324,9 @@ class BudgetMiddleware(Middleware):
     terminal client's own pre-call check), so the ceiling is enforced
     *between* calls: once the observed spend reaches ``budget_usd``,
     further requests raise :class:`~repro.errors.BudgetExceededError`. At
-    most one call can overshoot, by at most its own cost.
+    most one call per in-flight thread can overshoot, by at most its own
+    cost (the ledger is locked, but the check cannot cover a call whose
+    price is unknown until it returns).
     """
 
     def __init__(
@@ -314,22 +340,28 @@ class BudgetMiddleware(Middleware):
         super().__init__(inner, stats)
         self.budget_usd = budget_usd
         self.spent_usd = 0.0
+        self._ledger_lock = threading.Lock()
         self.stats.budget_limit_usd = budget_usd
 
     def remaining(self) -> float:
-        return max(0.0, self.budget_usd - self.spent_usd)
+        with self._ledger_lock:
+            return max(0.0, self.budget_usd - self.spent_usd)
 
     def _check(self) -> None:
-        if self.spent_usd >= self.budget_usd:
-            self.stats.budget_rejections += 1
-            raise BudgetExceededError(
-                f"serving budget ${self.budget_usd:.4f} exhausted "
-                f"(spent ${self.spent_usd:.4f})"
-            )
+        with self._ledger_lock:
+            if self.spent_usd >= self.budget_usd:
+                with self.stats.lock:
+                    self.stats.budget_rejections += 1
+                raise BudgetExceededError(
+                    f"serving budget ${self.budget_usd:.4f} exhausted "
+                    f"(spent ${self.spent_usd:.4f})"
+                )
 
     def _charge(self, cost: float) -> None:
-        self.spent_usd += cost
-        self.stats.budget_spent_usd = self.spent_usd
+        with self._ledger_lock:
+            self.spent_usd += cost
+            with self.stats.lock:
+                self.stats.budget_spent_usd = self.spent_usd
 
     def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
         self._check()

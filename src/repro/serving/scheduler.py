@@ -1,0 +1,352 @@
+"""Micro-batching scheduler: coalesce many callers into few provider calls.
+
+The serving stack answers one request per call; under heavy traffic the
+per-call overhead (network round-trip, shared-prefix tokens, dispatch) is
+the throughput ceiling. :class:`BatchingScheduler` puts a bounded queue in
+front of any :class:`~repro.llm.provider.CompletionProvider` and runs the
+classic continuous-batching loop:
+
+1. **submit** — client threads enqueue ``(prompt, model)`` and get back a
+   :class:`concurrent.futures.Future`. Every request carries a *submission
+   index* (auto-assigned, or supplied explicitly when callers partition one
+   logical workload across threads).
+2. **coalesce** — a collector thread assembles requests into batches in
+   strict submission-index order, flushing when a batch reaches
+   ``max_batch_size`` or its oldest request has waited ``max_wait_ms``.
+3. **dispatch** — batches go to ``workers`` dispatcher threads. With
+   ``combine=True`` a batch becomes one ``complete_batch`` call whose
+   shared prefix is the common string prefix of its prompts, so the
+   terminal client's shared-prefix token refund and the budget layer's
+   batch netting are exercised under load; otherwise items are completed
+   one by one, traversing every middleware layer (cache included).
+4. **resolve** — futures resolve strictly in submission order, whatever
+   order batches finish in.
+
+Determinism: completions are pure functions of ``(seed, model, prompt)``,
+and with ``workers=1`` all stateful layers (semantic cache, budget, usage
+meter) are mutated in exactly the submission order — a concurrent run is
+bit-identical to the serial loop regardless of how client threads
+interleave their submissions. ``seed_stride > 0`` instead derives each
+request's RNG stream from its submission index via ``reseeded(index *
+seed_stride)``, decoupling results from worker assignment when callers
+*want* independent streams per request; the default stride of 0 shares the
+serial stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.serving.stats import ServiceStats
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.llm.client import Completion
+    from repro.llm.provider import CompletionProvider
+
+_SHUTDOWN = object()
+
+
+def shared_prefix(prompts: List[str]) -> str:
+    """Longest common string prefix of ``prompts`` (the coalesced batch's
+    shareable context — template preamble, schema, few-shot examples)."""
+    if not prompts:
+        return ""
+    lo, hi = min(prompts), max(prompts)
+    i = 0
+    while i < len(lo) and lo[i] == hi[i]:
+        i += 1
+    return lo[:i]
+
+
+@dataclass
+class _Request:
+    """One queued request."""
+
+    index: int
+    prompt: str
+    model: Optional[str]
+    future: "Future[Completion]" = field(default_factory=Future)
+
+
+class BatchingScheduler:
+    """Bounded request queue + coalescing collector + dispatcher pool.
+
+    Parameters
+    ----------
+    provider:
+        Any completion provider — normally a composed
+        :class:`~repro.serving.stack.ServingStack`.
+    max_batch_size:
+        Flush a batch as soon as it holds this many requests.
+    max_wait_ms:
+        Flush a partial batch once its oldest request has waited this long.
+    workers:
+        Dispatcher threads. ``1`` (default) executes batches strictly in
+        submission order — the deterministic mode; larger values overlap
+        batch execution for throughput (the shared hot state below the
+        stack is lock-protected, so this is safe but interleaves stateful
+        layers nondeterministically).
+    max_queue:
+        Backpressure bound: auto-indexed ``submit`` blocks while this many
+        requests are waiting uncoalesced. Explicitly indexed submissions
+        are exempt (blocking one could withhold the very index the
+        collector is waiting on).
+    combine:
+        Dispatch multi-request batches through ``complete_batch`` with the
+        common prompt prefix shared (cache/cascade layers pass batches
+        through untouched, by design). Single-request batches and batches
+        mixing models fall back to per-item ``complete``.
+    seed_stride:
+        When > 0 and the provider is reseedable, request ``i`` is answered
+        by ``provider.reseeded(i * seed_stride)``. Ignored for combined
+        batches (one call answers many indexes).
+    stats:
+        Shared :class:`ServiceStats`; batch sizes and queue depths are
+        recorded here.
+    """
+
+    def __init__(
+        self,
+        provider: "CompletionProvider",
+        *,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        workers: int = 1,
+        max_queue: int = 1024,
+        combine: bool = False,
+        seed_stride: int = 0,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        self.provider = provider
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.workers = workers
+        self.max_queue = max_queue
+        self.combine = combine
+        self.seed_stride = seed_stride
+        self.stats = stats if stats is not None else ServiceStats()
+
+        self._lock = threading.Lock()
+        self._new_request = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._pending: Dict[int, _Request] = {}  # reorder buffer, by index
+        self._next_auto = 0  # next auto-assigned submission index
+        self._next_dispatch = 0  # next index the collector will coalesce
+        self._closed = False
+
+        # Resolution gate: futures resolve in submission-index order.
+        self._resolve_lock = threading.Lock()
+        self._outstanding: List[int] = []  # min-heap of unresolved indexes
+        self._ready: Dict[int, Tuple[_Request, Tuple[str, object]]] = {}
+
+        self._batches: "queue.Queue[object]" = queue.Queue(maxsize=2 * workers)
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-sched-collector", daemon=True
+        )
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop, name=f"repro-sched-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        self._collector.start()
+        for thread in self._dispatchers:
+            thread.start()
+
+    # ------------------------------------------------------------ client API
+
+    def submit(
+        self, prompt: str, model: Optional[str] = None, index: Optional[int] = None
+    ) -> "Future[Completion]":
+        """Enqueue one request; returns the future for its completion.
+
+        ``index`` pins the submission index explicitly — callers that fan
+        one ordered workload out over several submitter threads use this to
+        keep the *logical* order independent of thread interleaving.
+        Explicit indexes must eventually cover a contiguous range: the
+        collector will not coalesce past a gap until it fills (or the
+        scheduler closes).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if index is None:
+                while len(self._pending) >= self.max_queue and not self._closed:
+                    self._not_full.wait()
+                if self._closed:
+                    raise RuntimeError("scheduler is closed")
+                index = self._next_auto
+                self._next_auto += 1
+            else:
+                if index < self._next_dispatch or index in self._pending:
+                    raise ValueError(f"submission index {index} already used")
+                if index >= self._next_auto:
+                    self._next_auto = index + 1
+            request = _Request(index=index, prompt=prompt, model=model)
+            self._pending[index] = request
+            with self._resolve_lock:
+                heapq.heappush(self._outstanding, index)
+            self._new_request.notify()
+        self.stats.record_submit()
+        return request.future
+
+    def reserve(self, n: int) -> int:
+        """Reserve ``n`` consecutive submission indexes; returns the first.
+
+        The block is then filled with ``submit(..., index=base + i)`` calls,
+        typically from several threads at once."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            base = self._next_auto
+            self._next_auto += n
+            return base
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain and join the worker threads."""
+        with self._lock:
+            if self._closed:
+                if wait:
+                    self._join()
+                return
+            self._closed = True
+            self._new_request.notify_all()
+            self._not_full.notify_all()
+        if wait:
+            self._join()
+
+    def _join(self) -> None:
+        self._collector.join()
+        for thread in self._dispatchers:
+            thread.join()
+
+    def __enter__(self) -> "BatchingScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet coalesced into a batch."""
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------ collector
+
+    def _collect_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                for _ in self._dispatchers:
+                    self._batches.put(_SHUTDOWN)
+                return
+            self._batches.put(batch)
+
+    def _next_batch(self) -> Optional[List[_Request]]:
+        """Block until a batch is due (size, timeout, or shutdown drain)."""
+        batch: List[_Request] = []
+        deadline: Optional[float] = None
+        with self._lock:
+            while True:
+                # Drain contiguously from the reorder buffer.
+                while len(batch) < self.max_batch_size and self._next_dispatch in self._pending:
+                    batch.append(self._pending.pop(self._next_dispatch))
+                    self._next_dispatch += 1
+                    if deadline is None:
+                        deadline = time.monotonic() + self.max_wait_ms / 1000.0
+                    self._not_full.notify()
+                if len(batch) >= self.max_batch_size:
+                    return batch  # flush on size
+                if self._closed:
+                    if batch:
+                        return batch
+                    if not self._pending:
+                        return None  # empty-queue shutdown
+                    # Submissions have stopped; gaps can never fill. Jump to
+                    # the smallest remaining index and keep draining in order.
+                    self._next_dispatch = min(self._pending)
+                    continue
+                if batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return batch  # flush on timeout
+                    self._new_request.wait(timeout=remaining)
+                else:
+                    self._new_request.wait()
+
+    # ------------------------------------------------------------ dispatchers
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._batches.get()
+            if batch is _SHUTDOWN:
+                return
+            self._run_batch(batch)
+
+    def _provider_for(self, request: _Request) -> "CompletionProvider":
+        if self.seed_stride and hasattr(self.provider, "reseeded"):
+            return self.provider.reseeded(request.index * self.seed_stride)
+        return self.provider
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        self.stats.record_batch(len(batch), self.queue_depth)
+        outcomes: List[Tuple[str, object]] = []
+        combinable = (
+            self.combine
+            and len(batch) > 1
+            and all(request.model == batch[0].model for request in batch)
+        )
+        if combinable:
+            prefix = shared_prefix([request.prompt for request in batch])
+            try:
+                completions = self.provider.complete_batch(
+                    prefix,
+                    [request.prompt[len(prefix):] for request in batch],
+                    model=batch[0].model,
+                )
+                outcomes = [("ok", completion) for completion in completions]
+            except Exception as exc:  # one combined call: the whole batch fails
+                outcomes = [("err", exc) for _ in batch]
+        else:
+            for request in batch:
+                try:
+                    completion = self._provider_for(request).complete(
+                        request.prompt, model=request.model
+                    )
+                    outcomes.append(("ok", completion))
+                except Exception as exc:  # per-item isolation
+                    outcomes.append(("err", exc))
+        self._resolve(batch, outcomes)
+
+    def _resolve(self, batch: List[_Request], outcomes: List[Tuple[str, object]]) -> None:
+        """Publish outcomes; release futures strictly in index order."""
+        releasable: List[Tuple[_Request, Tuple[str, object]]] = []
+        with self._resolve_lock:
+            for request, outcome in zip(batch, outcomes):
+                self._ready[request.index] = (request, outcome)
+            while self._outstanding and self._outstanding[0] in self._ready:
+                releasable.append(self._ready.pop(heapq.heappop(self._outstanding)))
+        # Resolve outside the gate lock: done-callbacks run in this thread.
+        for request, (kind, value) in releasable:
+            self.stats.record_completion()
+            if kind == "ok":
+                request.future.set_result(value)
+            else:
+                request.future.set_exception(value)

@@ -65,6 +65,17 @@ class ServingStack:
             return ServingStack(self.provider.reseeded(offset), self.stats, self.layers)
         return self
 
+    def concurrent(self, **kwargs: object) -> "ConcurrentStack":
+        """Wrap this stack in a :class:`~repro.serving.concurrent.ConcurrentStack`.
+
+        Keyword arguments are the scheduler knobs (``max_batch_size``,
+        ``max_wait_ms``, ``workers``, ...); the returned facade shares this
+        stack's :class:`ServiceStats`.
+        """
+        from repro.serving.concurrent import ConcurrentStack
+
+        return ConcurrentStack(self, **kwargs)
+
     def describe(self) -> str:
         """The layer chain, outermost first (e.g. for example scripts)."""
         return " -> ".join(self.layers)

@@ -5,14 +5,91 @@ stack; each layer writes only its own counters, so a snapshot reads like a
 cross-section of the pipeline: how much traffic the cache absorbed, how far
 the cascade escalated, how many rejected completions were re-drawn, and
 what the terminal client actually billed.
+
+Stacks may be driven from many threads at once (see
+:mod:`repro.serving.scheduler`), so the instance carries one re-entrant
+``lock`` that every writer takes around its counter updates. Latency is
+additionally tracked as a :class:`LatencyHistogram` of the *simulated*
+per-completion latencies — fixed log-spaced buckets, so p50/p95/p99 are
+deterministic functions of the recorded values with no wall-clock
+nondeterminism — and the batching scheduler records its batch-size and
+queue-depth distributions here as well.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.llm.client import Usage
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency reservoir with deterministic percentiles.
+
+    Buckets are log-spaced (``start_ms * growth**i``), chosen once at
+    construction, so the histogram of a given multiset of samples — and
+    therefore every percentile read — is identical no matter the order or
+    thread the samples arrived in. Percentiles are reported as the upper
+    edge of the first bucket covering the requested rank (a conservative,
+    reproducible estimate; no interpolation, no wall clock).
+    """
+
+    def __init__(self, start_ms: float = 0.01, growth: float = 1.5, n_buckets: int = 56) -> None:
+        if start_ms <= 0 or growth <= 1.0 or n_buckets <= 0:
+            raise ValueError("need start_ms > 0, growth > 1, n_buckets > 0")
+        self.edges: List[float] = [start_ms * growth**i for i in range(n_buckets)]
+        self.counts: List[int] = [0] * (n_buckets + 1)  # final bucket: overflow
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def record(self, latency_ms: float) -> None:
+        """Add one sample (not thread-safe by itself — callers hold the
+        owning :class:`ServiceStats` lock)."""
+        value = max(0.0, float(latency_ms))
+        lo, hi = 0, len(self.edges)
+        while lo < hi:  # first bucket whose upper edge covers the value
+            mid = (lo + hi) // 2
+            if value <= self.edges[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.total += 1
+        self.sum_ms += value
+        if value > self.max_ms:
+            self.max_ms = value
+
+    def percentile(self, p: float) -> float:
+        """The upper bucket edge covering the ``p``-th percentile rank,
+        clamped to the observed maximum (both are order-independent, so the
+        estimate stays deterministic and never undershoots the true value)."""
+        if self.total == 0:
+            return 0.0
+        rank = max(1, int(-(-(p / 100.0) * self.total // 1)))  # ceil, no floats in rank
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                edge = self.edges[i] if i < len(self.edges) else self.max_ms
+                return min(edge, self.max_ms)
+        return self.max_ms
+
+    @property
+    def mean_ms(self) -> float:
+        return self.sum_ms / self.total if self.total else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.total,
+            "mean_ms": round(self.mean_ms, 4),
+            "p50_ms": round(self.percentile(50), 4),
+            "p95_ms": round(self.percentile(95), 4),
+            "p99_ms": round(self.percentile(99), 4),
+            "max_ms": round(self.max_ms, 4),
+        }
 
 
 @dataclass
@@ -26,6 +103,8 @@ class ServiceStats:
     cost_usd: float = 0.0
     latency_ms: float = 0.0
     per_model: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # Distribution of simulated per-completion latencies (deterministic).
+    latency_hist: LatencyHistogram = field(default_factory=LatencyHistogram, compare=False)
 
     # Cache layer.
     cache_lookups: int = 0
@@ -54,24 +133,65 @@ class ServiceStats:
     budget_spent_usd: float = 0.0
     budget_rejections: int = 0
 
+    # Scheduler (repro.serving.scheduler): coalescing behavior under load.
+    scheduler_submitted: int = 0
+    scheduler_completed: int = 0
+    scheduler_batches: int = 0
+    scheduler_batch_sizes: Dict[int, int] = field(default_factory=dict)
+    scheduler_queue_depths: Dict[int, int] = field(default_factory=dict)
+
+    # One lock shared by every layer of the stack; `reset()` deliberately
+    # keeps it (replacing a held lock would break mutual exclusion).
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------ locking
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The stats lock; middleware holds it around counter updates."""
+        return self._lock
+
     # ------------------------------------------------------------ recording
 
     def record_llm_call(
         self, model: str, usage: Usage, cost: float, latency_ms: float
     ) -> None:
         """Accumulate one request that actually hit the terminal client."""
-        self.llm_calls += 1
-        self.prompt_tokens += usage.prompt_tokens
-        self.completion_tokens += usage.completion_tokens
-        self.cost_usd += cost
-        self.latency_ms += latency_ms
-        entry = self.per_model.setdefault(
-            model, {"calls": 0, "prompt_tokens": 0, "completion_tokens": 0, "cost": 0.0}
-        )
-        entry["calls"] += 1
-        entry["prompt_tokens"] += usage.prompt_tokens
-        entry["completion_tokens"] += usage.completion_tokens
-        entry["cost"] += cost
+        with self._lock:
+            self.llm_calls += 1
+            self.prompt_tokens += usage.prompt_tokens
+            self.completion_tokens += usage.completion_tokens
+            self.cost_usd += cost
+            self.latency_ms += latency_ms
+            self.latency_hist.record(latency_ms)
+            entry = self.per_model.setdefault(
+                model, {"calls": 0, "prompt_tokens": 0, "completion_tokens": 0, "cost": 0.0}
+            )
+            entry["calls"] += 1
+            entry["prompt_tokens"] += usage.prompt_tokens
+            entry["completion_tokens"] += usage.completion_tokens
+            entry["cost"] += cost
+
+    def record_submit(self) -> None:
+        """One request accepted by the batching scheduler."""
+        with self._lock:
+            self.scheduler_submitted += 1
+
+    def record_completion(self) -> None:
+        """One scheduler-managed future resolved."""
+        with self._lock:
+            self.scheduler_completed += 1
+
+    def record_batch(self, size: int, queue_depth: int) -> None:
+        """One coalesced batch dispatched; sizes/depths feed ``report()``."""
+        with self._lock:
+            self.scheduler_batches += 1
+            self.scheduler_batch_sizes[size] = self.scheduler_batch_sizes.get(size, 0) + 1
+            self.scheduler_queue_depths[queue_depth] = (
+                self.scheduler_queue_depths.get(queue_depth, 0) + 1
+            )
 
     # ------------------------------------------------------------ reading
 
@@ -87,50 +207,74 @@ class ServiceStats:
             return 0.0
         return self.cache_lookup_ms / self.cache_lookups
 
+    @property
+    def mean_batch_size(self) -> float:
+        if self.scheduler_batches == 0:
+            return 0.0
+        total = sum(size * count for size, count in self.scheduler_batch_sizes.items())
+        return total / self.scheduler_batches
+
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict snapshot, layer by layer (stable keys for reports)."""
-        return {
-            "llm": {
-                "calls": self.llm_calls,
-                "prompt_tokens": self.prompt_tokens,
-                "completion_tokens": self.completion_tokens,
-                "cost_usd": round(self.cost_usd, 6),
-                "latency_ms": round(self.latency_ms, 2),
-                "per_model": {m: dict(e) for m, e in sorted(self.per_model.items())},
-            },
-            "cache": {
-                "lookups": self.cache_lookups,
-                "reuse_hits": self.cache_reuse_hits,
-                "augment_hits": self.cache_augment_hits,
-                "misses": self.cache_misses,
-                "hit_rate": round(self.cache_hit_rate, 4),
-                "cost_saved_usd": round(self.cache_cost_saved, 6),
-                "lookup_ms": round(self.cache_lookup_ms, 3),
-                "mean_lookup_ms": round(self.cache_mean_lookup_ms, 4),
-                "put_ms": round(self.cache_put_ms, 3),
-            },
-            "cascade": {
-                "requests": self.cascade_requests,
-                "escalations": self.escalations,
-                "answered_by": dict(sorted(self.answered_by.items())),
-            },
-            "retry": {
-                "requests": self.retry_requests,
-                "retries": self.retries,
-                "rescues": self.retry_rescues,
-            },
-            "budget": {
-                "limit_usd": self.budget_limit_usd,
-                "spent_usd": round(self.budget_spent_usd, 6),
-                "rejections": self.budget_rejections,
-            },
-        }
+        with self._lock:
+            return {
+                "llm": {
+                    "calls": self.llm_calls,
+                    "prompt_tokens": self.prompt_tokens,
+                    "completion_tokens": self.completion_tokens,
+                    "cost_usd": round(self.cost_usd, 6),
+                    "latency_ms": round(self.latency_ms, 2),
+                    "per_model": {m: dict(e) for m, e in sorted(self.per_model.items())},
+                },
+                "latency": self.latency_hist.snapshot(),
+                "cache": {
+                    "lookups": self.cache_lookups,
+                    "reuse_hits": self.cache_reuse_hits,
+                    "augment_hits": self.cache_augment_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": round(self.cache_hit_rate, 4),
+                    "cost_saved_usd": round(self.cache_cost_saved, 6),
+                    "lookup_ms": round(self.cache_lookup_ms, 3),
+                    "mean_lookup_ms": round(self.cache_mean_lookup_ms, 4),
+                    "put_ms": round(self.cache_put_ms, 3),
+                },
+                "cascade": {
+                    "requests": self.cascade_requests,
+                    "escalations": self.escalations,
+                    "answered_by": dict(sorted(self.answered_by.items())),
+                },
+                "retry": {
+                    "requests": self.retry_requests,
+                    "retries": self.retries,
+                    "rescues": self.retry_rescues,
+                },
+                "budget": {
+                    "limit_usd": self.budget_limit_usd,
+                    "spent_usd": round(self.budget_spent_usd, 6),
+                    "rejections": self.budget_rejections,
+                },
+                "scheduler": {
+                    "submitted": self.scheduler_submitted,
+                    "completed": self.scheduler_completed,
+                    "batches": self.scheduler_batches,
+                    "mean_batch_size": round(self.mean_batch_size, 4),
+                    "batch_sizes": {
+                        str(k): v for k, v in sorted(self.scheduler_batch_sizes.items())
+                    },
+                    "queue_depths": {
+                        str(k): v for k, v in sorted(self.scheduler_queue_depths.items())
+                    },
+                },
+            }
 
     def reset(self) -> None:
-        """Zero every counter (budget limit included)."""
+        """Zero every counter (budget limit included); the lock survives."""
         fresh = ServiceStats()
-        for name in fresh.__dataclass_fields__:
-            setattr(self, name, getattr(fresh, name))
+        with self._lock:
+            for name in fresh.__dataclass_fields__:
+                if name == "_lock":
+                    continue
+                setattr(self, name, getattr(fresh, name))
 
     def render(self) -> str:
         """Human-readable per-layer report (rendered by the bench layer)."""

@@ -1,0 +1,277 @@
+"""Unit tests for the micro-batching scheduler and the concurrent facade."""
+
+import threading
+import time
+
+import pytest
+
+from repro.llm.client import LLMClient
+from repro.serving import (
+    BatchingScheduler,
+    ConcurrentStack,
+    LatencyHistogram,
+    ServiceStats,
+    build_stack,
+    shared_prefix,
+)
+
+
+class RecordingProvider:
+    """Provider double that records every call it receives."""
+
+    def __init__(self, fail_on=None, delay_ms=0.0):
+        self.inner = LLMClient()
+        self.calls = []
+        self.batch_calls = []
+        self.fail_on = fail_on or set()
+        self.delay_ms = delay_ms
+        self._lock = threading.Lock()
+
+    def complete(self, prompt, model=None):
+        if self.delay_ms:
+            time.sleep(self.delay_ms / 1000.0)
+        with self._lock:
+            self.calls.append(prompt)
+        if prompt in self.fail_on:
+            raise ValueError(f"injected failure for {prompt!r}")
+        return self.inner.complete(prompt, model=model)
+
+    def complete_batch(self, prefix, items, model=None):
+        with self._lock:
+            self.batch_calls.append((prefix, tuple(items)))
+        return self.inner.complete_batch(prefix, items, model=model)
+
+    def embed(self, text):
+        return self.inner.embed(text)
+
+
+class TestSharedPrefix:
+    def test_common_prefix(self):
+        assert shared_prefix(["Q: alpha", "Q: beta"]) == "Q: "
+
+    def test_identical(self):
+        assert shared_prefix(["same", "same"]) == "same"
+
+    def test_disjoint_and_empty(self):
+        assert shared_prefix(["abc", "xyz"]) == ""
+        assert shared_prefix([]) == ""
+        assert shared_prefix(["only"]) == "only"
+
+
+class TestBatchingScheduler:
+    def test_flush_on_size(self):
+        provider = RecordingProvider()
+        stats = ServiceStats()
+        with BatchingScheduler(
+            provider, max_batch_size=4, max_wait_ms=10_000.0, stats=stats
+        ) as scheduler:
+            futures = [scheduler.submit(f"Question: q{i}?") for i in range(8)]
+            for future in futures:
+                future.result(timeout=10)
+        assert stats.scheduler_batch_sizes == {4: 2}
+        assert stats.scheduler_batches == 2
+
+    def test_flush_on_timeout(self):
+        provider = RecordingProvider()
+        stats = ServiceStats()
+        with BatchingScheduler(
+            provider, max_batch_size=100, max_wait_ms=15.0, stats=stats
+        ) as scheduler:
+            futures = [scheduler.submit(f"Question: q{i}?") for i in range(3)]
+            # No close yet: only the wait deadline can flush this batch.
+            for future in futures:
+                future.result(timeout=10)
+            assert stats.scheduler_batch_sizes == {3: 1}
+
+    def test_empty_queue_shutdown(self):
+        scheduler = BatchingScheduler(RecordingProvider())
+        scheduler.close()
+        assert scheduler.queue_depth == 0
+        with pytest.raises(RuntimeError):
+            scheduler.submit("Question: late?")
+
+    def test_close_is_idempotent(self):
+        scheduler = BatchingScheduler(RecordingProvider())
+        scheduler.close()
+        scheduler.close()
+
+    def test_exception_propagates_and_isolates(self):
+        bad = "Question: explode?"
+        provider = RecordingProvider(fail_on={bad})
+        with BatchingScheduler(provider, max_batch_size=3) as scheduler:
+            good_before = scheduler.submit("Question: a?")
+            failing = scheduler.submit(bad)
+            good_after = scheduler.submit("Question: b?")
+            with pytest.raises(ValueError, match="injected failure"):
+                failing.result(timeout=10)
+            assert good_before.result(timeout=10).text
+            assert good_after.result(timeout=10).text
+
+    def test_resolution_in_submission_order(self):
+        # Two dispatch workers, first batch much slower than the second:
+        # batch 2 finishes first but futures must still resolve 0..5.
+        provider = RecordingProvider(delay_ms=30.0)
+        done_order = []
+        with BatchingScheduler(
+            provider, max_batch_size=3, max_wait_ms=1.0, workers=2
+        ) as scheduler:
+            futures = [scheduler.submit(f"Question: q{i}?") for i in range(6)]
+            for i, future in enumerate(futures):
+                future.add_done_callback(lambda _f, i=i: done_order.append(i))
+            for future in futures:
+                future.result(timeout=10)
+        assert done_order == sorted(done_order)
+
+    def test_explicit_index_rejects_reuse(self):
+        with BatchingScheduler(RecordingProvider(), max_wait_ms=10_000.0) as scheduler:
+            base = scheduler.reserve(2)
+            scheduler.submit("Question: one?", index=base)
+            with pytest.raises(ValueError, match="already used"):
+                scheduler.submit("Question: dup?", index=base)
+            scheduler.submit("Question: two?", index=base + 1)
+
+    def test_close_drains_index_gaps(self):
+        # Reserve 3 indexes but only fill two, leaving a permanent gap;
+        # close() must still resolve the submitted futures.
+        with BatchingScheduler(RecordingProvider(), max_wait_ms=10_000.0) as scheduler:
+            base = scheduler.reserve(3)
+            first = scheduler.submit("Question: first?", index=base)
+            last = scheduler.submit("Question: last?", index=base + 2)
+        assert first.result(timeout=10).text
+        assert last.result(timeout=10).text
+
+    def test_combine_uses_complete_batch_with_shared_prefix(self):
+        provider = RecordingProvider()
+        with BatchingScheduler(
+            provider, max_batch_size=4, max_wait_ms=10_000.0, combine=True
+        ) as scheduler:
+            prompts = [f"Shared preamble. Question: q{i}?" for i in range(4)]
+            futures = [scheduler.submit(p) for p in prompts]
+            for future in futures:
+                assert future.result(timeout=10).text
+        assert len(provider.batch_calls) == 1
+        prefix, items = provider.batch_calls[0]
+        assert prefix == "Shared preamble. Question: q"
+        assert [prefix + item for item in items] == prompts
+
+    def test_combine_results_match_serial_complete_batch(self):
+        client = LLMClient()
+        prompts = [f"Shared preamble. Question: q{i}?" for i in range(4)]
+        prefix = shared_prefix(prompts)
+        expected = [
+            c.text
+            for c in LLMClient().complete_batch(prefix, [p[len(prefix):] for p in prompts])
+        ]
+        with BatchingScheduler(
+            client, max_batch_size=4, max_wait_ms=10_000.0, combine=True
+        ) as scheduler:
+            futures = [scheduler.submit(p) for p in prompts]
+            texts = [f.result(timeout=10).text for f in futures]
+        assert texts == expected
+
+    def test_seed_stride_uses_reseeded_streams(self):
+        client = LLMClient()
+        prompts = [f"Question: stream check {i}?" for i in range(4)]
+        expected = [
+            LLMClient().reseeded(i * 1000).complete(p).text for i, p in enumerate(prompts)
+        ]
+        with BatchingScheduler(client, seed_stride=1000, max_batch_size=2) as scheduler:
+            futures = [scheduler.submit(p) for p in prompts]
+            texts = [f.result(timeout=10).text for f in futures]
+        assert texts == expected
+
+    def test_invalid_parameters(self):
+        provider = RecordingProvider()
+        with pytest.raises(ValueError):
+            BatchingScheduler(provider, max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingScheduler(provider, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            BatchingScheduler(provider, workers=0)
+        with pytest.raises(ValueError):
+            BatchingScheduler(provider, max_queue=0)
+
+
+class TestConcurrentStack:
+    def test_complete_many_matches_serial_loop(self):
+        prompts = [f"Question: who is number {i}?" for i in range(10)]
+        client = LLMClient()
+        serial = [client.complete(p).text for p in prompts]
+        for submitters in (1, 4):
+            with ConcurrentStack(LLMClient()) as served:
+                texts = [c.text for c in served.complete_many(prompts, submitters=submitters)]
+            assert texts == serial
+
+    def test_complete_many_empty(self):
+        with ConcurrentStack(LLMClient()) as served:
+            assert served.complete_many([]) == []
+
+    def test_single_complete_and_submit(self):
+        with ConcurrentStack(LLMClient()) as served:
+            direct = served.complete("Question: direct?")
+            queued = served.submit("Question: queued?").result(timeout=10)
+        assert direct.text and queued.text
+
+    def test_shares_stack_stats(self):
+        stack = build_stack(LLMClient(), cache=True)
+        with ConcurrentStack(stack, max_batch_size=2) as served:
+            served.complete_many([f"Question: s{i}?" for i in range(4)])
+        assert served.stats is stack.stats
+        assert stack.stats.scheduler_submitted == 4
+        assert stack.stats.scheduler_completed == 4
+        assert stack.stats.cache_lookups == 4
+
+    def test_describe_and_report(self):
+        stack = build_stack(LLMClient(), cache=True)
+        with stack.concurrent(max_batch_size=4, workers=2) as served:
+            served.complete("Question: describe?")
+            description = served.describe()
+            report = served.report()
+        assert description.startswith("scheduler(batch=4, workers=2) -> cache")
+        assert "scheduler" in report
+
+    def test_embed_passthrough(self):
+        client = LLMClient()
+        with ConcurrentStack(client) as served:
+            vec = served.embed("some text")
+        assert vec.shape == client.embed("some text").shape
+
+
+class TestLatencyHistogram:
+    def test_percentiles_are_order_independent(self):
+        samples = [0.05, 1.2, 3.7, 0.9, 220.0, 14.5, 0.02, 7.7]
+        forward = LatencyHistogram()
+        backward = LatencyHistogram()
+        for value in samples:
+            forward.record(value)
+        for value in reversed(samples):
+            backward.record(value)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_percentile_semantics(self):
+        hist = LatencyHistogram(start_ms=1.0, growth=2.0, n_buckets=10)
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.record(value)
+        assert hist.total == 4
+        assert hist.percentile(50) == 2.0  # 2nd of 4 samples -> bucket edge 2.0
+        assert hist.percentile(100) == 100.0  # bucket edge 128, clamped to max
+        assert hist.max_ms == 100.0
+        assert hist.mean_ms == pytest.approx((0.5 + 1.5 + 3.0 + 100.0) / 4)
+
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.percentile(99) == 0.0
+        assert hist.snapshot()["count"] == 0
+
+    def test_overflow_bucket_reports_max(self):
+        hist = LatencyHistogram(start_ms=1.0, growth=2.0, n_buckets=3)
+        hist.record(1e9)
+        assert hist.percentile(50) == 1e9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(start_ms=0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(n_buckets=0)

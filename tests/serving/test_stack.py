@@ -84,8 +84,17 @@ class TestComposedStack:
         for ex in examples[:3]:
             stack.complete(qa_prompt(ex.question))
         snapshot = stack.stats.snapshot()
-        assert set(snapshot) == {"llm", "cache", "cascade", "retry", "budget"}
+        assert set(snapshot) == {
+            "llm",
+            "latency",
+            "cache",
+            "cascade",
+            "retry",
+            "budget",
+            "scheduler",
+        }
         assert snapshot["llm"]["calls"] == stack.stats.llm_calls
+        assert snapshot["latency"]["count"] == stack.stats.llm_calls
         assert snapshot["cache"]["lookups"] == 3
         report = stack.report()
         assert "Serving stack stats" in report
