@@ -1,0 +1,93 @@
+"""Chaos bench: injected transient faults vs the resilience layer.
+
+Drives the same prompt stream through an unprotected stack and one wrapped
+in :class:`~repro.serving.resilience.ResilienceMiddleware`, over a
+:class:`~repro.llm.faults.FaultInjectingProvider` armed at 0%, 5% and 15%,
+and writes ``BENCH_chaos.json``. Everything — fault draws, backoff,
+latency percentiles — is simulated and seeded, so the report is
+deterministic run to run.
+
+Run standalone for the full sweep, or in CI smoke mode:
+
+    PYTHONPATH=src python benchmarks/bench_perf_chaos.py
+    PYTHONPATH=src python benchmarks/bench_perf_chaos.py --smoke
+
+Acceptance: at 15% injected faults the resilient stack completes >= 99%
+of requests while the unprotected baseline fails exactly the injected
+count; at 0% faults the full resilient stack is bit-identical to the
+stack without the failure model (diverged == 0).
+"""
+
+import json
+import os
+import sys
+
+from repro.bench.perf import DEFAULT_CHAOS_REPORT_PATH, run_chaos
+
+ACCEPTANCE_RATE = 0.15
+ACCEPTANCE_AVAILABILITY = 0.99
+
+
+def _report_path() -> str:
+    return os.environ.get("REPRO_BENCH_CHAOS_PATH", DEFAULT_CHAOS_REPORT_PATH)
+
+
+def _run(smoke: bool, write: bool = True):
+    return run_chaos(
+        n_requests=80 if smoke else 300,
+        fault_rates=(0.0, 0.05, 0.15),
+        equivalence_requests=16 if smoke else 40,
+        write_path=_report_path() if write else None,
+    )
+
+
+def _check(report) -> str:
+    """Return an error message, or '' if the report passes acceptance."""
+    if report.diverged != 0:
+        return (
+            f"{report.diverged} zero-fault completions diverged — the "
+            "resilience layer must be invisible when nothing fails"
+        )
+    resilient = report.availability(ACCEPTANCE_RATE, "resilient")
+    if resilient < ACCEPTANCE_AVAILABILITY:
+        return (
+            f"resilient availability {resilient:.4f} at "
+            f"{ACCEPTANCE_RATE:.0%} faults is below {ACCEPTANCE_AVAILABILITY}"
+        )
+    baseline = report.cells[report.cell_name(ACCEPTANCE_RATE)]["baseline"]
+    if baseline["failed"] != baseline["faults_injected"]:
+        return (
+            f"unprotected baseline failed {baseline['failed']} requests but "
+            f"{baseline['faults_injected']} faults were injected — they must match"
+        )
+    return ""
+
+
+def test_chaos_availability_and_equivalence(once):
+    report = once(_run, smoke=True, write=False)
+    print()
+    print(report.render())
+    assert _check(report) == ""
+    # The resilient side must not merely survive: it has to actually retry.
+    cell = report.cells[report.cell_name(ACCEPTANCE_RATE)]["resilient"]
+    assert cell["retries"] > 0
+    assert cell["faults_injected"] > 0
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    report = _run(smoke)
+    print(report.render())
+    print(f"wrote {_report_path()}")
+    error = _check(report)
+    if error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    # Validate the report round-trips as JSON.
+    with open(_report_path(), "r", encoding="utf-8") as handle:
+        json.load(handle)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

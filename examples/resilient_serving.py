@@ -1,0 +1,89 @@
+"""Resilient serving: transient backend faults, absorbed deterministically.
+
+A `FaultInjectingProvider` fails 15% of service calls with seeded rate
+limits, timeouts and outages. The unprotected stack surfaces every one of
+them; the same stack with ``resilience=True`` retries with capped
+exponential backoff (accounted as *simulated* latency — nothing sleeps),
+trips a per-model circuit breaker when a model keeps failing, and falls
+back to a cheaper model or a semantic-cache answer before ever raising.
+Because faults and backoff are seeded, every run of this script prints
+the same numbers.
+
+Run with:  python examples/resilient_serving.py
+"""
+
+from repro.core.cache import SemanticCache
+from repro.core.prompts.templates import qa_prompt
+from repro.datasets import generate_hotpot
+from repro.errors import TransientLLMError
+from repro.llm import FaultInjectingProvider, LLMClient
+from repro.llm.client import default_world
+from repro.serving import ResilienceConfig, build_stack, last_question_key
+
+FAULT_RATE = 0.15
+
+
+def flaky_client(seed: int = 3) -> FaultInjectingProvider:
+    return FaultInjectingProvider(LLMClient(), default_rate=FAULT_RATE, seed=seed)
+
+
+def main() -> None:
+    world = default_world()
+    examples = generate_hotpot(world, n=40, seed=13)
+    prompts = [qa_prompt(ex.question) for ex in examples]
+
+    # --- unprotected: every injected fault is a failed request -------------
+    bare = build_stack(flaky_client())
+    failures = 0
+    for prompt in prompts:
+        try:
+            bare.complete(prompt)
+        except TransientLLMError as error:
+            failures += 1
+            last = type(error).__name__
+    print(f"unprotected stack: {failures}/{len(prompts)} requests failed "
+          f"(last: {last})")
+
+    # --- resilient: same provider, same faults, zero surfaced failures -----
+    stack = build_stack(
+        flaky_client(),
+        cache=SemanticCache(reuse_threshold=0.9, augment_threshold=0.75),
+        cache_key_fn=last_question_key,
+        resilience=ResilienceConfig(
+            max_attempts=4,
+            backoff_base_ms=50.0,
+            backoff_cap_ms=1000.0,
+            fallback_models=("babbage-002",),
+        ),
+    )
+    print(f"pipeline:          {stack.describe()}")
+    completions = [stack.complete(p) for p in prompts]
+    recovered = [c for c in completions if "serving.resilience" in c.metadata]
+    print(f"resilient stack:   {len(completions)}/{len(prompts)} answered, "
+          f"{len(recovered)} after recovery")
+    for completion in recovered[:3]:
+        detail = completion.metadata["serving.resilience"]
+        print(f"  e.g. retries={detail['retries']} "
+              f"added {detail['added_ms']:.0f} ms simulated backoff")
+    print(stack.report())
+
+    # --- the breaker: hammer one dead model until it opens, watch it heal --
+    dead = FaultInjectingProvider(LLMClient(), rates={"gpt-4": 1.0}, seed=5)
+    guarded = build_stack(
+        dead,
+        resilience=ResilienceConfig(
+            breaker_threshold=3, breaker_cooldown=4, fallback_models=("babbage-002",)
+        ),
+    )
+    for i in range(6):
+        completion = guarded.complete("Question: What opened the breaker?", model="gpt-4")
+        print(f"  call {i}: answered by {completion.model:>12s}  "
+              f"breaker={guarded.provider.breaker_state('gpt-4')}")
+    snap = guarded.stats.snapshot()["resilience"]
+    print(f"breaker opens={snap['breaker_opens']} "
+          f"short-circuits={snap['breaker_short_circuits']} "
+          f"fallback answers={snap['fallback_model_answers']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,18 @@ This module also hosts the *serving* benchmark for the concurrent stack:
 * :func:`run_parallel_equivalence` — re-runs Table I/III with
   ``parallel=True`` at several submitter counts and demands byte-identical
   rendered output versus the serial run.
+
+And the *chaos* benchmark for the resilience layer:
+
+* :func:`run_chaos` — injects transient faults at several rates via
+  :class:`~repro.llm.faults.FaultInjectingProvider` and compares the
+  unprotected stack against one wrapped in
+  :class:`~repro.serving.resilience.ResilienceMiddleware`: availability,
+  simulated latency percentiles, recovery counters. At rate 0 it also
+  replays a workload through the *full* stack (cache + cascade + budget +
+  resilience over an armed-but-silent fault injector) and demands
+  bit-identical completions versus the stack without the failure model —
+  resilience must be free when nothing fails. Writes ``BENCH_chaos.json``.
 """
 
 from __future__ import annotations
@@ -50,14 +62,18 @@ from repro.core.cache import (
     SemanticCache,
 )
 from repro.core.prompts.selector import mmr_select, similarity_select
+from repro.errors import LLMError
 from repro.llm.client import Completion, LLMClient
 from repro.llm.embeddings import EmbeddingModel
-from repro.serving import ConcurrentStack, build_stack
+from repro.llm.faults import FaultInjectingProvider
+from repro.serving import ConcurrentStack, ResilienceConfig, build_stack
 
 DEFAULT_REPORT_PATH = "BENCH_hotpaths.json"
 SCHEMA = "repro.bench.hotpaths/v1"
 DEFAULT_SERVING_REPORT_PATH = "BENCH_serving.json"
 SERVING_SCHEMA = "repro.bench.serving/v1"
+DEFAULT_CHAOS_REPORT_PATH = "BENCH_chaos.json"
+CHAOS_SCHEMA = "repro.bench.chaos/v1"
 
 
 # ===========================================================================
@@ -912,3 +928,199 @@ def run_parallel_equivalence(
         "divergent": divergent,
         "diverged": len(divergent),
     }
+
+
+# ===========================================================================
+# Chaos: fault injection vs the resilience layer
+# ===========================================================================
+
+
+@dataclass
+class ChaosReport:
+    """Availability and latency under injected faults, both stacks.
+
+    ``cells`` maps ``rate_<pct>`` → ``{"baseline": {...}, "resilient":
+    {...}}``; all latency numbers are *simulated* milliseconds (the sum the
+    middleware accounts, including backoff), so the whole report is a
+    deterministic function of the seed."""
+
+    n_requests: int
+    fault_rates: List[float]
+    cells: Dict[str, Dict[str, Dict[str, object]]] = field(default_factory=dict)
+    equivalence: Dict[str, object] = field(default_factory=dict)
+
+    @staticmethod
+    def cell_name(rate: float) -> str:
+        return f"rate_{round(rate * 100):d}"
+
+    def availability(self, rate: float, side: str) -> float:
+        return float(self.cells[self.cell_name(rate)][side]["availability"])
+
+    def failure_rate(self, rate: float, side: str) -> float:
+        return 1.0 - self.availability(rate, side)
+
+    @property
+    def diverged(self) -> int:
+        return int(self.equivalence.get("diverged", -1))
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "schema": CHAOS_SCHEMA,
+            "n_requests": self.n_requests,
+            "fault_rates": self.fault_rates,
+            "cells": self.cells,
+            "equivalence": self.equivalence,
+        }
+
+    def write(self, path: str = DEFAULT_CHAOS_REPORT_PATH) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def render(self) -> str:
+        rows = []
+        for rate in self.fault_rates:
+            for side in ("baseline", "resilient"):
+                cell = self.cells[self.cell_name(rate)][side]
+                rows.append(
+                    (
+                        f"{rate:.0%}",
+                        side,
+                        f"{float(cell['availability']):.4f}",
+                        cell["failed"],
+                        cell["faults_injected"],
+                        cell["p50_ms"],
+                        cell["p95_ms"],
+                        cell.get("retries", "-"),
+                        cell.get("fallbacks", "-"),
+                    )
+                )
+        table = format_table(
+            [
+                "Fault rate",
+                "Stack",
+                "Availability",
+                "Failed",
+                "Injected",
+                "p50 ms",
+                "p95 ms",
+                "Retries",
+                "Fallbacks",
+            ],
+            rows,
+            title=f"Chaos sweep ({self.n_requests} requests per cell, simulated latency)",
+        )
+        return table + (
+            f"\nZero-fault equivalence: diverged={self.diverged} "
+            "(0 = resilience layer is free when nothing fails)"
+        )
+
+
+def _chaos_prompts(n: int, seed: int) -> List[str]:
+    # Distinct questions: every request reaches the provider, so the
+    # baseline's observed failure rate is the injected rate itself rather
+    # than rate x cache-miss-fraction.
+    return ["Question: " + query for query in make_queries(n, seed=seed)]
+
+
+def _drive_chaos(stack, prompts: Sequence[str]) -> Dict[str, object]:
+    latencies: List[float] = []
+    cost = 0.0
+    failed = 0
+    for prompt in prompts:
+        try:
+            completion = stack.complete(prompt)
+        except LLMError:
+            failed += 1
+            continue
+        latencies.append(completion.latency_ms)
+        cost += completion.cost
+    ordered = sorted(latencies)
+    return {
+        "requests": len(prompts),
+        "completed": len(latencies),
+        "failed": failed,
+        "availability": round(len(latencies) / max(len(prompts), 1), 6),
+        "p50_ms": round(_exact_percentile(ordered, 50), 3),
+        "p95_ms": round(_exact_percentile(ordered, 95), 3),
+        "mean_ms": round(sum(ordered) / max(len(ordered), 1), 3),
+        "cost_usd": round(cost, 6),
+    }
+
+
+def _chaos_equivalence(n_requests: int, seed: int) -> Dict[str, object]:
+    """Full stack, fault injector armed at rate 0 + resilience layer,
+    versus the same stack without either: completions must be identical."""
+
+    def full_stack(with_faults: bool):
+        client: object = LLMClient()
+        if with_faults:
+            client = FaultInjectingProvider(client, default_rate=0.0, seed=seed)
+        return build_stack(
+            client,
+            cache=SemanticCache(reuse_threshold=0.9, augment_threshold=0.75),
+            chain=("babbage-002", "gpt-3.5-turbo", "gpt-4"),
+            budget_usd=50.0,
+            resilience=with_faults,
+        )
+
+    prompts = _chaos_prompts(n_requests, seed + 7)
+    prompts = prompts + prompts[: max(1, n_requests // 4)]  # repeats: cache traffic
+    reference = full_stack(with_faults=False)
+    candidate = full_stack(with_faults=True)
+    diverged = sum(
+        1
+        for prompt in prompts
+        if reference.complete(prompt) != candidate.complete(prompt)
+    )
+    return {"requests": len(prompts), "diverged": diverged}
+
+
+def run_chaos(
+    n_requests: int = 300,
+    fault_rates: Sequence[float] = (0.0, 0.05, 0.15),
+    seed: int = 11,
+    equivalence_requests: int = 40,
+    config: Optional[ResilienceConfig] = None,
+    write_path: Optional[str] = None,
+) -> ChaosReport:
+    """Sweep injected-fault rates over the unprotected and resilient stacks.
+
+    Per rate, the same distinct-prompt stream is driven through (a) a bare
+    metrics stack over a :class:`FaultInjectingProvider` — every injected
+    fault is a failed request — and (b) the same provider wrapped in
+    :class:`~repro.serving.resilience.ResilienceMiddleware`. The report
+    records availability, simulated latency percentiles (backoff included),
+    dollar cost and the recovery counters, plus the zero-fault equivalence
+    check; all of it deterministic in ``seed``.
+    """
+    report = ChaosReport(n_requests=n_requests, fault_rates=[float(r) for r in fault_rates])
+    prompts = _chaos_prompts(n_requests, seed)
+    for rate in report.fault_rates:
+        cell: Dict[str, Dict[str, object]] = {}
+        for side in ("baseline", "resilient"):
+            provider = FaultInjectingProvider(
+                LLMClient(), default_rate=rate, seed=seed + 1
+            )
+            resilience = (config if config is not None else True) if side == "resilient" else None
+            stack = build_stack(provider, resilience=resilience)
+            outcome = _drive_chaos(stack, prompts)
+            outcome["faults_injected"] = provider.total_injected
+            if side == "resilient":
+                snapshot = stack.stats.snapshot()["resilience"]
+                outcome["retries"] = snapshot["retries"]
+                outcome["recoveries"] = snapshot["recoveries"]
+                outcome["backoff_ms"] = snapshot["backoff_ms"]
+                outcome["breaker_opens"] = snapshot["breaker_opens"]
+                outcome["breaker_short_circuits"] = snapshot["breaker_short_circuits"]
+                outcome["fallbacks"] = (
+                    snapshot["fallback_model_answers"] + snapshot["fallback_cache_answers"]
+                )
+                outcome["exhausted"] = snapshot["exhausted"]
+            cell[side] = outcome
+        report.cells[ChaosReport.cell_name(rate)] = cell
+    report.equivalence = _chaos_equivalence(equivalence_requests, seed)
+    if write_path is not None:
+        report.write(write_path)
+    return report

@@ -56,6 +56,21 @@ def render_service_stats(stats) -> str:
         rows.append(("budget", "limit ($)", budget["limit_usd"]))
         rows.append(("budget", "spent ($)", budget["spent_usd"]))
         rows.append(("budget", "rejections", budget["rejections"]))
+    resilience = snapshot.get("resilience", {})
+    if resilience.get("transient_errors") or resilience.get("breaker_short_circuits"):
+        rows.append(("resilience", "transient errors", resilience["transient_errors"]))
+        for kind, count in resilience["by_kind"].items():
+            rows.append(("resilience", f"  {kind}", count))
+        rows.append(("resilience", "retries", resilience["retries"]))
+        rows.append(("resilience", "recoveries", resilience["recoveries"]))
+        rows.append(("resilience", "backoff (ms)", resilience["backoff_ms"]))
+        rows.append(("resilience", "breaker opens", resilience["breaker_opens"]))
+        rows.append(("resilience", "breaker probes", resilience["breaker_probes"]))
+        rows.append(("resilience", "breaker closes", resilience["breaker_closes"]))
+        rows.append(("resilience", "short circuits", resilience["breaker_short_circuits"]))
+        rows.append(("resilience", "fallback model answers", resilience["fallback_model_answers"]))
+        rows.append(("resilience", "fallback cache answers", resilience["fallback_cache_answers"]))
+        rows.append(("resilience", "exhausted", resilience["exhausted"]))
     rows.append(("llm", "calls", llm["calls"]))
     rows.append(("llm", "prompt tokens", llm["prompt_tokens"]))
     rows.append(("llm", "completion tokens", llm["completion_tokens"]))

@@ -341,6 +341,26 @@ class SemanticCache:
             self.stats.misses += 1
             return CacheLookup(tier="miss")
 
+    def peek(self, query: str) -> CacheLookup:
+        """Read-only probe: the same tiering as :meth:`lookup`, but no
+        statistics, hit counters or eviction-clock updates — the serving
+        layer's degraded-answer fallback uses this so failure handling
+        never perturbs cache behavior."""
+        query_vec = self.embedder.embed(query)
+        with self._lock:
+            if not self.entries:
+                return CacheLookup(tier="miss")
+            best = self._best_match(query_vec)
+            if best is None:
+                return CacheLookup(tier="miss")
+            best_key, best_sim = best
+            best_entry = self.entries[best_key]
+            if best_sim >= self.reuse_threshold:
+                return CacheLookup(tier="reuse", entry=best_entry, similarity=best_sim)
+            if best_sim >= self.augment_threshold:
+                return CacheLookup(tier="augment", entry=best_entry, similarity=best_sim)
+            return CacheLookup(tier="miss")
+
     # ------------------------------------------------------------- updates
 
     def put(

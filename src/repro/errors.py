@@ -64,6 +64,37 @@ class BudgetExceededError(LLMError):
     """A spending cap configured on the client would be exceeded."""
 
 
+class TransientLLMError(LLMError):
+    """A service failure that a later retry may not reproduce.
+
+    Carries the simulated time the failed attempt burned (``latency_ms``)
+    and the model it targeted, so the resilience layer can account wasted
+    attempts into end-to-end latency without touching the wall clock.
+    """
+
+    def __init__(self, message: str, model: str = "", latency_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.model = model
+        self.latency_ms = latency_ms
+
+
+class RateLimitError(TransientLLMError):
+    """The service rejected the request for exceeding its rate limits."""
+
+
+class ServiceTimeoutError(TransientLLMError):
+    """The service did not answer within the request deadline."""
+
+
+class ServiceUnavailableError(TransientLLMError):
+    """The service is down or overloaded (HTTP 5xx analogue)."""
+
+
+class ResilienceExhaustedError(LLMError):
+    """Retries, fallback models and the cache all failed to produce an
+    answer — the typed end of the graceful-degradation chain."""
+
+
 class ValidationError(ReproError):
     """An LLM output failed validation (Section III-E)."""
 

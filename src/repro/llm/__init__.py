@@ -30,6 +30,7 @@ True
 
 from repro.llm.client import Completion, LLMClient, Usage, UsageMeter
 from repro.llm.embeddings import EmbeddingModel, embed_text
+from repro.llm.faults import FAULT_KINDS, FaultInjectingProvider, resolve_model_name
 from repro.llm.knowledge import Fact, KnowledgeBase
 from repro.llm.models import MODEL_REGISTRY, ModelSpec, get_model, list_models
 from repro.llm.provider import CompletionProvider, ReseedableProvider, make_client
@@ -39,7 +40,9 @@ __all__ = [
     "Completion",
     "CompletionProvider",
     "EmbeddingModel",
+    "FAULT_KINDS",
     "Fact",
+    "FaultInjectingProvider",
     "KnowledgeBase",
     "LLMClient",
     "MODEL_REGISTRY",
@@ -52,5 +55,6 @@ __all__ = [
     "embed_text",
     "get_model",
     "list_models",
+    "resolve_model_name",
     "tokenize_text",
 ]

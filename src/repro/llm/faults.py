@@ -1,0 +1,155 @@
+"""Deterministic fault injection for any completion provider.
+
+The simulated LLM service never fails, so the serving stack's failure
+handling (:mod:`repro.serving.resilience`) would otherwise be untestable
+and unbenchmarkable. :class:`FaultInjectingProvider` wraps any
+:class:`~repro.llm.provider.CompletionProvider` and injects
+:class:`~repro.errors.TransientLLMError` subclasses — rate limits,
+timeouts, unavailability — from a seeded per-request RNG at configurable
+per-model rates.
+
+Faults follow the library's determinism contract: whether a given
+``(seed, model, prompt)`` request faults, and with which error, is a pure
+function of that triple — replaying a workload replays its faults.
+``reseeded(offset)`` shifts the fault stream together with the inner
+provider's completion stream, which is what lets a retry through a
+reseeded sibling draw a *fresh* fault uniform and (usually) succeed.
+
+Injected errors carry a simulated ``latency_ms`` (the time the doomed
+attempt burned: a timeout costs the full deadline, a rate-limit rejection
+is near-instant), so resilience layers can account failure time into
+end-to-end latency without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro._util import stable_hash
+from repro.errors import RateLimitError, ServiceTimeoutError, ServiceUnavailableError
+from repro.llm.client import Completion
+
+#: Injectable fault kinds with the simulated milliseconds each one burns.
+FAULT_KINDS: List[tuple] = [
+    (RateLimitError, 5.0),  # rejected at the front door: near-instant
+    (ServiceTimeoutError, 1000.0),  # burned the whole request deadline
+    (ServiceUnavailableError, 50.0),  # connection refused / 503 after TLS
+]
+
+
+def resolve_model_name(provider: object, model: Optional[str]) -> str:
+    """The model a request will hit: the explicit ``model`` argument, else
+    the wrapped terminal client's default. Middleware layers delegate via
+    ``inner``, so walk the chain until something carries a default."""
+    if model is not None:
+        return model
+    node = provider
+    while node is not None:
+        default = getattr(node, "default_model", None)
+        if default is not None:
+            return getattr(default, "name", str(default))
+        node = getattr(node, "inner", None)
+    return "default"
+
+
+class FaultInjectingProvider:
+    """Wrap a provider; fail a deterministic fraction of its requests.
+
+    Parameters
+    ----------
+    inner:
+        The provider that answers the requests that survive injection.
+    rates:
+        Per-model fault probabilities, e.g. ``{"gpt-4": 0.15}``. Models not
+        listed fall back to ``default_rate``.
+    default_rate:
+        Fault probability for models without an explicit rate.
+    seed:
+        Shifts the fault stream (independently of the completion stream's
+        seed, but reseeded in lockstep by :meth:`reseeded`).
+    """
+
+    def __init__(
+        self,
+        inner: "object",
+        rates: Optional[Dict[str, float]] = None,
+        default_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if default_rate < 0.0 or default_rate > 1.0:
+            raise ValueError("default_rate must be in [0, 1]")
+        for name, rate in (rates or {}).items():
+            if rate < 0.0 or rate > 1.0:
+                raise ValueError(f"rate for {name!r} must be in [0, 1]")
+        self.inner = inner
+        self.rates = dict(rates or {})
+        self.default_rate = default_rate
+        self.seed = seed
+        # Injection tally, per error class name. Shared (same dict object)
+        # across reseeded siblings so a whole retry tree counts in one place.
+        self.injected: Dict[str, int] = {}
+        self._injected_lock = threading.Lock()
+
+    # ------------------------------------------------------------ injection
+
+    def rate_for(self, model: str) -> float:
+        return self.rates.get(model, self.default_rate)
+
+    def _maybe_inject(self, request_key: str, model: str) -> None:
+        rate = self.rate_for(model)
+        if rate <= 0.0:
+            return
+        h = stable_hash(f"fault|{self.seed}|{model}|{request_key}")
+        rng = np.random.default_rng(h)
+        if float(rng.random()) >= rate:
+            return
+        kind, latency_ms = FAULT_KINDS[int(rng.integers(0, len(FAULT_KINDS)))]
+        with self._injected_lock:
+            self.injected[kind.__name__] = self.injected.get(kind.__name__, 0) + 1
+        raise kind(
+            f"injected {kind.__name__} for model {model}",
+            model=model,
+            latency_ms=latency_ms,
+        )
+
+    @property
+    def total_injected(self) -> int:
+        with self._injected_lock:
+            return sum(self.injected.values())
+
+    # ------------------------------------------------------------ provider API
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
+        self._maybe_inject(prompt, resolve_model_name(self.inner, model))
+        return self.inner.complete(prompt, model=model)
+
+    def complete_batch(
+        self,
+        shared_prefix: str,
+        items: List[str],
+        model: Optional[str] = None,
+    ) -> List[Completion]:
+        # One combined request, one fault draw: the whole batch fails or none.
+        key = "batch|" + shared_prefix + "|" + "|".join(items)
+        self._maybe_inject(key, resolve_model_name(self.inner, model))
+        return self.inner.complete_batch(shared_prefix, items, model=model)
+
+    def embed(self, text: str) -> np.ndarray:
+        return self.inner.embed(text)
+
+    def reseeded(self, offset: int) -> "FaultInjectingProvider":
+        """A sibling whose fault *and* completion streams are shifted by
+        ``offset``; the injection tally stays shared."""
+        sibling = FaultInjectingProvider.__new__(FaultInjectingProvider)
+        sibling.inner = (
+            self.inner.reseeded(offset) if hasattr(self.inner, "reseeded") else self.inner
+        )
+        sibling.rates = self.rates
+        sibling.default_rate = self.default_rate
+        sibling.seed = self.seed + offset
+        sibling.injected = self.injected
+        sibling._injected_lock = self._injected_lock
+        return sibling

@@ -23,6 +23,13 @@ For traffic from many threads, :class:`ConcurrentStack` puts the
 micro-batching :class:`BatchingScheduler` in front of any stack:
 ``submit()`` returns futures that resolve in submission order, and with
 one dispatch worker a concurrent run is bit-identical to the serial loop.
+
+Backends fail; :class:`ResilienceMiddleware` (``resilience=True`` in
+:func:`build_stack`) absorbs :class:`~repro.errors.TransientLLMError`
+failures with deterministic capped backoff, per-model circuit breakers
+and a graceful-degradation fallback chain — see
+:mod:`repro.serving.resilience` and the chaos benchmark in
+:mod:`repro.bench.perf`.
 """
 
 from repro.llm.provider import CompletionProvider, ReseedableProvider, make_client
@@ -36,6 +43,7 @@ from repro.serving.middleware import (
     SemanticCacheMiddleware,
     last_question_key,
 )
+from repro.serving.resilience import ResilienceConfig, ResilienceMiddleware
 from repro.serving.scheduler import BatchingScheduler, shared_prefix
 from repro.serving.stack import ServingStack, build_stack
 from repro.serving.stats import LatencyHistogram, ServiceStats
@@ -50,6 +58,8 @@ __all__ = [
     "MetricsMiddleware",
     "Middleware",
     "ReseedableProvider",
+    "ResilienceConfig",
+    "ResilienceMiddleware",
     "RetryMiddleware",
     "SemanticCacheMiddleware",
     "ServiceStats",

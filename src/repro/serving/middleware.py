@@ -262,6 +262,11 @@ class RetryMiddleware(Middleware):
     deterministic as everything else. The best completion by confidence is
     returned if no redraw is accepted; inner providers that cannot reseed
     are retried once at most (an identical redraw proves nothing).
+
+    Like the cascade, the returned completion's usage, cost and latency are
+    summed over *every* attempt, so outer layers (the budget ceiling, the
+    cache's ``cost_of_miss``) account the true price of the redraws rather
+    than just the winning draw's.
     """
 
     def __init__(
@@ -295,11 +300,13 @@ class RetryMiddleware(Middleware):
         if self._acceptable(completion):
             return completion
         best = completion
+        attempts = [completion]
         retries = 0
         for attempt in range(1, self.max_retries + 1):
             reseedable = hasattr(self.inner, "reseeded")
             provider = self.inner.reseeded(attempt * self.seed_step) if reseedable else self.inner
             redraw = provider.complete(prompt, model=model)
+            attempts.append(redraw)
             retries += 1
             with self.stats.lock:
                 self.stats.retries += 1
@@ -314,7 +321,28 @@ class RetryMiddleware(Middleware):
                 break
         metadata = dict(best.metadata)
         metadata["serving.retries"] = retries
-        return best.with_usage(best.usage, best.cost, metadata=metadata)
+        return best.with_usage(
+            Usage(
+                prompt_tokens=sum(a.usage.prompt_tokens for a in attempts),
+                completion_tokens=sum(a.usage.completion_tokens for a in attempts),
+            ),
+            sum(a.cost for a in attempts),
+            latency_ms=sum(a.latency_ms for a in attempts),
+            metadata=metadata,
+        )
+
+    def complete_batch(
+        self,
+        shared_prefix: str,
+        items: List[str],
+        model: Optional[str] = None,
+    ) -> List[Completion]:
+        """Pass batches through **without validation or redraws**: a
+        shared-prefix batch is one combined request, so re-drawing a single
+        rejected item would re-pay the whole prefix and skew the batch's
+        net-cost accounting. Callers that need per-item validation should
+        complete items individually."""
+        return self.inner.complete_batch(shared_prefix, items, model=model)
 
 
 class BudgetMiddleware(Middleware):
@@ -327,6 +355,12 @@ class BudgetMiddleware(Middleware):
     most one call per in-flight thread can overshoot, by at most its own
     cost (the ledger is locked, but the check cannot cover a call whose
     price is unknown until it returns).
+
+    The ledger lives in a holder shared by every ``reseeded`` sibling, so
+    redraws through a seed-shifted clone (validation retries, resilience
+    recoveries) charge the *same* ledger — and it survives
+    :meth:`~repro.serving.stats.ServiceStats.reset`, which re-publishes
+    the live spend instead of reporting zero until the next charge.
     """
 
     def __init__(
@@ -339,29 +373,45 @@ class BudgetMiddleware(Middleware):
             raise ValueError("budget_usd must be non-negative")
         super().__init__(inner, stats)
         self.budget_usd = budget_usd
-        self.spent_usd = 0.0
+        # One-slot holder rather than a bare float: Middleware.reseeded
+        # shallow-copies the layer, and clones must share the ledger.
+        self._ledger = {"spent": 0.0}
         self._ledger_lock = threading.Lock()
         self.stats.budget_limit_usd = budget_usd
+        self.stats.register_reset_hook(self._republish)
+
+    @property
+    def spent_usd(self) -> float:
+        return self._ledger["spent"]
 
     def remaining(self) -> float:
         with self._ledger_lock:
-            return max(0.0, self.budget_usd - self.spent_usd)
+            return max(0.0, self.budget_usd - self._ledger["spent"])
+
+    def _republish(self) -> None:
+        """Re-sync the stats view of the ledger (runs after stats.reset)."""
+        with self._ledger_lock:
+            spent = self._ledger["spent"]
+        with self.stats.lock:
+            self.stats.budget_limit_usd = self.budget_usd
+            self.stats.budget_spent_usd = spent
 
     def _check(self) -> None:
         with self._ledger_lock:
-            if self.spent_usd >= self.budget_usd:
+            spent = self._ledger["spent"]
+            if spent >= self.budget_usd:
                 with self.stats.lock:
                     self.stats.budget_rejections += 1
                 raise BudgetExceededError(
                     f"serving budget ${self.budget_usd:.4f} exhausted "
-                    f"(spent ${self.spent_usd:.4f})"
+                    f"(spent ${spent:.4f})"
                 )
 
     def _charge(self, cost: float) -> None:
         with self._ledger_lock:
-            self.spent_usd += cost
+            self._ledger["spent"] += cost
             with self.stats.lock:
-                self.stats.budget_spent_usd = self.spent_usd
+                self.stats.budget_spent_usd = self._ledger["spent"]
 
     def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
         self._check()

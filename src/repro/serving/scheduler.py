@@ -72,6 +72,10 @@ class _Request:
     prompt: str
     model: Optional[str]
     future: "Future[Completion]" = field(default_factory=Future)
+    # Stamped at submission: the max_wait_ms flush deadline counts from
+    # here, not from when the collector drains the request into a batch —
+    # a request that sat behind an explicit-index gap has already waited.
+    enqueued_at: float = field(default_factory=time.monotonic)
 
 
 class BatchingScheduler:
@@ -85,7 +89,9 @@ class BatchingScheduler:
     max_batch_size:
         Flush a batch as soon as it holds this many requests.
     max_wait_ms:
-        Flush a partial batch once its oldest request has waited this long.
+        Flush a partial batch once its oldest request has waited this long
+        since *submission* — time spent parked behind an explicit-index
+        gap counts toward the deadline, not just time in the batch.
     workers:
         Dispatcher threads. ``1`` (default) executes batches strictly in
         submission order — the deterministic mode; larger values overlap
@@ -267,10 +273,16 @@ class BatchingScheduler:
             while True:
                 # Drain contiguously from the reorder buffer.
                 while len(batch) < self.max_batch_size and self._next_dispatch in self._pending:
-                    batch.append(self._pending.pop(self._next_dispatch))
+                    request = self._pending.pop(self._next_dispatch)
+                    batch.append(request)
                     self._next_dispatch += 1
-                    if deadline is None:
-                        deadline = time.monotonic() + self.max_wait_ms / 1000.0
+                    # Deadline counts from the oldest *submission* in the
+                    # batch (not from drain time), as the flush contract
+                    # promises; submission times need not be in index
+                    # order, hence the min.
+                    candidate = request.enqueued_at + self.max_wait_ms / 1000.0
+                    if deadline is None or candidate < deadline:
+                        deadline = candidate
                     self._not_full.notify()
                 if len(batch) >= self.max_batch_size:
                     return batch  # flush on size

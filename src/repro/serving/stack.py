@@ -2,7 +2,7 @@
 
 :func:`build_stack` wires the standard layer order
 
-    cache → cascade → retry → budget → metrics → client
+    cache → cascade → retry → resilience → budget → metrics → client
 
 installing only the layers asked for, and shares one
 :class:`~repro.serving.stats.ServiceStats` across all of them. The result
@@ -30,6 +30,7 @@ from repro.serving.middleware import (
     RetryMiddleware,
     SemanticCacheMiddleware,
 )
+from repro.serving.resilience import ResilienceConfig, ResilienceMiddleware
 from repro.serving.stats import ServiceStats
 
 
@@ -96,6 +97,7 @@ def build_stack(
     min_confidence: Optional[float] = None,
     validator: Optional[Callable[[Completion], bool]] = None,
     budget_usd: Optional[float] = None,
+    resilience: Union[ResilienceConfig, bool, None] = None,
     stats: Optional[ServiceStats] = None,
 ) -> ServingStack:
     """Assemble a serving stack over ``client`` with the requested layers.
@@ -103,17 +105,41 @@ def build_stack(
     Parameters mirror the middleware constructors: pass ``cache=True`` (or
     a configured :class:`SemanticCache`) for the cache layer, a model
     ``chain`` (and optional ``decision_models``) for the cascade,
-    ``max_retries`` with ``min_confidence``/``validator`` for retries, and
-    ``budget_usd`` for the spend ceiling. The metrics layer is always
-    installed so ``stats`` reflects the terminal traffic.
+    ``max_retries`` with ``min_confidence``/``validator`` for retries,
+    ``budget_usd`` for the spend ceiling, and ``resilience=True`` (or a
+    :class:`~repro.serving.resilience.ResilienceConfig`) for transient-
+    failure handling — backoff retries, per-model circuit breakers and
+    the graceful-degradation fallback chain. When both the cache and
+    resilience layers are installed, the resilience layer's last-resort
+    fallback reads (without mutating) the same semantic cache. The metrics
+    layer is always installed so ``stats`` reflects the terminal traffic.
     """
+    if max_retries > 0 and min_confidence is None and validator is None:
+        raise ValueError(
+            "max_retries > 0 needs min_confidence or validator — with no "
+            "acceptance criterion no retry layer would be installed"
+        )
     stats = stats if stats is not None else ServiceStats()
+    cache_obj: Optional[SemanticCache] = None
+    if isinstance(cache, SemanticCache):
+        cache_obj = cache
+    elif cache is not None and cache is not False:
+        cache_obj = SemanticCache()
     layers: List[str] = [type(client).__name__, "metrics"]
     provider: CompletionProvider = MetricsMiddleware(client, stats=stats)
     if budget_usd is not None:
         provider = BudgetMiddleware(provider, budget_usd, stats=stats)
         layers.append("budget")
-    if max_retries > 0 and (min_confidence is not None or validator is not None):
+    if resilience:
+        provider = ResilienceMiddleware(
+            provider,
+            config=resilience if isinstance(resilience, ResilienceConfig) else None,
+            fallback_cache=cache_obj,
+            cache_key_fn=cache_key_fn,
+            stats=stats,
+        )
+        layers.append("resilience")
+    if max_retries > 0:
         provider = RetryMiddleware(
             provider,
             max_retries=max_retries,
@@ -130,12 +156,10 @@ def build_stack(
             stats=stats,
         )
         layers.append("cascade")
-    # NB: an empty SemanticCache is len()==0 and therefore falsy — test
-    # identity, not truthiness.
-    if cache is not None and cache is not False:
+    if cache_obj is not None:
         provider = SemanticCacheMiddleware(
             provider,
-            cache=cache if isinstance(cache, SemanticCache) else None,
+            cache=cache_obj,
             key_fn=cache_key_fn,
             cache_kind=cache_kind,
             stats=stats,

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.llm.client import Usage
 
@@ -133,6 +133,20 @@ class ServiceStats:
     budget_spent_usd: float = 0.0
     budget_rejections: int = 0
 
+    # Resilience layer (repro.serving.resilience): failure handling.
+    transient_errors: int = 0
+    transient_errors_by_kind: Dict[str, int] = field(default_factory=dict)
+    resilience_retries: int = 0
+    resilience_recoveries: int = 0  # requests saved by a backoff retry
+    backoff_ms: float = 0.0  # simulated backoff + wasted-attempt time
+    breaker_opens: int = 0
+    breaker_probes: int = 0  # half-open trial requests let through
+    breaker_closes: int = 0
+    breaker_short_circuits: int = 0  # requests fast-failed to fallback
+    fallback_model_answers: int = 0
+    fallback_cache_answers: int = 0
+    resilience_exhausted: int = 0  # typed error: every recovery failed
+
     # Scheduler (repro.serving.scheduler): coalescing behavior under load.
     scheduler_submitted: int = 0
     scheduler_completed: int = 0
@@ -145,6 +159,13 @@ class ServiceStats:
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
+    # Layers holding authoritative state outside this object (the budget
+    # ledger) register a hook here; `reset()` calls the hooks after zeroing
+    # so published counters re-sync with enforcement instead of silently
+    # desyncing until the next update.
+    _reset_hooks: List[Callable[[], None]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------ locking
 
@@ -152,6 +173,14 @@ class ServiceStats:
     def lock(self) -> threading.RLock:
         """The stats lock; middleware holds it around counter updates."""
         return self._lock
+
+    def register_reset_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` after every :meth:`reset` (outside the stats lock),
+        so a layer can re-publish externally held state — e.g. the budget
+        middleware re-publishes its ledger, keeping reports in sync with
+        enforcement across resets."""
+        with self._lock:
+            self._reset_hooks.append(hook)
 
     # ------------------------------------------------------------ recording
 
@@ -253,6 +282,20 @@ class ServiceStats:
                     "spent_usd": round(self.budget_spent_usd, 6),
                     "rejections": self.budget_rejections,
                 },
+                "resilience": {
+                    "transient_errors": self.transient_errors,
+                    "by_kind": dict(sorted(self.transient_errors_by_kind.items())),
+                    "retries": self.resilience_retries,
+                    "recoveries": self.resilience_recoveries,
+                    "backoff_ms": round(self.backoff_ms, 3),
+                    "breaker_opens": self.breaker_opens,
+                    "breaker_probes": self.breaker_probes,
+                    "breaker_closes": self.breaker_closes,
+                    "breaker_short_circuits": self.breaker_short_circuits,
+                    "fallback_model_answers": self.fallback_model_answers,
+                    "fallback_cache_answers": self.fallback_cache_answers,
+                    "exhausted": self.resilience_exhausted,
+                },
                 "scheduler": {
                     "submitted": self.scheduler_submitted,
                     "completed": self.scheduler_completed,
@@ -268,13 +311,24 @@ class ServiceStats:
             }
 
     def reset(self) -> None:
-        """Zero every counter (budget limit included); the lock survives."""
+        """Zero every counter; the lock and registered hooks survive.
+
+        Layers holding authoritative state elsewhere (see
+        :meth:`register_reset_hook`) then re-publish it, so e.g.
+        ``budget_spent_usd`` reflects the live ledger — which resets do
+        *not* clear — rather than reading zero until the next charge."""
         fresh = ServiceStats()
         with self._lock:
             for name in fresh.__dataclass_fields__:
-                if name == "_lock":
+                if name in ("_lock", "_reset_hooks"):
                     continue
                 setattr(self, name, getattr(fresh, name))
+            hooks = list(self._reset_hooks)
+        # Outside the stats lock: hooks take their own layer locks, and the
+        # charge path acquires (layer lock -> stats lock) — holding the
+        # stats lock here would invert that order and risk deadlock.
+        for hook in hooks:
+            hook()
 
     def render(self) -> str:
         """Human-readable per-layer report (rendered by the bench layer)."""

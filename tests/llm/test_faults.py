@@ -1,0 +1,144 @@
+"""Deterministic fault injection: seeded draws, per-model rates, reseeding."""
+
+import pytest
+
+from repro.errors import (
+    RateLimitError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+    TransientLLMError,
+)
+from repro.llm import FAULT_KINDS, FaultInjectingProvider, LLMClient, resolve_model_name
+
+PROMPTS = [f"Question: what is item {i}?" for i in range(60)]
+
+
+def failing_prompts(provider):
+    failed = []
+    for prompt in PROMPTS:
+        try:
+            provider.complete(prompt)
+        except TransientLLMError:
+            failed.append(prompt)
+    return failed
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identical_faults(self):
+        first = FaultInjectingProvider(LLMClient(), default_rate=0.2, seed=9)
+        second = FaultInjectingProvider(LLMClient(), default_rate=0.2, seed=9)
+        assert failing_prompts(first) == failing_prompts(second)
+        assert first.injected == second.injected
+        assert first.total_injected > 0
+
+    def test_fault_kind_and_latency_are_stable(self):
+        provider = FaultInjectingProvider(LLMClient(), default_rate=1.0, seed=3)
+        kinds = dict(FAULT_KINDS)
+        with pytest.raises(TransientLLMError) as excinfo:
+            provider.complete(PROMPTS[0])
+        first = excinfo.value
+        assert first.latency_ms == kinds[type(first)]
+        assert first.model == "gpt-3.5-turbo"  # the client's default model
+        with pytest.raises(type(first)):  # same prompt, same kind, every time
+            provider.complete(PROMPTS[0])
+
+    def test_different_seeds_draw_different_fault_sets(self):
+        a = FaultInjectingProvider(LLMClient(), default_rate=0.2, seed=1)
+        b = FaultInjectingProvider(LLMClient(), default_rate=0.2, seed=2)
+        assert failing_prompts(a) != failing_prompts(b)
+
+    def test_rate_zero_is_invisible(self):
+        provider = FaultInjectingProvider(LLMClient(), default_rate=0.0, seed=5)
+        bare = LLMClient()
+        for prompt in PROMPTS[:5]:
+            assert provider.complete(prompt) == bare.complete(prompt)
+        assert provider.total_injected == 0
+
+    def test_observed_rate_tracks_configured_rate(self):
+        provider = FaultInjectingProvider(LLMClient(), default_rate=0.15, seed=11)
+        observed = len(failing_prompts(provider)) / len(PROMPTS)
+        assert abs(observed - 0.15) < 0.1
+
+
+class TestPerModelRates:
+    def test_only_the_listed_model_faults(self):
+        provider = FaultInjectingProvider(
+            LLMClient(), rates={"gpt-4": 1.0}, default_rate=0.0, seed=0
+        )
+        provider.complete(PROMPTS[0], model="babbage-002")  # fine
+        with pytest.raises(TransientLLMError) as excinfo:
+            provider.complete(PROMPTS[0], model="gpt-4")
+        assert excinfo.value.model == "gpt-4"
+        assert provider.rate_for("gpt-4") == 1.0
+        assert provider.rate_for("babbage-002") == 0.0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjectingProvider(LLMClient(), default_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjectingProvider(LLMClient(), rates={"gpt-4": -0.1})
+
+
+class TestBatches:
+    def test_batch_faults_as_a_unit(self):
+        provider = FaultInjectingProvider(LLMClient(), default_rate=1.0, seed=0)
+        with pytest.raises(TransientLLMError):
+            provider.complete_batch("Prefix.\n", ["Question: A?", "Question: B?"])
+        assert provider.total_injected == 1  # one draw for the whole batch
+
+    def test_surviving_batch_is_untouched(self):
+        provider = FaultInjectingProvider(LLMClient(), default_rate=0.0, seed=0)
+        bare = LLMClient()
+        items = ["Question: A?", "Question: B?"]
+        assert provider.complete_batch("P.\n", items) == bare.complete_batch("P.\n", items)
+
+
+class TestReseeded:
+    def test_reseeded_shifts_the_fault_stream(self):
+        provider = FaultInjectingProvider(LLMClient(), default_rate=0.25, seed=7)
+        sibling = provider.reseeded(1)
+        assert sibling.seed == provider.seed + 1
+        assert failing_prompts(provider) != failing_prompts(sibling)
+
+    def test_reseeded_sibling_shares_the_tally(self):
+        provider = FaultInjectingProvider(LLMClient(), default_rate=1.0, seed=7)
+        sibling = provider.reseeded(1)
+        with pytest.raises(TransientLLMError):
+            provider.complete(PROMPTS[0])
+        with pytest.raises(TransientLLMError):
+            sibling.complete(PROMPTS[0])
+        assert provider.total_injected == 2
+        assert provider.injected is sibling.injected
+
+    def test_reseeded_shifts_the_inner_provider_too(self):
+        provider = FaultInjectingProvider(LLMClient(), default_rate=0.0, seed=0)
+        sibling = provider.reseeded(3)
+        assert sibling.inner.seed == provider.inner.seed + 3
+
+    def test_embed_passes_through(self):
+        provider = FaultInjectingProvider(LLMClient(), default_rate=1.0, seed=0)
+        assert (provider.embed("hello") == LLMClient().embed("hello")).all()
+
+
+class TestResolveModelName:
+    def test_explicit_model_wins(self):
+        assert resolve_model_name(LLMClient(), "gpt-4") == "gpt-4"
+
+    def test_walks_the_middleware_chain_to_the_client_default(self):
+        from repro.serving import MetricsMiddleware, ServiceStats
+
+        stats = ServiceStats()
+        stacked = MetricsMiddleware(
+            LLMClient(model="babbage-002"), stats=stats
+        )
+        assert resolve_model_name(stacked, None) == "babbage-002"
+
+    def test_no_default_anywhere_falls_back(self):
+        assert resolve_model_name(object(), None) == "default"
+
+
+def test_error_hierarchy():
+    for cls in (RateLimitError, ServiceTimeoutError, ServiceUnavailableError):
+        assert issubclass(cls, TransientLLMError)
+    error = RateLimitError("429", model="gpt-4", latency_ms=5.0)
+    assert (error.model, error.latency_ms) == ("gpt-4", 5.0)

@@ -176,6 +176,48 @@ class TestRetryMiddleware:
         assert stats.retry_requests == 1
         assert stats.retries == 0
 
+    def test_usage_and_cost_aggregate_over_all_attempts(self, examples):
+        # Regression: the retry layer used to return only the best draw's
+        # usage/cost, hiding the redraw price from budget/metrics above it.
+        prompt = qa_prompt(examples[5].question)
+        retry = RetryMiddleware(
+            LLMClient(model="babbage-002", seed=0), max_retries=2, min_confidence=1.01
+        )
+        best = retry.complete(prompt)
+        draws = [
+            LLMClient(model="babbage-002", seed=offset).complete(prompt)
+            for offset in (0, 1, 2)
+        ]
+        assert best.cost == pytest.approx(sum(d.cost for d in draws))
+        assert best.usage.prompt_tokens == sum(d.usage.prompt_tokens for d in draws)
+        assert best.usage.completion_tokens == sum(d.usage.completion_tokens for d in draws)
+        assert best.latency_ms == pytest.approx(sum(d.latency_ms for d in draws))
+        # The *content* is still the single best draw's.
+        winner = max(draws, key=lambda d: d.confidence)
+        assert (best.text, best.confidence) == (winner.text, winner.confidence)
+
+    def test_single_accepted_draw_charges_exactly_once(self, examples):
+        prompt = qa_prompt(examples[0].question)
+        retry = RetryMiddleware(LLMClient(), max_retries=3, min_confidence=0.0)
+        assert retry.complete(prompt) == LLMClient().complete(prompt)
+
+    def test_batches_bypass_validation_and_redraws(self):
+        # Pins the documented contract: complete_batch never validates, so
+        # a reject-everything validator must not trigger a single redraw.
+        stats = ServiceStats()
+        client = LLMClient()
+        retry = RetryMiddleware(
+            client, max_retries=3, validator=lambda completion: False, stats=stats
+        )
+        items = ["Question: A?", "Question: B?"]
+        via_retry = retry.complete_batch("Shared prefix.\n", items)
+        direct = LLMClient().complete_batch("Shared prefix.\n", items)
+        assert via_retry == direct
+        assert stats.retries == 0
+        assert stats.retry_requests == 0
+        assert client.meter.calls == len(items)  # no redraw traffic
+        assert "without validation" in RetryMiddleware.complete_batch.__doc__
+
 
 class TestBudgetMiddleware:
     def test_ceiling_enforced_between_calls(self, examples):
@@ -191,6 +233,33 @@ class TestBudgetMiddleware:
     def test_negative_budget_rejected(self):
         with pytest.raises(ValueError):
             BudgetMiddleware(LLMClient(), budget_usd=-1.0)
+
+    def test_reset_republishes_the_ledger(self, examples):
+        # Regression: stats.reset() used to zero budget_spent_usd while the
+        # middleware's own ledger kept counting — the snapshot under-reported
+        # spend until the next charge.
+        stats = ServiceStats()
+        budget = BudgetMiddleware(LLMClient(), budget_usd=5.0, stats=stats)
+        budget.complete(qa_prompt(examples[0].question))
+        spent = budget.spent_usd
+        assert spent > 0.0
+        stats.reset()
+        assert budget.spent_usd == pytest.approx(spent)  # ledger survives
+        assert stats.budget_spent_usd == pytest.approx(spent)  # and is re-published
+        assert stats.budget_limit_usd == 5.0
+        snapshot = stats.snapshot()["budget"]
+        assert snapshot["spent_usd"] == pytest.approx(spent)
+
+    def test_reseeded_clones_share_one_ledger(self, examples):
+        # Regression: reseeded siblings (how the retry layer redraws) used
+        # to carry a copied spend float, so redraw charges escaped the
+        # original's ceiling.
+        stats = ServiceStats()
+        budget = BudgetMiddleware(LLMClient(), budget_usd=5.0, stats=stats)
+        sibling = budget.reseeded(1)
+        sibling.complete(qa_prompt(examples[1].question))
+        assert budget.spent_usd == pytest.approx(sibling.spent_usd)
+        assert budget.spent_usd > 0.0
 
 
 class TestMetricsMiddleware:

@@ -83,6 +83,26 @@ class TestBatchingScheduler:
                 future.result(timeout=10)
             assert stats.scheduler_batch_sizes == {3: 1}
 
+    def test_wait_deadline_counts_from_submission_not_drain(self):
+        # Regression: the flush deadline used to start when the collector
+        # drained a request into a batch, so a request parked behind an
+        # explicit-index gap waited max_wait_ms *twice* — once for the gap,
+        # once for the batch clock.
+        provider = RecordingProvider()
+        with BatchingScheduler(
+            provider, max_batch_size=100, max_wait_ms=600.0
+        ) as scheduler:
+            base = scheduler.reserve(2)
+            parked = scheduler.submit("Question: parked behind a gap?", index=base + 1)
+            time.sleep(0.7)  # the parked request's deadline expires here
+            start = time.perf_counter()
+            filler = scheduler.submit("Question: fills the gap?", index=base)
+            parked.result(timeout=10)
+            filler.result(timeout=10)
+            elapsed = time.perf_counter() - start
+        # With the bug the partial batch would sit out a fresh 600 ms wait.
+        assert elapsed < 0.45
+
     def test_empty_queue_shutdown(self):
         scheduler = BatchingScheduler(RecordingProvider())
         scheduler.close()

@@ -91,6 +91,7 @@ class TestComposedStack:
             "cascade",
             "retry",
             "budget",
+            "resilience",
             "scheduler",
         }
         assert snapshot["llm"]["calls"] == stack.stats.llm_calls
@@ -118,6 +119,39 @@ class TestComposedStack:
     def test_cache_true_installs_default_cache(self):
         stack = build_stack(LLMClient(), cache=True)
         assert stack.describe() == "cache -> metrics -> LLMClient"
+
+    def test_retries_without_acceptance_criterion_rejected(self):
+        # Regression: max_retries used to be silently dropped when neither
+        # min_confidence nor validator was given — the caller believed they
+        # had a retry layer and had none.
+        with pytest.raises(ValueError, match="min_confidence or validator"):
+            build_stack(LLMClient(), max_retries=3)
+
+    def test_retries_with_criterion_accepted(self):
+        stack = build_stack(LLMClient(), max_retries=3, min_confidence=0.5)
+        assert stack.describe() == "retry -> metrics -> LLMClient"
+
+    def test_resilience_layer_position(self):
+        from repro.serving import ResilienceConfig
+
+        stack = build_stack(
+            LLMClient(),
+            cache=True,
+            chain=("babbage-002", "gpt-4"),
+            max_retries=1,
+            min_confidence=0.0,
+            budget_usd=5.0,
+            resilience=ResilienceConfig(),
+        )
+        assert stack.describe() == (
+            "cache -> cascade -> retry -> resilience -> budget -> metrics -> LLMClient"
+        )
+
+    def test_resilience_fallback_shares_the_stack_cache(self):
+        cache = SemanticCache()
+        stack = build_stack(LLMClient(), cache=cache, resilience=True)
+        resilience = stack.provider.inner  # cache -> resilience -> ...
+        assert resilience.fallback_cache is cache
 
 
 class TestAppsIntegration:
