@@ -36,13 +36,16 @@ from repro.bench.perf import (
     run_hotpaths,
 )
 from repro.bench.reporting import format_table
+from repro.bench.semsql import SemanticSQLReport, run_semantic_sql
 
 __all__ = [
     "HotpathReport",
     "LinearScanAdmission",
     "LinearScanCache",
+    "SemanticSQLReport",
     "run_equivalence",
     "run_hotpaths",
+    "run_semantic_sql",
     "Fig1Result",
     "Fig2Result",
     "Fig3Result",

@@ -1124,3 +1124,13 @@ def run_chaos(
     if write_path is not None:
         report.write(write_path)
     return report
+
+
+# Semantic-SQL benchmark lives in its own module; re-exported here so the
+# perf surface stays one import (matching the hotpaths/serving/chaos runs).
+from repro.bench.semsql import (  # noqa: E402
+    DEFAULT_SEMSQL_REPORT_PATH,
+    SEMSQL_SCHEMA,
+    SemanticSQLReport,
+    run_semantic_sql,
+)

@@ -109,6 +109,7 @@ def default_engines() -> List[Engine]:
     from repro.llm.engines.patterns import PatternMineEngine
     from repro.llm.engines.qa import QAEngine
     from repro.llm.engines.regress import ValuePredictEngine
+    from repro.llm.engines.semantic_ops import FieldExtractEngine, SemanticPredicateEngine
     from repro.llm.engines.summarize import SummarizeEngine
     from repro.llm.engines.transform import TableExtractEngine
 
@@ -119,6 +120,8 @@ def default_engines() -> List[Engine]:
         SchemaMatchEngine(),
         ColumnTypeEngine(),
         LabelInferEngine(),
+        SemanticPredicateEngine(),
+        FieldExtractEngine(),
         ValuePredictEngine(),
         TableExtractEngine(),
         PatternMineEngine(),

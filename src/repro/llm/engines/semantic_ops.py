@@ -1,0 +1,183 @@
+"""Engines backing the SQL semantic operators (SEMANTIC_FILTER / LLM_EXTRACT).
+
+``repro.sqldb.semantic`` renders semantic-operator prompts from fixed
+templates; these engines recognize those templates and derive genuine
+answers so the simulated model behaves like an LLM predicate, not an
+oracle: borderline predicates are *hard* (difficulty tracks the decision
+boundary), and the capability model can still flip answers for weak
+models. MATCHES(...) and LLM_CLASSIFY(...) reuse the existing
+:class:`~repro.llm.engines.match.EntityMatchEngine` and
+:class:`~repro.llm.engines.classify.ColumnTypeEngine` prompt contracts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro._util import normalize_text, words
+from repro.llm.engines.base import (
+    Engine,
+    EngineResult,
+    TaskContext,
+    count_examples,
+    difficulty_jitter,
+)
+
+_FILTER_RE = re.compile(
+    r"(?is)predicate\s*:\s*(.+?)\n\s*value\s*:\s*(.+?)(?:\n\s*answer|\Z)"
+)
+_EXTRACT_RE = re.compile(
+    r"(?is)extract the\s+(.+?)\s+from the record.*?\n\s*record\s*:\s*(.+?)(?:\n\s*answer|\Z)"
+)
+
+# Instruction glue that carries no matching signal ("mentions a refund"
+# should reduce to the content token "refund").
+_PREDICATE_STOPWORDS = frozenset(
+    """
+    a an the is are was were has have had of with that this to in on for it
+    its about mentions mention mentioned contains contain containing says
+    said talks talk talking describes describe describing refers refer
+    referring includes include including involves involve involving being
+    any some there
+    """.split()
+)
+
+_NEGATION_TOKENS = frozenset({"not", "no", "never", "without", "lacks", "lacking"})
+
+_YEAR_RE = re.compile(r"\b(1[89]\d{2}|20\d{2})\b")
+_EMAIL_RE = re.compile(r"\b[\w.+-]+@[\w-]+\.[\w.]+\b")
+_NUMBER_RE = re.compile(r"-?\d+(?:\.\d+)?")
+
+
+def _content_tokens(predicate: str) -> List[str]:
+    return [
+        token
+        for token in words(normalize_text(predicate))
+        if token not in _PREDICATE_STOPWORDS and token not in _NEGATION_TOKENS
+    ]
+
+
+def predicate_coverage(predicate: str, value: str) -> float:
+    """Fraction of the predicate's content tokens present in the value.
+
+    Token presence is exact, or by substring for tokens of length >= 4
+    ("ship" covers "shipping"). 1.0 when the predicate has no content
+    tokens (a vacuous predicate is satisfied by anything).
+    """
+    content = _content_tokens(predicate)
+    if not content:
+        return 1.0
+    value_tokens = set(words(normalize_text(value)))
+    value_text = normalize_text(value)
+    hits = 0
+    for token in content:
+        if token in value_tokens or (len(token) >= 4 and token in value_text):
+            hits += 1
+    return hits / len(content)
+
+
+class SemanticPredicateEngine(Engine):
+    """Answers SEMANTIC_FILTER prompts ("does the value satisfy the
+    predicate?") with yes/no via content-token coverage."""
+
+    name = "semantic_predicate"
+    threshold = 0.5
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        if "satisfies the predicate" not in prompt.lower():
+            return None
+        m = _FILTER_RE.search(prompt)
+        if m is None:
+            return None
+        predicate, value = m.group(1).strip(), m.group(2).strip()
+        coverage = predicate_coverage(predicate, value)
+        negated = any(t in _NEGATION_TOKENS for t in words(normalize_text(predicate)))
+        satisfied = coverage >= self.threshold
+        if negated:
+            satisfied = not satisfied
+        answer = "yes" if satisfied else "no"
+        # Borderline coverage is hard, clear-cut coverage is easy.
+        boundary_distance = abs(coverage - self.threshold)
+        difficulty = max(0.08, min(0.9, 0.7 - 1.4 * boundary_distance))
+        difficulty = max(
+            0.05, min(0.95, difficulty + difficulty_jitter(predicate + value, 0.04))
+        )
+        return EngineResult(
+            answer=answer,
+            difficulty=difficulty,
+            wrong_answers=["no" if satisfied else "yes"],
+            engine=self.name,
+            n_examples=count_examples(prompt),
+            metadata={"coverage": round(coverage, 4)},
+        )
+
+
+class FieldExtractEngine(Engine):
+    """Answers LLM_EXTRACT prompts: pull one named field out of a record.
+
+    Understands ``key: value; key: value`` serializations, then falls back
+    to shape patterns (years, emails, numbers). Answers "unknown" when the
+    field genuinely is not there — the honest LLM behaviour the bit-
+    equivalence contract needs to be deterministic about.
+    """
+
+    name = "field_extract"
+
+    def try_solve(self, prompt: str, context: TaskContext) -> Optional[EngineResult]:
+        if "from the record" not in prompt.lower():
+            return None
+        m = _EXTRACT_RE.search(prompt)
+        if m is None:
+            return None
+        target = normalize_text(m.group(1)).replace("_", " ").strip(" '\"")
+        record = m.group(2).strip()
+        pairs = self._parse_pairs(record)
+        answer = None
+        for key, value in pairs:
+            if key == target or target in key or key in target:
+                answer = value
+                break
+        if answer is None:
+            answer = self._shape_fallback(target, record)
+        wrongs = [v for _k, v in pairs if v != answer][:3] or ["unknown"]
+        # More structure in the record makes extraction easier.
+        difficulty = 0.38 - 0.04 * len(pairs)
+        difficulty = max(0.05, min(0.9, difficulty + difficulty_jitter(target + record)))
+        return EngineResult(
+            answer=answer,
+            difficulty=difficulty,
+            wrong_answers=wrongs,
+            engine=self.name,
+            n_examples=count_examples(prompt),
+            metadata={"target": target, "pairs": len(pairs)},
+        )
+
+    @staticmethod
+    def _parse_pairs(record: str) -> List[tuple]:
+        pairs = []
+        for piece in re.split(r"[;|]", record):
+            if ":" not in piece:
+                continue
+            key, value = piece.split(":", 1)
+            key = normalize_text(key).replace("_", " ")
+            value = value.strip()
+            if key and value:
+                pairs.append((key, value))
+        return pairs
+
+    @staticmethod
+    def _shape_fallback(target: str, record: str) -> str:
+        if "year" in target or "date" in target:
+            m = _YEAR_RE.search(record)
+            if m:
+                return m.group(1)
+        if "email" in target:
+            m = _EMAIL_RE.search(record)
+            if m:
+                return m.group(0)
+        if any(t in target for t in ("number", "price", "amount", "rating", "stars", "count")):
+            m = _NUMBER_RE.search(record)
+            if m:
+                return m.group(0)
+        return "unknown"

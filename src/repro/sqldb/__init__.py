@@ -23,6 +23,14 @@ Supported dialect surface
   ``CASE WHEN``.
 * Transactions: ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` with full-state
   snapshots (sufficient for the single-threaded NL2Transaction scenario).
+* Semantic operators (Section II-D2, "LLM as database"): row predicates
+  ``SEMANTIC_FILTER(col, 'predicate text')``, entity joins
+  ``a SEMANTIC_JOIN b ON MATCHES(a.x, b.y)``, and scalar LLM UDFs
+  ``LLM_CLASSIFY(col, 'label', ...)`` / ``LLM_EXTRACT(col, 'field')`` —
+  evaluated set-at-a-time through a batched, cached
+  :class:`~repro.sqldb.semantic.SemanticRuntime`, planned by
+  :func:`~repro.sqldb.planner.optimize_semantic` so relational work runs
+  before LLM work, with rows bit-identical to naive per-row evaluation.
 
 Quick example
 -------------
@@ -37,7 +45,16 @@ Quick example
 from repro.sqldb.catalog import Column, Table, TableSchema
 from repro.sqldb.database import Database, Result
 from repro.sqldb.parser import parse_expression, parse_sql, parse_statement
-from repro.sqldb.planner import EstimatedCost, explain, estimate_cost, query_features
+from repro.sqldb.planner import (
+    EstimatedCost,
+    SemanticOpCost,
+    explain,
+    estimate_cost,
+    optimize_semantic,
+    query_features,
+    select_contains_semantic,
+)
+from repro.sqldb.semantic import SemanticRuntime, SemanticStats
 from repro.sqldb.types import SQLType
 
 __all__ = [
@@ -46,12 +63,17 @@ __all__ = [
     "EstimatedCost",
     "Result",
     "SQLType",
+    "SemanticOpCost",
+    "SemanticRuntime",
+    "SemanticStats",
     "Table",
     "TableSchema",
     "estimate_cost",
     "explain",
+    "optimize_semantic",
     "parse_expression",
     "parse_sql",
     "parse_statement",
     "query_features",
+    "select_contains_semantic",
 ]

@@ -162,6 +162,49 @@ class IsNull(Expr):
         return f"{self.operand} IS {not_kw}NULL"
 
 
+def _quote(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+@dataclass
+class SemanticFilter(Expr):
+    """``SEMANTIC_FILTER(operand, 'predicate text')`` — a boolean LLM
+    predicate over one value (Section III-A: LLM calls as first-class,
+    expensive, cacheable operators)."""
+
+    operand: Expr
+    predicate: str
+
+    def __str__(self) -> str:
+        return f"SEMANTIC_FILTER({self.operand}, {_quote(self.predicate)})"
+
+
+@dataclass
+class SemanticMatch(Expr):
+    """``MATCHES(a, b)`` — the entity-match predicate of SEMANTIC_JOIN."""
+
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"MATCHES({self.left}, {self.right})"
+
+
+@dataclass
+class LLMFunc(Expr):
+    """A scalar LLM UDF: ``LLM_CLASSIFY(operand, 'label', ...)`` or
+    ``LLM_EXTRACT(operand, 'field')``. ``params`` are the string-literal
+    arguments after the operand (labels, or the one field name)."""
+
+    name: str  # 'LLM_CLASSIFY' | 'LLM_EXTRACT'
+    operand: Expr
+    params: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        inner = ", ".join([str(self.operand)] + [_quote(p) for p in self.params])
+        return f"{self.name}({inner})"
+
+
 @dataclass
 class CaseWhen(Expr):
     whens: List[Tuple[Expr, Expr]]
@@ -214,12 +257,14 @@ class SubquerySource(TableRef):
 class Join(TableRef):
     left: TableRef
     right: TableRef
-    kind: str  # 'INNER', 'LEFT', 'CROSS'
+    kind: str  # 'INNER', 'LEFT', 'CROSS', 'SEMANTIC'
     on: Optional[Expr] = None
 
     def __str__(self) -> str:
         if self.kind == "CROSS":
             return f"{self.left} CROSS JOIN {self.right}"
+        if self.kind == "SEMANTIC":
+            return f"{self.left} SEMANTIC_JOIN {self.right} ON {self.on}"
         join_kw = "JOIN" if self.kind == "INNER" else f"{self.kind} JOIN"
         on_sql = f" ON {self.on}" if self.on is not None else ""
         return f"{self.left} {join_kw} {self.right}{on_sql}"
@@ -422,6 +467,12 @@ def walk_expr(expr: Expr) -> Sequence[Expr]:
                 stack.extend((cond, result))
             if node.default is not None:
                 stack.append(node.default)
+        elif isinstance(node, SemanticFilter):
+            stack.append(node.operand)
+        elif isinstance(node, SemanticMatch):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, LLMFunc):
+            stack.append(node.operand)
     return out
 
 
@@ -429,3 +480,42 @@ def contains_aggregate(expr: Expr) -> bool:
     """True when ``expr`` contains an aggregate function call."""
     aggregates = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
     return any(isinstance(n, FuncCall) and n.name in aggregates for n in walk_expr(expr))
+
+
+#: The expression nodes whose evaluation requires an LLM call.
+SEMANTIC_NODE_TYPES = (SemanticFilter, SemanticMatch, LLMFunc)
+
+
+def contains_semantic(expr: Expr) -> bool:
+    """True when ``expr`` contains a semantic (LLM-backed) operator."""
+    return any(isinstance(n, SEMANTIC_NODE_TYPES) for n in walk_expr(expr))
+
+
+def semantic_nodes(expr: Expr) -> List[Expr]:
+    """All semantic operator nodes inside ``expr`` (not into subqueries)."""
+    return [n for n in walk_expr(expr) if isinstance(n, SEMANTIC_NODE_TYPES)]
+
+
+def conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Split a predicate on its top-level AND chain, preserving order."""
+    if expr is None:
+        return []
+    out: List[Expr] = []
+    stack: List[Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Binary) and node.op == "AND":
+            stack.extend((node.right, node.left))  # left first after pop
+        else:
+            out.append(node)
+    return out
+
+
+def conjoin(parts: Sequence[Expr]) -> Optional[Expr]:
+    """Rebuild a left-deep AND chain from :func:`conjuncts` output."""
+    if not parts:
+        return None
+    combined = parts[0]
+    for part in parts[1:]:
+        combined = Binary(op="AND", left=combined, right=part)
+    return combined

@@ -14,6 +14,7 @@ from repro.sqldb import ast_nodes as ast
 from repro.sqldb.catalog import Catalog, Column, Table, TableSchema
 from repro.sqldb.executor import Executor, ResultSet
 from repro.sqldb.parser import parse_sql
+from repro.sqldb.semantic import SemanticRuntime
 from repro.sqldb.types import SQLType
 
 # Re-export under the name most callers expect.
@@ -42,10 +43,15 @@ class Database:
     [('bob',), ('ada',)]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, semantic: Optional[SemanticRuntime] = None) -> None:
         self.catalog = Catalog()
-        self._executor = Executor(self.catalog)
+        self._executor = Executor(self.catalog, semantic=semantic)
         self._snapshot: Optional[Catalog] = None
+
+    @property
+    def semantic(self) -> SemanticRuntime:
+        """The semantic-operator runtime (created on first access)."""
+        return self._executor.semantic
 
     # ------------------------------------------------------------- execution
 
@@ -85,7 +91,34 @@ class Database:
             self._executor.catalog = self.catalog
             self._snapshot = None
             return Result(columns=[], rows=[])
+        if isinstance(statement, ast.Select) and self._executor._set_at_a_time():
+            from repro.sqldb.planner import optimize_semantic, select_contains_semantic
+
+            if select_contains_semantic(statement):
+                statement = optimize_semantic(statement, self.catalog)
         return self._executor.execute(statement)
+
+    def explain(self, sql: str) -> str:
+        """Render the (rewritten) plan of the first SELECT in ``sql``,
+        discounting semantic-operator cost by the runtime's observed cache
+        hit rate."""
+        from repro.sqldb.planner import explain
+
+        statements = parse_sql(sql)
+        selects = [s for s in statements if isinstance(s, ast.Select)]
+        if not selects:
+            raise SQLTransactionError("EXPLAIN requires a SELECT statement")
+        hit_rate = (
+            self._executor._semantic.hit_rate()
+            if self._executor._semantic is not None
+            else 0.0
+        )
+        return explain(
+            selects[0],
+            self.catalog,
+            semantic_hit_rate=hit_rate,
+            optimize=self._executor._set_at_a_time(),
+        )
 
     def query(self, sql: str) -> List[Tuple[object, ...]]:
         """Convenience: execute and return just the rows."""
@@ -180,15 +213,17 @@ class Database:
         return "\n".join(parts)
 
     @classmethod
-    def from_script(cls, sql: str) -> "Database":
+    def from_script(cls, sql: str, semantic: Optional[SemanticRuntime] = None) -> "Database":
         """Build a database by executing a SQL script (see :meth:`dump`)."""
-        db = cls()
+        db = cls(semantic=semantic)
         db.execute(sql)
         return db
 
     def clone(self) -> "Database":
-        """Deep-enough copy: shares nothing mutable with the original."""
+        """Deep-enough copy: shares nothing mutable with the original
+        (the semantic runtime — provider and cache — is shared; answers
+        are deterministic per prompt, so sharing is observationally pure)."""
         other = Database()
         other.catalog = self.catalog.snapshot()
-        other._executor = Executor(other.catalog)
+        other._executor = Executor(other.catalog, semantic=self._executor._semantic)
         return other

@@ -17,6 +17,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import SQLCatalogError, SQLError, SQLTypeError
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.catalog import Catalog, Column, Table, TableSchema
+from repro.sqldb.semantic import (
+    SemanticRuntime,
+    classify_prompt,
+    extract_prompt,
+    filter_prompt,
+    match_prompt,
+    truthy_answer,
+)
 from repro.sqldb.types import SQLType, sort_key
 
 _AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
@@ -129,8 +137,22 @@ def _numeric(value: object, context: str) -> float:
 class Executor:
     """Executes parsed statements against a :class:`Catalog`."""
 
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(self, catalog: Catalog, semantic: Optional[SemanticRuntime] = None) -> None:
         self.catalog = catalog
+        self._semantic = semantic
+
+    @property
+    def semantic(self) -> SemanticRuntime:
+        """The semantic-operator runtime, created on first LLM touch so
+        queries without semantic operators never build a provider."""
+        if self._semantic is None:
+            self._semantic = SemanticRuntime()
+        return self._semantic
+
+    def _set_at_a_time(self) -> bool:
+        """Whether semantic operators are evaluated set-at-a-time (prefetch
+        whole column batches) rather than per row."""
+        return self._semantic is None or self._semantic.batch
 
     # ------------------------------------------------------------------ DDL
 
@@ -310,13 +332,25 @@ class Executor:
 
         # 2. WHERE
         if select.where is not None:
-            envs = [e for e in envs if self._truthy(self.eval_expr(select.where, e))]
+            envs = self._filter_where(select.where, envs)
 
         grouped = bool(select.group_by) or select.having is not None or any(
             ast.contains_aggregate(item.expr) for item in select.items
         )
 
         output_columns = self._output_columns(select, envs, outer)
+
+        # Set-at-a-time: warm the semantic cache for LLM expressions in the
+        # projection / ORDER BY with one batch per operator, so the per-row
+        # evaluation below never issues per-row provider calls.
+        if not grouped:
+            post_where = [
+                item.expr for item in select.items if not isinstance(item.expr, ast.Star)
+            ]
+            post_where.extend(item.expr for item in select.order_by)
+            semantic_exprs = [e for e in post_where if ast.contains_semantic(e)]
+            if semantic_exprs:
+                self._prefetch_semantic(semantic_exprs, envs)
 
         if grouped:
             rows_with_env = self._execute_grouped(select, envs)
@@ -468,6 +502,8 @@ class Executor:
         right_rows: List[List[Binding]],
         outer: Optional[Environment],
     ) -> List[List[Binding]]:
+        if join.kind == "SEMANTIC":
+            return self._semantic_join(join, left_rows, right_rows, outer)
         right_template = right_rows[0] if right_rows else self._source_bindings(join.right)
         hash_plan = self._hash_join_plan(join, left_rows, right_rows, outer)
         if hash_plan is not None:
@@ -597,6 +633,117 @@ class Executor:
                 ]
                 out.append(left + null_right)
         return out
+
+    # --------------------------------------------------- semantic operators
+
+    def _filter_where(self, where: ast.Expr, envs: List[Environment]) -> List[Environment]:
+        """Apply WHERE. With semantic operators in set-at-a-time mode, split
+        the top-level AND chain: cheap relational conjuncts filter first
+        (shrinking the LLM's candidate set), then each semantic conjunct is
+        prefetched as one batch over the survivors and applied per row from
+        the cache. Row-set identical to evaluating ``where`` per row:
+        :meth:`_truthy` accepts a row iff every conjunct is truthy,
+        regardless of conjunct order.
+        """
+        if not self._set_at_a_time() or not ast.contains_semantic(where):
+            return [e for e in envs if self._truthy(self.eval_expr(where, e))]
+        relational: List[ast.Expr] = []
+        semantic: List[ast.Expr] = []
+        for conjunct in ast.conjuncts(where):
+            (semantic if ast.contains_semantic(conjunct) else relational).append(conjunct)
+        for conjunct in relational:
+            envs = [e for e in envs if self._truthy(self.eval_expr(conjunct, e))]
+        for conjunct in semantic:
+            self._prefetch_semantic([conjunct], envs)
+            envs = [e for e in envs if self._truthy(self.eval_expr(conjunct, e))]
+        return envs
+
+    def _semantic_join(
+        self,
+        join: ast.Join,
+        left_rows: List[List[Binding]],
+        right_rows: List[List[Binding]],
+        outer: Optional[Environment],
+    ) -> List[List[Binding]]:
+        """SEMANTIC_JOIN: nested-loop pairing where MATCHES(...) conjuncts
+        go to the LLM. Set-at-a-time mode filters pairs by the relational ON
+        conjuncts first, then dispatches one batch per semantic conjunct
+        over the surviving pairs; naive mode evaluates ``join.on`` per pair
+        exactly as written."""
+        if join.on is None:  # pragma: no cover - parser guarantees ON
+            raise SQLError("SEMANTIC_JOIN requires an ON clause")
+        if not self._set_at_a_time():
+            out: List[List[Binding]] = []
+            for left in left_rows:
+                for right in right_rows:
+                    combined = left + right
+                    env = Environment(bindings=combined, parent=outer)
+                    if self._truthy(self.eval_expr(join.on, env)):
+                        out.append(combined)
+            return out
+        relational = [c for c in ast.conjuncts(join.on) if not ast.contains_semantic(c)]
+        semantic = [c for c in ast.conjuncts(join.on) if ast.contains_semantic(c)]
+        survivors: List[Tuple[List[Binding], Environment]] = []
+        for left in left_rows:
+            for right in right_rows:
+                combined = left + right
+                env = Environment(bindings=combined, parent=outer)
+                if all(self._truthy(self.eval_expr(c, env)) for c in relational):
+                    survivors.append((combined, env))
+        for conjunct in semantic:
+            self._prefetch_semantic([conjunct], [env for _b, env in survivors])
+            survivors = [
+                (bindings, env)
+                for bindings, env in survivors
+                if self._truthy(self.eval_expr(conjunct, env))
+            ]
+        return [bindings for bindings, _env in survivors]
+
+    def _prefetch_semantic(self, exprs: Sequence[ast.Expr], envs: List[Environment]) -> None:
+        """Warm the semantic cache: one provider batch per semantic operator
+        node across all rows. Innermost nodes go first so an outer node's
+        operand (itself semantic) resolves from the cache while its prompts
+        are being built."""
+        if not envs or not self._set_at_a_time():
+            return
+        nodes: List[ast.Expr] = []
+        for expr in exprs:
+            nodes.extend(ast.semantic_nodes(expr))
+        nodes.sort(key=lambda n: len(ast.semantic_nodes(n)))
+        for node in nodes:
+            prompts: List[str] = []
+            for env in envs:
+                try:
+                    prompt = self._semantic_prompt(node, env)
+                except SQLError:
+                    # Prefetch is best-effort; real evaluation will report.
+                    continue
+                if prompt is not None:
+                    prompts.append(prompt)
+            if prompts:
+                self.semantic.prefetch(prompts)
+
+    def _semantic_prompt(self, node: ast.Expr, env: Environment) -> Optional[str]:
+        """The exact prompt :meth:`eval_expr` would issue for ``node`` in
+        ``env`` — None when NULL operands make the node NULL without any
+        LLM call. Shared by prefetch and per-row paths: byte-identical
+        prompts are what make cache hits (and bit-equivalence) exact."""
+        if isinstance(node, ast.SemanticFilter):
+            value = self.eval_expr(node.operand, env)
+            return None if value is None else filter_prompt(node.predicate, value)
+        if isinstance(node, ast.SemanticMatch):
+            left = self.eval_expr(node.left, env)
+            right = self.eval_expr(node.right, env)
+            if left is None or right is None:
+                return None
+            return match_prompt(left, right)
+        assert isinstance(node, ast.LLMFunc)
+        value = self.eval_expr(node.operand, env)
+        if value is None:
+            return None
+        if node.name == "LLM_CLASSIFY":
+            return classify_prompt(value, node.params)
+        return extract_prompt(value, node.params[0])
 
     # ------------------------------------------------------------- grouping
 
@@ -738,6 +885,16 @@ class Executor:
                 if self._truthy(self.eval_expr(cond, env)):
                     return self.eval_expr(result_expr, env)
             return self.eval_expr(expr.default, env) if expr.default is not None else None
+        if isinstance(expr, (ast.SemanticFilter, ast.SemanticMatch)):
+            prompt = self._semantic_prompt(expr, env)
+            if prompt is None:
+                return None  # NULL operand: NULL predicate, no LLM call
+            return truthy_answer(self.semantic.answer(prompt))
+        if isinstance(expr, ast.LLMFunc):
+            prompt = self._semantic_prompt(expr, env)
+            if prompt is None:
+                return None
+            return self.semantic.answer(prompt)
         if isinstance(expr, ast.Star):
             raise SQLError("'*' is only valid in a select list or COUNT(*)")
         raise SQLError(f"cannot evaluate expression {type(expr).__name__}")

@@ -223,6 +223,19 @@ class _Parser:
                 right = self.parse_table_primary()
                 left = ast.Join(left=left, right=right, kind="CROSS")
                 continue
+            if self.check_keyword("SEMANTIC_JOIN"):
+                self.advance()
+                right = self.parse_table_primary()
+                self.expect_keyword("ON")
+                on = self.parse_expr()
+                if not any(
+                    isinstance(node, ast.SemanticMatch) for node in ast.walk_expr(on)
+                ):
+                    raise SQLSyntaxError(
+                        "SEMANTIC_JOIN requires a MATCHES(...) predicate in its ON clause"
+                    )
+                left = ast.Join(left=left, right=right, kind="SEMANTIC", on=on)
+                continue
             kind = None
             if self.check_keyword("JOIN"):
                 kind = "INNER"
@@ -372,6 +385,12 @@ class _Parser:
             return ast.Literal(False)
         if token.is_keyword("CASE"):
             return self.parse_case()
+        if token.is_keyword("SEMANTIC_FILTER"):
+            return self.parse_semantic_filter()
+        if token.is_keyword("MATCHES"):
+            return self.parse_matches()
+        if token.is_keyword("LLM_CLASSIFY", "LLM_EXTRACT"):
+            return self.parse_llm_func()
         if token.is_keyword("EXISTS"):
             self.advance()
             self.expect_punct("(")
@@ -427,6 +446,55 @@ class _Parser:
             args.append(self.parse_expr())
         self.expect_punct(")")
         return ast.FuncCall(name=upper, args=args, distinct=distinct)
+
+    # -- semantic operators ----------------------------------------------------
+
+    def _expect_string_param(self, operator: str, what: str) -> str:
+        """A non-empty string literal argument of a semantic operator."""
+        token = self.current
+        if token.type is not TokenType.STRING:
+            raise SQLSyntaxError(
+                f"{operator} expects a string literal {what} at position "
+                f"{token.pos}, got {token.text!r}"
+            )
+        self.advance()
+        text = str(token.value).strip()
+        if not text:
+            raise SQLSyntaxError(f"{operator} {what} must not be empty")
+        return text
+
+    def parse_semantic_filter(self) -> ast.Expr:
+        self.expect_keyword("SEMANTIC_FILTER")
+        self.expect_punct("(")
+        operand = self.parse_expr()
+        self.expect_punct(",")
+        predicate = self._expect_string_param("SEMANTIC_FILTER", "predicate")
+        self.expect_punct(")")
+        return ast.SemanticFilter(operand=operand, predicate=predicate)
+
+    def parse_matches(self) -> ast.Expr:
+        self.expect_keyword("MATCHES")
+        self.expect_punct("(")
+        left = self.parse_expr()
+        self.expect_punct(",")
+        right = self.parse_expr()
+        self.expect_punct(")")
+        return ast.SemanticMatch(left=left, right=right)
+
+    def parse_llm_func(self) -> ast.Expr:
+        name = self.advance().text
+        self.expect_punct("(")
+        operand = self.parse_expr()
+        params: List[str] = []
+        while self.accept_punct(","):
+            what = "label" if name == "LLM_CLASSIFY" else "field name"
+            params.append(self._expect_string_param(name, what))
+        self.expect_punct(")")
+        if name == "LLM_CLASSIFY" and len(params) < 2:
+            raise SQLSyntaxError("LLM_CLASSIFY requires at least two label literals")
+        if name == "LLM_EXTRACT" and len(params) != 1:
+            raise SQLSyntaxError("LLM_EXTRACT requires exactly one field-name literal")
+        return ast.LLMFunc(name=name, operand=operand, params=params)
 
     def parse_case(self) -> ast.Expr:
         self.expect_keyword("CASE")

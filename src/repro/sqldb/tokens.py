@@ -15,6 +15,7 @@ KEYWORDS = frozenset(
     IS NULL TRUE FALSE UNION INTERSECT EXCEPT ASC DESC
     INSERT INTO VALUES UPDATE SET DELETE CREATE TABLE DROP IF PRIMARY KEY
     BEGIN COMMIT ROLLBACK TRANSACTION CASE WHEN THEN ELSE END CAST
+    SEMANTIC_FILTER SEMANTIC_JOIN MATCHES LLM_CLASSIFY LLM_EXTRACT
     """.split()
 )
 

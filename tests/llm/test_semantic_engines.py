@@ -1,0 +1,82 @@
+"""Engines backing the SQL semantic operators (SEMANTIC_FILTER / LLM_EXTRACT)."""
+
+import pytest
+
+from repro.llm.engines.base import TaskContext, default_engines
+from repro.llm.engines.semantic_ops import (
+    FieldExtractEngine,
+    SemanticPredicateEngine,
+    predicate_coverage,
+)
+from repro.sqldb.semantic import extract_prompt, filter_prompt
+
+
+@pytest.fixture
+def ctx(world):
+    return TaskContext(knowledge=world.kb, model_name="test")
+
+
+class TestSemanticPredicateEngine:
+    def test_registered_by_default(self):
+        names = [engine.name for engine in default_engines()]
+        assert "semantic_predicate" in names
+        assert "field_extract" in names
+
+    def test_ignores_unrelated_prompts(self, ctx):
+        engine = SemanticPredicateEngine()
+        assert engine.try_solve("What is the capital of France?", ctx) is None
+
+    def test_covered_predicate_is_yes(self, ctx):
+        engine = SemanticPredicateEngine()
+        prompt = filter_prompt("mentions a refund", "I asked for a refund twice")
+        result = engine.try_solve(prompt, ctx)
+        assert result is not None
+        assert result.answer == "yes"
+        assert "no" in result.wrong_answers
+
+    def test_uncovered_predicate_is_no(self, ctx):
+        engine = SemanticPredicateEngine()
+        prompt = filter_prompt("mentions a refund", "great battery and fast shipping")
+        assert engine.try_solve(prompt, ctx).answer == "no"
+
+    def test_negated_predicate_flips(self, ctx):
+        engine = SemanticPredicateEngine()
+        covered = filter_prompt("does not mention a refund", "great battery life")
+        assert engine.try_solve(covered, ctx).answer == "yes"
+        uncovered = filter_prompt("does not mention a refund", "refund please")
+        assert engine.try_solve(uncovered, ctx).answer == "no"
+
+    def test_deterministic(self, ctx):
+        engine = SemanticPredicateEngine()
+        prompt = filter_prompt("mentions a refund", "refund refund refund")
+        assert engine.try_solve(prompt, ctx).answer == engine.try_solve(prompt, ctx).answer
+
+    def test_coverage_ignores_stopwords(self):
+        full = predicate_coverage("mentions a refund", "refund refund")
+        assert full == predicate_coverage("refund", "refund refund")
+        assert predicate_coverage("mentions a refund", "nothing here") == 0.0
+
+
+class TestFieldExtractEngine:
+    def test_ignores_unrelated_prompts(self, ctx):
+        engine = FieldExtractEngine()
+        assert engine.try_solve("Summarize this document.", ctx) is None
+
+    def test_pulls_field_from_pairs(self, ctx):
+        engine = FieldExtractEngine()
+        record = "name: Acme Laptop; category: electronics; year: 2021"
+        assert engine.try_solve(extract_prompt(record, "year"), ctx).answer == "2021"
+        assert (
+            engine.try_solve(extract_prompt(record, "category"), ctx).answer
+            == "electronics"
+        )
+
+    def test_shape_fallback_year(self, ctx):
+        engine = FieldExtractEngine()
+        prompt = extract_prompt("released back in 2019 to great acclaim", "year")
+        assert engine.try_solve(prompt, ctx).answer == "2019"
+
+    def test_missing_field_is_unknown(self, ctx):
+        engine = FieldExtractEngine()
+        prompt = extract_prompt("name: Acme; category: electronics", "warranty")
+        assert engine.try_solve(prompt, ctx).answer == "unknown"
