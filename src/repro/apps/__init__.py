@@ -11,4 +11,11 @@
   table understanding.
 * :mod:`repro.apps.explore` — LLM for data exploration (II-D): multi-modal
   data lake management, LLM-as-database.
+* :mod:`repro.apps.runner` — the checkpointed batch-pipeline runner:
+  multi-row enrichment/transform jobs journal each finished row to a durable
+  directory and resume from the last checkpoint instead of restarting.
 """
+
+from repro.apps.runner import CheckpointedRunner, RowResult, RunReport, workload_fingerprint
+
+__all__ = ["CheckpointedRunner", "RowResult", "RunReport", "workload_fingerprint"]

@@ -1134,3 +1134,11 @@ from repro.bench.semsql import (  # noqa: E402
     SemanticSQLReport,
     run_semantic_sql,
 )
+
+# Crash-recovery benchmark likewise lives in its own module.
+from repro.bench.recovery import (  # noqa: E402
+    DEFAULT_RECOVERY_REPORT_PATH,
+    RECOVERY_SCHEMA,
+    RecoveryReport,
+    run_recovery,
+)

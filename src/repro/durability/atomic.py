@@ -1,0 +1,65 @@
+"""Atomic file writes: a crash can never leave a torn file behind.
+
+The pattern is the standard one: write the full payload to a temporary
+file in the *same directory* as the target (so the final rename never
+crosses a filesystem boundary), flush and fsync it, then ``os.replace``
+over the target. POSIX rename is atomic, so any reader — including a
+recovery pass after a crash at any instant — sees either the complete old
+file or the complete new file, never a prefix of the new one.
+
+This module is dependency-free on purpose: the vector store, the
+durability snapshots and the checkpoint runner all write through it, and
+none of them should drag the rest of the library into an import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+
+def atomic_write_text(path: str, text: str, *, sync: bool = True) -> None:
+    """Write ``text`` to ``path`` atomically (tempfile + ``os.replace``).
+
+    With ``sync=True`` (the default) the temporary file is fsynced before
+    the rename, so the rename can never publish a file whose blocks are
+    still in flight.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            if sync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        # Never leave the temp file behind; the target is untouched.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str,
+    obj: object,
+    *,
+    indent: Optional[int] = None,
+    sort_keys: bool = False,
+    sync: bool = True,
+) -> None:
+    """Serialize ``obj`` to JSON and write it atomically.
+
+    Serialization happens *before* any file is touched, so a
+    non-serializable object cannot even produce a temp file, let alone a
+    torn target.
+    """
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys)
+    atomic_write_text(path, text, sync=sync)

@@ -95,6 +95,17 @@ class ResilienceExhaustedError(LLMError):
     answer — the typed end of the graceful-degradation chain."""
 
 
+class SimulatedCrashError(LLMError):
+    """The :class:`~repro.llm.faults.CrashPoint` fault fired: the simulated
+    process died mid-request.
+
+    Deliberately *not* a :class:`TransientLLMError` — a process crash is
+    not something the in-process resilience layer can retry its way out
+    of; it must propagate to the driver, which discards the stack and
+    recovers from durable state (:mod:`repro.durability`).
+    """
+
+
 class ValidationError(ReproError):
     """An LLM output failed validation (Section III-E)."""
 

@@ -119,13 +119,22 @@ class UsageMeter:
 
     def refund(self, model: str, prompt_tokens: int, cost: float) -> None:
         """Give back prompt tokens and dollars previously recorded for
-        ``model`` (shared-prefix accounting in batched completions)."""
+        ``model`` (shared-prefix accounting in batched completions).
+
+        Contract: a refund must reverse part of an earlier :meth:`record`
+        for the same model. Refunding a model that was never recorded is a
+        caller bug — it used to silently create a phantom per-model entry
+        with zero calls and *negative* totals — and raises ``ValueError``
+        instead of corrupting the ledger."""
         with self._lock:
+            entry = self.per_model.get(model)
+            if entry is None:
+                raise ValueError(
+                    f"cannot refund model {model!r}: it has no recorded usage "
+                    "(refunds must reverse an earlier record)"
+                )
             self.prompt_tokens -= prompt_tokens
             self.cost -= cost
-            entry = self.per_model.setdefault(
-                model, {"calls": 0, "prompt_tokens": 0, "completion_tokens": 0, "cost": 0.0}
-            )
             entry["prompt_tokens"] -= prompt_tokens
             entry["cost"] -= cost
 

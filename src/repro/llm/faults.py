@@ -19,6 +19,12 @@ Injected errors carry a simulated ``latency_ms`` (the time the doomed
 attempt burned: a timeout costs the full deadline, a rate-limit rejection
 is near-instant), so resilience layers can account failure time into
 end-to-end latency without sleeping.
+
+:class:`CrashPoint` injects a different failure class entirely: a
+deterministic *process death* at a chosen request index
+(:class:`~repro.errors.SimulatedCrashError`, which the resilience layer
+deliberately does not catch). It drives the crash-recovery sweep in
+``benchmarks/bench_perf_recovery.py`` against :mod:`repro.durability`.
 """
 
 from __future__ import annotations
@@ -29,7 +35,12 @@ from typing import Dict, List, Optional, Type
 import numpy as np
 
 from repro._util import stable_hash
-from repro.errors import RateLimitError, ServiceTimeoutError, ServiceUnavailableError
+from repro.errors import (
+    RateLimitError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+    SimulatedCrashError,
+)
 from repro.llm.client import Completion
 
 #: Injectable fault kinds with the simulated milliseconds each one burns.
@@ -152,4 +163,97 @@ class FaultInjectingProvider:
         sibling.seed = self.seed + offset
         sibling.injected = self.injected
         sibling._injected_lock = self._injected_lock
+        return sibling
+
+
+class CrashPoint:
+    """Deterministic kill-switch: the request at index ``crash_at`` dies.
+
+    Wraps any provider and counts requests (a shared-prefix batch counts
+    as one, mirroring :class:`FaultInjectingProvider`'s one-draw-per-batch
+    rule). The request whose zero-based index equals ``crash_at`` raises
+    :class:`~repro.errors.SimulatedCrashError` *before* reaching the inner
+    provider — the analogue of the process dying mid-request, after any
+    outer layers have already mutated their state but before the request
+    was acknowledged or journaled.
+
+    The crash fires exactly once: a driver that catches the error,
+    discards its stack and rebuilds from durable state can keep using the
+    same wrapped client for the resumed run (the counter keeps advancing,
+    the crash does not re-fire). :meth:`seeded` derives the crash index
+    from a seed the way the transient faults derive their draws, so crash
+    sweeps randomize reproducibly.
+
+    The counter and the fired flag are shared by ``reseeded`` siblings —
+    a retry redraw belongs to the same simulated process.
+    """
+
+    def __init__(self, inner: "object", crash_at: Optional[int] = None) -> None:
+        if crash_at is not None and crash_at < 0:
+            raise ValueError("crash_at must be non-negative (or None to disarm)")
+        self.inner = inner
+        self.crash_at = crash_at
+        # One-slot holders so reseeded siblings share the request counter
+        # and the fired flag (copy.copy-style sharing, like the ledger).
+        self._count = {"value": 0}
+        self._fired = {"value": False}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def seeded(cls, inner: "object", n_requests: int, seed: int = 0) -> "CrashPoint":
+        """A crash point whose index is a seeded draw in ``[0, n_requests)``
+        — deterministic in ``seed``, like the transient-fault draws."""
+        if n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        h = stable_hash(f"crash|{seed}|{n_requests}")
+        rng = np.random.default_rng(h)
+        return cls(inner, crash_at=int(rng.integers(0, n_requests)))
+
+    @property
+    def requests_seen(self) -> int:
+        with self._lock:
+            return self._count["value"]
+
+    @property
+    def crashed(self) -> bool:
+        with self._lock:
+            return self._fired["value"]
+
+    def _tick(self, model: Optional[str]) -> None:
+        with self._lock:
+            index = self._count["value"]
+            self._count["value"] = index + 1
+            if self.crash_at is None or self._fired["value"] or index != self.crash_at:
+                return
+            self._fired["value"] = True
+        raise SimulatedCrashError(
+            f"simulated process crash at request index {index} "
+            f"(model {resolve_model_name(self.inner, model)})"
+        )
+
+    def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
+        self._tick(model)
+        return self.inner.complete(prompt, model=model)
+
+    def complete_batch(
+        self,
+        shared_prefix: str,
+        items: List[str],
+        model: Optional[str] = None,
+    ) -> List[Completion]:
+        self._tick(model)
+        return self.inner.complete_batch(shared_prefix, items, model=model)
+
+    def embed(self, text: str) -> np.ndarray:
+        return self.inner.embed(text)
+
+    def reseeded(self, offset: int) -> "CrashPoint":
+        sibling = CrashPoint.__new__(CrashPoint)
+        sibling.inner = (
+            self.inner.reseeded(offset) if hasattr(self.inner, "reseeded") else self.inner
+        )
+        sibling.crash_at = self.crash_at
+        sibling._count = self._count
+        sibling._fired = self._fired
+        sibling._lock = self._lock
         return sibling

@@ -35,7 +35,15 @@ from repro.serving.stats import ServiceStats
 
 
 class ServingStack:
-    """A composed middleware pipeline, usable anywhere a provider is."""
+    """A composed middleware pipeline, usable anywhere a provider is.
+
+    With ``build_stack(durable_dir=...)`` the stack additionally carries a
+    :class:`~repro.durability.StackDurability`: every acknowledged request
+    is journaled, :meth:`checkpoint` snapshots the full stateful surface
+    (cache, ledgers, meter, stats) atomically, and :meth:`recover` —
+    called automatically at build time — restores the last checkpoint and
+    replays the journal to the exact pre-crash state.
+    """
 
     def __init__(
         self,
@@ -46,9 +54,13 @@ class ServingStack:
         self.provider = provider
         self.stats = stats
         self.layers = list(layers)
+        self.durability = None  # set by build_stack(durable_dir=...)
 
     def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
-        return self.provider.complete(prompt, model=model)
+        completion = self.provider.complete(prompt, model=model)
+        if self.durability is not None:
+            self.durability.record_complete(prompt, model)
+        return completion
 
     def complete_batch(
         self,
@@ -56,15 +68,37 @@ class ServingStack:
         items: List[str],
         model: Optional[str] = None,
     ) -> List[Completion]:
-        return self.provider.complete_batch(shared_prefix, items, model=model)
+        completions = self.provider.complete_batch(shared_prefix, items, model=model)
+        if self.durability is not None:
+            self.durability.record_complete_batch(shared_prefix, items, model)
+        return completions
 
     def embed(self, text: str) -> np.ndarray:
         return self.provider.embed(text)
 
     def reseeded(self, offset: int) -> "ServingStack":
+        # Durability deliberately does not follow the clone: two journaling
+        # stacks over one journal would double-record every redraw.
         if hasattr(self.provider, "reseeded"):
             return ServingStack(self.provider.reseeded(offset), self.stats, self.layers)
         return self
+
+    # ------------------------------------------------------------ durability
+
+    def checkpoint(self) -> str:
+        """Snapshot the stack's state to the durable directory (and absorb
+        the journal). Requires ``build_stack(durable_dir=...)``."""
+        if self.durability is None:
+            raise ValueError("stack has no durable directory (build_stack(durable_dir=...))")
+        return self.durability.checkpoint()
+
+    def recover(self) -> int:
+        """Restore the last checkpoint and replay the journal; returns the
+        number of replayed requests. Runs automatically at build time —
+        call it again only after externally replacing the durable files."""
+        if self.durability is None:
+            raise ValueError("stack has no durable directory (build_stack(durable_dir=...))")
+        return self.durability.recover()
 
     def concurrent(self, **kwargs: object) -> "ConcurrentStack":
         """Wrap this stack in a :class:`~repro.serving.concurrent.ConcurrentStack`.
@@ -99,6 +133,9 @@ def build_stack(
     budget_usd: Optional[float] = None,
     resilience: Union[ResilienceConfig, bool, None] = None,
     stats: Optional[ServiceStats] = None,
+    durable_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    durable_sync: bool = False,
 ) -> ServingStack:
     """Assemble a serving stack over ``client`` with the requested layers.
 
@@ -113,6 +150,17 @@ def build_stack(
     resilience layers are installed, the resilience layer's last-resort
     fallback reads (without mutating) the same semantic cache. The metrics
     layer is always installed so ``stats`` reflects the terminal traffic.
+
+    ``durable_dir`` makes the stack's state survive restarts: requests are
+    journaled there, ``checkpoint_every=N`` auto-snapshots after every N
+    requests (``stack.checkpoint()`` does it on demand), and if the
+    directory already holds state from a previous run it is **recovered
+    before the first request** — warm-starting the cache, ledgers and
+    stats to the exact pre-crash values (see :mod:`repro.durability`).
+    Recovery requires rebuilding with the same layer composition and
+    component configuration as the run that wrote the state.
+    ``durable_sync=True`` additionally fsyncs every journal append and
+    snapshot (real-crash durability at a latency cost).
     """
     if max_retries > 0 and min_confidence is None and validator is None:
         raise ValueError(
@@ -165,4 +213,16 @@ def build_stack(
             stats=stats,
         )
         layers.append("cache")
-    return ServingStack(provider, stats, list(reversed(layers)))
+    stack = ServingStack(provider, stats, list(reversed(layers)))
+    if durable_dir is not None:
+        # Imported here: repro.durability depends on serving submodules, so
+        # a module-level import would be cyclic at package-init time.
+        from repro.durability import StackDurability
+
+        stack.durability = StackDurability(
+            stack, durable_dir, checkpoint_every=checkpoint_every, sync=durable_sync
+        )
+        stack.recover()
+    elif checkpoint_every is not None:
+        raise ValueError("checkpoint_every requires durable_dir")
+    return stack

@@ -247,11 +247,19 @@ class Collection:
         return collection
 
     def save(self, path: str) -> None:
-        """Write the collection to a JSON file."""
-        import json
+        """Write the collection to a JSON file, atomically.
 
-        with open(path, "w", encoding="utf-8") as f:
-            json.dump(self.to_dict(), f)
+        The payload lands in a temp file that is renamed over ``path``
+        (see :mod:`repro.durability.atomic`), so a crash mid-write can
+        never leave a torn half-JSON file — readers see the previous
+        complete save or the new one, nothing in between.
+        """
+        # Function-level import: the durability package imports the cache
+        # layer, which imports this package — importing it at module level
+        # would be cyclic at package-init time.
+        from repro.durability.atomic import atomic_write_json
+
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load(cls, path: str) -> "Collection":

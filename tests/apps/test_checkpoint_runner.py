@@ -1,0 +1,97 @@
+"""Checkpointed batch runner: resume instead of restart, at every crash index."""
+
+import pytest
+
+from repro.apps import CheckpointedRunner, workload_fingerprint
+from repro.errors import SimulatedCrashError
+from repro.llm.client import LLMClient
+from repro.llm.faults import CrashPoint
+
+ROWS = [f"Question: who directed film number {i}?" for i in range(8)]
+
+
+class TestFreshRun:
+    def test_processes_all_rows_in_order(self, tmp_path):
+        runner = CheckpointedRunner(LLMClient(), str(tmp_path / "job"))
+        report = runner.run(ROWS)
+        assert report.total_rows == len(ROWS)
+        assert report.fresh_rows == len(ROWS)
+        assert report.resumed_rows == 0
+        assert [r.index for r in report.results] == list(range(len(ROWS)))
+        assert all(not r.replayed for r in report.results)
+
+    def test_prompt_fn_applied(self, tmp_path):
+        runner = CheckpointedRunner(
+            LLMClient(),
+            str(tmp_path / "job"),
+            prompt_fn=lambda row: f"Question: {row}?",
+        )
+        report = runner.run(["who directed casablanca"])
+        assert report.results[0].prompt == "Question: who directed casablanca?"
+
+
+class TestResume:
+    def test_rerun_replays_everything_provider_free(self, tmp_path):
+        directory = str(tmp_path / "job")
+        first_client = LLMClient()
+        first = CheckpointedRunner(first_client, directory).run(ROWS)
+
+        second_client = LLMClient()
+        second = CheckpointedRunner(second_client, directory).run(ROWS)
+        assert second.resumed_rows == len(ROWS)
+        assert second.fresh_rows == 0
+        assert second_client.meter.calls == 0  # no provider touched
+        assert second.texts() == first.texts()
+        assert all(r.replayed for r in second.results)
+
+    def test_crash_at_every_row_resumes_exactly(self, tmp_path):
+        reference = CheckpointedRunner(LLMClient(), str(tmp_path / "ref")).run(ROWS)
+        # Each row costs one provider request here (bare client, no cache),
+        # so crashing at provider index i kills the run mid-row i.
+        for crash_at in range(len(ROWS)):
+            directory = str(tmp_path / f"crash{crash_at}")
+            crashing = CheckpointedRunner(
+                CrashPoint(LLMClient(), crash_at=crash_at), directory
+            )
+            with pytest.raises(SimulatedCrashError):
+                crashing.run(ROWS)
+            assert len(crashing.completed_indices()) == crash_at
+
+            resumed_client = LLMClient()
+            report = CheckpointedRunner(resumed_client, directory).run(ROWS)
+            assert report.resumed_rows == crash_at
+            assert report.fresh_rows == len(ROWS) - crash_at
+            assert resumed_client.meter.calls == len(ROWS) - crash_at
+            assert report.texts() == reference.texts()
+
+    def test_torn_final_record_reruns_that_row(self, tmp_path):
+        directory = str(tmp_path / "job")
+        runner = CheckpointedRunner(CrashPoint(LLMClient(), crash_at=3), directory)
+        with pytest.raises(SimulatedCrashError):
+            runner.run(ROWS)
+        runner.close()
+        with open(runner.journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "row", "index": 3')  # crash mid-append
+
+        resumed = CheckpointedRunner(LLMClient(), directory)
+        report = resumed.run(ROWS)
+        assert report.resumed_rows == 3
+        assert report.fresh_rows == len(ROWS) - 3
+
+
+class TestManifest:
+    def test_different_workload_rejected(self, tmp_path):
+        directory = str(tmp_path / "job")
+        CheckpointedRunner(LLMClient(), directory).run(ROWS[:4])
+        other_rows = ["Question: a completely different job?"]
+        with pytest.raises(ValueError, match="different workload"):
+            CheckpointedRunner(LLMClient(), directory).run(other_rows)
+
+    def test_fingerprint_depends_on_rows_and_count(self):
+        assert workload_fingerprint(ROWS) == workload_fingerprint(list(ROWS))
+        assert workload_fingerprint(ROWS) != workload_fingerprint(ROWS[:-1])
+        assert workload_fingerprint(["a", "b"]) != workload_fingerprint(["b", "a"])
+
+    def test_fingerprint_unambiguous_on_separator_collisions(self):
+        # Joining rows must not conflate ["a", "b"] with ["a\x1fb"].
+        assert workload_fingerprint(["a", "b"]) != workload_fingerprint(["a\x1fb"])

@@ -1,0 +1,54 @@
+"""Atomic file writes: readers see the old file or the new one, never a torn mix."""
+
+import json
+import os
+
+import pytest
+
+from repro.durability.atomic import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "hello")
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == "hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == "second"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "payload")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_nosync_mode_still_writes(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "payload", sync=False)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == "payload"
+
+
+class TestAtomicWriteJson:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        payload = {"a": 1, "b": [1.5, "x"], "nested": {"k": None}}
+        atomic_write_json(path, payload)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == payload
+
+    def test_unserializable_payload_preserves_original(self, tmp_path):
+        # Serialization happens before any file is touched, so a bad
+        # payload can never clobber (or tear) the previous good file.
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"good": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == {"good": True}
+        assert os.listdir(tmp_path) == ["out.json"]

@@ -1,0 +1,80 @@
+"""Journal semantics: append order, sequence numbers, torn tails, clear."""
+
+from repro.durability.journal import Journal
+
+
+class TestAppendAndRead:
+    def test_records_come_back_in_append_order(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"))
+        for i in range(5):
+            journal.append({"op": "complete", "i": i})
+        assert [r["i"] for r in journal.records()] == [0, 1, 2, 3, 4]
+
+    def test_sequence_numbers_are_contiguous(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"))
+        seqs = [journal.append({"op": "x"}) for _ in range(4)]
+        assert seqs == [0, 1, 2, 3]
+        assert [r["seq"] for r in journal.records()] == [0, 1, 2, 3]
+        assert journal.last_seq() == 3
+        assert len(journal) == 4
+
+    def test_empty_journal(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"))
+        assert journal.records() == []
+        assert journal.last_seq() is None
+        assert len(journal) == 0
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        first = Journal(path)
+        first.append({"op": "a"})
+        first.append({"op": "b"})
+        first.close()
+        second = Journal(path)
+        assert second.append({"op": "c"}) == 2
+        assert [r["op"] for r in second.records()] == ["a", "b", "c"]
+
+    def test_sync_mode_appends(self, tmp_path):
+        journal = Journal(str(tmp_path / "j.log"), sync=True)
+        journal.append({"op": "a"})
+        assert [r["op"] for r in journal.records()] == ["a"]
+
+
+class TestTornTail:
+    def test_partial_final_line_is_dropped(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        journal = Journal(path)
+        journal.append({"op": "a"})
+        journal.append({"op": "b"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "c", "seq"')  # crash mid-append
+        assert [r["op"] for r in Journal(path).records()] == ["a", "b"]
+
+    def test_non_dict_line_ends_replay(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"op": "a", "seq": 0}\n[1, 2]\n{"op": "b", "seq": 2}\n')
+        assert [r["op"] for r in Journal(path).records()] == ["a"]
+
+    def test_reopen_after_torn_tail_resumes_from_intact_count(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        journal = Journal(path)
+        journal.append({"op": "a"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        reopened = Journal(path)
+        assert len(reopened) == 1
+        assert reopened.append({"op": "b"}) == 1
+
+
+class TestClear:
+    def test_clear_removes_file_and_resets_seq(self, tmp_path):
+        path = str(tmp_path / "j.log")
+        journal = Journal(path)
+        journal.append({"op": "a"})
+        journal.clear()
+        assert journal.records() == []
+        assert len(journal) == 0
+        assert journal.append({"op": "b"}) == 0

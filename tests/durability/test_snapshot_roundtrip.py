@@ -1,0 +1,210 @@
+"""Property tests: recover(checkpoint(x)) is bit-identical to x.
+
+Each component codec is driven with hypothesis-generated workloads, the
+snapshot is forced through a real JSON round-trip (exactly what the
+durable files see), restored into a freshly constructed component, and
+the restored component must be indistinguishable — snapshot-for-snapshot
+*and* behavior-for-behavior — from the original.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import EvictionPolicy, SemanticCache
+from repro.durability import (
+    restore_cache_into,
+    restore_meter_into,
+    restore_stats_into,
+    snapshot_cache,
+    snapshot_meter,
+    snapshot_stats,
+)
+from repro.llm.client import Usage, UsageMeter
+from repro.serving.stats import ServiceStats
+
+_words = st.sampled_from(
+    ["stadium", "concert", "privacy", "cache", "query", "film", "director",
+     "patient", "table", "column", "vector", "index"]
+)
+query_strategy = st.lists(_words, min_size=2, max_size=6).map(" ".join)
+
+
+def json_roundtrip(payload):
+    """The exact transformation a snapshot file applies to the payload."""
+    return json.loads(json.dumps(payload))
+
+
+def fresh_like(cache: SemanticCache) -> SemanticCache:
+    return SemanticCache(
+        capacity=cache.capacity,
+        reuse_threshold=cache.reuse_threshold,
+        augment_threshold=cache.augment_threshold,
+        policy=cache.policy,
+        embedding_dim=cache.embedder.dim,
+        lrfu_lambda=cache.lrfu_lambda,
+    )
+
+
+class TestCacheRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        queries=st.lists(query_strategy, min_size=0, max_size=30),
+        capacity=st.integers(min_value=1, max_value=8),
+        policy=st.sampled_from(list(EvictionPolicy)),
+    )
+    def test_roundtrip_is_bit_identical(self, queries, capacity, policy):
+        cache = SemanticCache(capacity=capacity, policy=policy)
+        for query in queries:
+            if cache.lookup(query).tier != "reuse":
+                cache.put(query, f"answer for {query}")
+        snapshot = snapshot_cache(cache)
+
+        restored = fresh_like(cache)
+        restore_cache_into(restored, json_roundtrip(snapshot))
+
+        assert snapshot_cache(restored) == snapshot
+        assert list(restored.entries) == list(cache.entries)  # insertion order too
+        assert restored._clock == cache._clock
+        assert restored.stats == cache.stats
+        for key, entry in cache.entries.items():
+            other = restored.entries[key]
+            mine, theirs = dataclasses.asdict(entry), dataclasses.asdict(other)
+            # Embeddings are re-derived on restore (pure function of the
+            # key), so they must come back element-for-element identical.
+            assert np.array_equal(mine.pop("embedding"), theirs.pop("embedding"))
+            assert mine == theirs
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        queries=st.lists(query_strategy, min_size=1, max_size=20, unique=True),
+        probes=st.lists(query_strategy, min_size=1, max_size=10),
+        policy=st.sampled_from(list(EvictionPolicy)),
+    )
+    def test_restored_cache_behaves_identically(self, queries, probes, policy):
+        # Not just equal state: the same future must unfold from it. Every
+        # probe must land in the same tier with the same response, and any
+        # evictions it causes must pick the same victims.
+        cache = SemanticCache(capacity=4, policy=policy)
+        for query in queries:
+            if cache.lookup(query).tier != "reuse":
+                cache.put(query, f"answer for {query}")
+        restored = fresh_like(cache)
+        restore_cache_into(restored, json_roundtrip(snapshot_cache(cache)))
+
+        for probe in probes:
+            mine, theirs = cache.lookup(probe), restored.lookup(probe)
+            assert mine.tier == theirs.tier
+            assert (mine.entry.response if mine.entry else None) == (
+                theirs.entry.response if theirs.entry else None
+            )
+            if mine.tier != "reuse":
+                cache.put(probe, "fresh")
+                restored.put(probe, "fresh")
+        assert snapshot_cache(restored) == snapshot_cache(cache)
+
+    def test_empty_cache_roundtrip(self):
+        cache = SemanticCache(capacity=3)
+        restored = fresh_like(cache)
+        restore_cache_into(restored, json_roundtrip(snapshot_cache(cache)))
+        assert snapshot_cache(restored) == snapshot_cache(cache)
+        assert len(restored) == 0
+
+    def test_single_entry_roundtrip(self):
+        cache = SemanticCache(capacity=3, policy=EvictionPolicy.LRFU)
+        cache.lookup("who directed the film")
+        cache.put("who directed the film", "the director")
+        restored = fresh_like(cache)
+        restore_cache_into(restored, json_roundtrip(snapshot_cache(cache)))
+        assert snapshot_cache(restored) == snapshot_cache(cache)
+        assert restored.lookup("who directed the film").tier == "reuse"
+
+    def test_mismatched_config_is_rejected(self):
+        cache = SemanticCache(capacity=4)
+        snapshot = snapshot_cache(cache)
+        other = SemanticCache(capacity=8)
+        try:
+            restore_cache_into(other, snapshot)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("capacity mismatch must raise")
+
+
+class TestMeterRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.sampled_from(["gpt-4", "gpt-3.5-turbo", "babbage-002"]),
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    def test_roundtrip_is_bit_identical(self, events):
+        meter = UsageMeter()
+        for model, prompt_tokens, completion_tokens in events:
+            meter.record(
+                model,
+                Usage(prompt_tokens=prompt_tokens, completion_tokens=completion_tokens),
+                prompt_tokens * 1.5e-6 + completion_tokens * 2e-6,
+            )
+        snapshot = snapshot_meter(meter)
+        restored = UsageMeter()
+        restore_meter_into(restored, json_roundtrip(snapshot))
+        assert snapshot_meter(restored) == snapshot
+        assert restored.calls == meter.calls
+        assert restored.cost == meter.cost  # bit-identical, not approx
+        assert restored.per_model == meter.per_model
+
+    def test_empty_meter_roundtrip(self):
+        restored = UsageMeter()
+        restore_meter_into(restored, json_roundtrip(snapshot_meter(UsageMeter())))
+        assert restored.calls == 0
+        assert restored.per_model == {}
+
+
+class TestStatsRoundtrip:
+    def _busy_stats(self) -> ServiceStats:
+        from repro.llm.client import LLMClient
+        from repro.serving import build_stack
+
+        stats = ServiceStats()
+        stack = build_stack(
+            LLMClient(),
+            cache=SemanticCache(reuse_threshold=0.9),
+            chain=("babbage-002", "gpt-4"),
+            budget_usd=10.0,
+            stats=stats,
+        )
+        for i in range(8):
+            stack.complete(f"Question: who directed film number {i % 5}?")
+        return stats
+
+    def test_roundtrip_is_bit_identical(self):
+        stats = self._busy_stats()
+        snapshot = snapshot_stats(stats)
+        restored = ServiceStats()
+        restore_stats_into(restored, json_roundtrip(snapshot))
+        assert snapshot_stats(restored) == snapshot
+
+    def test_int_keyed_histograms_survive_json(self):
+        # JSON stringifies dict keys; the codec must bring them back as ints.
+        stats = ServiceStats()
+        stats.scheduler_batch_sizes[4] = 2
+        stats.scheduler_queue_depths[0] = 7
+        restored = ServiceStats()
+        restore_stats_into(restored, json_roundtrip(snapshot_stats(stats)))
+        assert restored.scheduler_batch_sizes == {4: 2}
+        assert restored.scheduler_queue_depths == {0: 7}
+
+    def test_empty_stats_roundtrip(self):
+        restored = ServiceStats()
+        restore_stats_into(restored, json_roundtrip(snapshot_stats(ServiceStats())))
+        assert snapshot_stats(restored) == snapshot_stats(ServiceStats())

@@ -46,6 +46,22 @@ class TestUsageMeter:
         assert meter.per_model["gpt-4"]["prompt_tokens"] == before[2]["prompt_tokens"]
         assert meter.per_model["gpt-4"]["cost"] == pytest.approx(before[2]["cost"])
 
+    def test_refund_unknown_model_raises_and_leaves_ledger_clean(self):
+        # The seed bug: refunding a never-recorded model silently *created*
+        # a per-model entry with negative totals. The contract now: a
+        # refund must reverse an earlier record, anything else is an error.
+        meter = UsageMeter()
+        meter.record("gpt-4", Usage(prompt_tokens=100, completion_tokens=10), 0.5)
+        with pytest.raises(ValueError, match="no recorded usage"):
+            meter.refund("babbage-002", 40, 0.2)
+        assert "babbage-002" not in meter.per_model  # no phantom entry
+        assert meter.prompt_tokens == 100  # totals untouched
+        assert meter.cost == pytest.approx(0.5)
+
+    def test_refund_unknown_model_on_empty_meter_raises(self):
+        with pytest.raises(ValueError):
+            UsageMeter().refund("gpt-4", 1, 0.01)
+
     def test_report_contains_totals_and_models(self):
         meter = UsageMeter()
         meter.record("gpt-4", Usage(prompt_tokens=100, completion_tokens=10), 0.5)

@@ -1,5 +1,7 @@
 """Persistence tests: SQL dump/restore and vector collection save/load."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -90,3 +92,18 @@ class TestCollectionPersistence:
         restored = Collection.load(path)
         report = restored.search(np.ones(6), k=3, where={"group": 2})
         assert all(h.metadata["group"] == 2 for h in report.hits)
+
+    def test_save_is_atomic_failed_write_preserves_original(self, tmp_path):
+        # The seed bug: save() opened the target for writing directly, so
+        # a crash (or unserializable payload) mid-write left a torn file.
+        # Now the payload lands in a temp file renamed over the target.
+        original = self._collection()
+        path = str(tmp_path / "c.json")
+        original.save(path)
+        poisoned = self._collection()
+        poisoned.add("bad", np.ones(6), payload=object())  # not JSON-serializable
+        with pytest.raises(TypeError):
+            poisoned.save(path)
+        restored = Collection.load(path)  # previous save still intact
+        assert len(restored) == len(original)
+        assert sorted(os.listdir(tmp_path)) == ["c.json"]  # no temp litter
