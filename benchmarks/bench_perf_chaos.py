@@ -28,8 +28,15 @@ ACCEPTANCE_RATE = 0.15
 ACCEPTANCE_AVAILABILITY = 0.99
 
 
-def _report_path() -> str:
-    return os.environ.get("REPRO_BENCH_CHAOS_PATH", DEFAULT_CHAOS_REPORT_PATH)
+def _report_path(smoke: bool = False) -> str:
+    # Smoke runs measure a reduced sweep; keep them off the committed
+    # full-size artifact path.
+    default = (
+        DEFAULT_CHAOS_REPORT_PATH.replace(".json", ".smoke.json")
+        if smoke
+        else DEFAULT_CHAOS_REPORT_PATH
+    )
+    return os.environ.get("REPRO_BENCH_CHAOS_PATH", default)
 
 
 def _run(smoke: bool, write: bool = True):
@@ -37,7 +44,7 @@ def _run(smoke: bool, write: bool = True):
         n_requests=80 if smoke else 300,
         fault_rates=(0.0, 0.05, 0.15),
         equivalence_requests=16 if smoke else 40,
-        write_path=_report_path() if write else None,
+        write_path=_report_path(smoke=smoke) if write else None,
     )
 
 
@@ -78,13 +85,13 @@ def main(argv) -> int:
     smoke = "--smoke" in argv
     report = _run(smoke)
     print(report.render())
-    print(f"wrote {_report_path()}")
+    print(f"wrote {_report_path(smoke=smoke)}")
     error = _check(report)
     if error:
         print(f"FAIL: {error}", file=sys.stderr)
         return 1
     # Validate the report round-trips as JSON.
-    with open(_report_path(), "r", encoding="utf-8") as handle:
+    with open(_report_path(smoke=smoke), "r", encoding="utf-8") as handle:
         json.load(handle)
     return 0
 

@@ -26,8 +26,16 @@ ACCEPTANCE_SIZE = 10_000
 ACCEPTANCE_SPEEDUP = 10.0
 
 
-def _report_path() -> str:
-    return os.environ.get("REPRO_BENCH_HOTPATHS_PATH", DEFAULT_REPORT_PATH)
+def _report_path(smoke: bool = False) -> str:
+    # Smoke/pytest runs time a reduced size ladder; writing them to the
+    # committed artifact path would clobber the full sweep, so they get a
+    # sibling .smoke.json (gitignored) instead.
+    default = (
+        DEFAULT_REPORT_PATH.replace(".json", ".smoke.json")
+        if smoke
+        else DEFAULT_REPORT_PATH
+    )
+    return os.environ.get("REPRO_BENCH_HOTPATHS_PATH", default)
 
 
 def test_equivalence_all_policies(once):
@@ -41,7 +49,9 @@ def test_equivalence_all_policies(once):
 
 
 def test_hotpath_speedups(once):
-    report = once(run_hotpaths, sizes=(1000, ACCEPTANCE_SIZE), write_path=_report_path())
+    report = once(
+        run_hotpaths, sizes=(1000, ACCEPTANCE_SIZE), write_path=_report_path(smoke=True)
+    )
     print()
     print(report.render())
     assert report.diverged == 0
@@ -55,10 +65,15 @@ def test_hotpath_speedups(once):
 
 def main(argv) -> int:
     smoke = "--smoke" in argv
-    sizes = (1000,) if smoke else (1000, 10_000, 50_000)
-    report = run_hotpaths(sizes=sizes, write_path=_report_path())
+    sizes = (1000,) if smoke else (1000, 10_000, 50_000, 100_000)
+    # Full runs also sweep the index layer at scale: flat vs cluster-pruned
+    # exact search at 100k-1M rows, zero mismatches required.
+    ann_sizes = () if smoke else (100_000, 300_000, 1_000_000)
+    report = run_hotpaths(
+        sizes=sizes, write_path=_report_path(smoke=smoke), ann_sizes=ann_sizes
+    )
     print(report.render())
-    print(f"wrote {_report_path()}")
+    print(f"wrote {_report_path(smoke=smoke)}")
     if report.diverged != 0:
         print("FAIL: vectorized hot paths diverged from the linear scan", file=sys.stderr)
         return 1
@@ -70,7 +85,7 @@ def main(argv) -> int:
         )
         return 1
     # Smoke mode still validates the report round-trips as JSON.
-    with open(_report_path(), "r", encoding="utf-8") as handle:
+    with open(_report_path(smoke=smoke), "r", encoding="utf-8") as handle:
         json.load(handle)
     return 0
 

@@ -24,8 +24,15 @@ import sys
 from repro.bench.perf import DEFAULT_RECOVERY_REPORT_PATH, run_recovery
 
 
-def _report_path() -> str:
-    return os.environ.get("REPRO_BENCH_RECOVERY_PATH", DEFAULT_RECOVERY_REPORT_PATH)
+def _report_path(smoke: bool = False) -> str:
+    # Smoke runs measure a reduced sweep; keep them off the committed
+    # full-size artifact path.
+    default = (
+        DEFAULT_RECOVERY_REPORT_PATH.replace(".json", ".smoke.json")
+        if smoke
+        else DEFAULT_RECOVERY_REPORT_PATH
+    )
+    return os.environ.get("REPRO_BENCH_RECOVERY_PATH", default)
 
 
 def _run(smoke: bool, write: bool = True):
@@ -34,7 +41,7 @@ def _run(smoke: bool, write: bool = True):
         n_repeats=3 if smoke else 6,
         checkpoint_every=4 if smoke else 5,
         scaling_lengths=(2, 5, 9) if smoke else (2, 6, 12, 18),
-        write_path=_report_path() if write else None,
+        write_path=_report_path(smoke=smoke) if write else None,
     )
 
 
@@ -74,13 +81,13 @@ def main(argv) -> int:
     smoke = "--smoke" in argv
     report = _run(smoke)
     print(report.render())
-    print(f"wrote {_report_path()}")
+    print(f"wrote {_report_path(smoke=smoke)}")
     error = _check(report)
     if error:
         print(f"FAIL: {error}", file=sys.stderr)
         return 1
     # Validate the report round-trips as JSON.
-    with open(_report_path(), "r", encoding="utf-8") as handle:
+    with open(_report_path(smoke=smoke), "r", encoding="utf-8") as handle:
         json.load(handle)
     return 0
 

@@ -27,8 +27,15 @@ ACCEPTANCE_CONFIG = "w8_b8_combined"
 ACCEPTANCE_SPEEDUP = 3.0
 
 
-def _report_path() -> str:
-    return os.environ.get("REPRO_BENCH_SERVING_PATH", DEFAULT_SERVING_REPORT_PATH)
+def _report_path(smoke: bool = False) -> str:
+    # Smoke runs measure a reduced sweep; keep them off the committed
+    # full-size artifact path.
+    default = (
+        DEFAULT_SERVING_REPORT_PATH.replace(".json", ".smoke.json")
+        if smoke
+        else DEFAULT_SERVING_REPORT_PATH
+    )
+    return os.environ.get("REPRO_BENCH_SERVING_PATH", default)
 
 
 def _run(smoke: bool, write: bool = True):
@@ -36,7 +43,7 @@ def _run(smoke: bool, write: bool = True):
         n_requests=64 if smoke else 256,
         worker_counts=(1, 8) if smoke else (1, 2, 8),
         batch_sizes=(1, 8),
-        write_path=_report_path() if write else None,
+        write_path=_report_path(smoke=smoke) if write else None,
     )
 
 
@@ -54,7 +61,7 @@ def main(argv) -> int:
     smoke = "--smoke" in argv
     report = _run(smoke)
     print(report.render())
-    print(f"wrote {_report_path()}")
+    print(f"wrote {_report_path(smoke=smoke)}")
     if report.diverged != 0:
         print(
             "FAIL: parallel Table I/III runs diverged from the serial render",
@@ -69,7 +76,7 @@ def main(argv) -> int:
         )
         return 1
     # Validate the report round-trips as JSON.
-    with open(_report_path(), "r", encoding="utf-8") as handle:
+    with open(_report_path(smoke=smoke), "r", encoding="utf-8") as handle:
         json.load(handle)
     return 0
 

@@ -1,0 +1,84 @@
+"""Perf-regression gate over the BENCH_* artifacts.
+
+Reads one or more bench report files (smoke or full sweep — they share
+schemas) and fails the build when a hard perf or correctness floor is
+violated:
+
+* ``repro.bench.hotpaths/*``: ``cache_put`` speedup must be >= 1.0
+  at every measured size — maintaining the vector index may never make an
+  insert slower than the seed's plain dict put — and every equivalence
+  cell and ANN sweep must report zero divergence/mismatches.
+* ``repro.bench.cpu/*``: process dispatch must not diverge from the
+  serial loop.
+* every other report: its ``diverged`` count (wherever it lives in the
+  payload) must be zero.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/check_perf_gate.py \
+        BENCH_hotpaths.smoke.json BENCH_serving.smoke.json BENCH_cpu.smoke.json
+"""
+
+import json
+import sys
+from typing import Iterator, List, Tuple
+
+PUT_FLOOR = 1.0
+
+
+def _walk_diverged(node: object, path: str = "") -> Iterator[Tuple[str, int]]:
+    """Yield every (path, value) for keys named diverged/mismatches."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            where = f"{path}.{key}" if path else key
+            if key in ("diverged", "mismatches") and isinstance(value, (int, float)):
+                yield where, int(value)
+            else:
+                yield from _walk_diverged(value, where)
+
+
+def check_report(path: str) -> List[str]:
+    """Return a list of gate violations for one report file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    problems = []
+    schema = str(report.get("schema", ""))
+    for where, count in _walk_diverged(report):
+        if count > 0:
+            problems.append(f"{path}: {where} = {count} (must be 0)")
+    if schema.startswith("repro.bench.hotpaths"):
+        puts = report.get("ops", {}).get("cache_put", {})
+        if not puts:
+            problems.append(f"{path}: no cache_put cells to gate on")
+        for size, cell in sorted(puts.items(), key=lambda kv: int(kv[0])):
+            speedup = float(cell.get("speedup", 0.0))
+            if speedup < PUT_FLOOR:
+                problems.append(
+                    f"{path}: cache_put speedup {speedup:.3f} at size {size} "
+                    f"below the {PUT_FLOOR:.1f}x floor"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    paths = [arg for arg in argv if not arg.startswith("-")]
+    if not paths:
+        print("usage: check_perf_gate.py BENCH_report.json [...]", file=sys.stderr)
+        return 2
+    failures = []
+    for path in paths:
+        try:
+            problems = check_report(path)
+        except (OSError, ValueError) as exc:
+            problems = [f"{path}: unreadable report ({exc})"]
+        if problems:
+            failures.extend(problems)
+        else:
+            print(f"ok: {path}")
+    for problem in failures:
+        print(f"GATE: {problem}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -31,14 +31,15 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro._util import cosine
 from repro.llm.embeddings import EmbeddingModel
 from repro.llm.provider import CompletionProvider
-from repro.vectordb import FlatIndex, HNSWIndex, IVFIndex
+from repro.vectordb import FlatIndex, HNSWIndex, IVFIndex, auto_index
+from repro.vectordb.distance import Metric, scalar_similarity
 
 REUSE_WEIGHT = 3.0  # case (1): no LLM call needed — most valuable
 AUGMENT_WEIGHT = 1.0  # case (2): still calls the LLM
@@ -58,7 +59,9 @@ class CacheEntry:
     """One cached (query, response) pair with usage statistics."""
 
     key: str
-    embedding: np.ndarray
+    # None while the entry sits in the cache's write-behind put buffer;
+    # set (batched) by the first probe's flush.
+    embedding: Optional[np.ndarray]
     response: str
     kind: str = "original"  # 'original' | 'sub'
     cost_of_miss: float = 0.0  # what the original call cost
@@ -226,27 +229,47 @@ class AdmissionPredictor:
             return admit
 
 
-def _build_index(index: Union[str, object], dim: int) -> object:
+@dataclass
+class _BatchProbe:
+    """Precomputed best-match snapshot for one scheduler batch.
+
+    ``best`` maps each batch key to its snapshot winner (or None when the
+    cache was empty), ``vectors`` to its embedding; ``log_pos`` and
+    ``evictions`` pin the cache state the snapshot reflects so later
+    lookups can merge (appends only) or fall back (anything else)."""
+
+    best: Dict[str, Optional[Tuple[str, float]]]
+    vectors: Dict[str, np.ndarray]
+    log_pos: int
+    evictions: int
+
+
+def _build_index(index: Union[str, object], dim: int, capacity: int) -> object:
     if not isinstance(index, str):
         return index
+    if index == "auto":
+        return auto_index(dim, capacity)
     if index == "flat":
         return FlatIndex(dim=dim)
     if index == "ivf":
         return IVFIndex(dim=dim)
     if index == "hnsw":
         return HNSWIndex(dim=dim)
-    raise ValueError(f"unknown cache index kind: {index!r} (flat|ivf|hnsw)")
+    raise ValueError(f"unknown cache index kind: {index!r} (auto|flat|ivf|hnsw)")
 
 
 class SemanticCache:
     """Similarity-matched, budget-bounded LLM response cache.
 
-    ``index`` selects the vector backend for probes: ``"flat"`` (default)
-    is an exact dense-matrix scan, decision-identical to a per-entry linear
-    scan; ``"ivf"`` / ``"hnsw"`` are the approximate
-    :mod:`repro.vectordb` indexes for very large capacities, where a probe
-    may miss the true nearest entry but runs sublinearly. A prebuilt index
-    object (anything with ``add``/``remove``/``search``) is accepted too.
+    ``index`` selects the vector backend for probes: ``"auto"`` (default)
+    picks by capacity via :func:`repro.vectordb.auto_index` — an exact
+    dense-matrix :class:`FlatIndex` up to ~50k entries, the cluster-pruned
+    (still exact) :class:`~repro.vectordb.ExactIVFIndex` above — so probe
+    decisions are always identical to a per-entry linear scan. ``"flat"``
+    forces the brute-force index; ``"ivf"`` / ``"hnsw"`` are the
+    *approximate* :mod:`repro.vectordb` indexes, where a probe may miss
+    the true nearest entry but runs sublinearly. A prebuilt index object
+    (anything with ``add``/``remove``/``search``) is accepted too.
 
     Thread safety: every probe and mutation holds one re-entrant cache
     lock, so concurrent callers can never observe a torn state (an entry
@@ -269,7 +292,7 @@ class SemanticCache:
         embedding_dim: int = 64,
         lrfu_lambda: float = 0.1,
         admission: Optional[AdmissionPredictor] = None,
-        index: Union[str, object] = "flat",
+        index: Union[str, object] = "auto",
     ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -286,12 +309,26 @@ class SemanticCache:
         self.admission_rejects = 0
         self.embedder = EmbeddingModel(dim=embedding_dim)
         self.entries: Dict[str, CacheEntry] = {}
-        self.index = _build_index(index, embedding_dim)
+        self.index = _build_index(index, embedding_dim, capacity)
         self.stats = CacheStats()
         self._clock = 0
         # Guards entries, the vector index, stats, and the LRFU clock as
         # one unit: the index and the entry dict must never disagree.
         self._lock = threading.RLock()
+        # Batch-probe support: an append-only log of inserted keys (with a
+        # rotating base offset so it stays bounded) lets a probe snapshot
+        # be merged exactly with entries inserted after it. The active
+        # probe is per-thread: a dispatcher thread probes its whole batch
+        # once, then its per-request lookups reuse the precomputed sims.
+        self._insert_log: List[str] = []
+        self._insert_log_base = 0
+        self._probe_local = threading.local()
+        # Write-behind puts: entries parked here are live in ``entries``
+        # (hit/evict/len all see them) but not yet embedded or in the
+        # vector index. The first probe flushes the whole buffer — one
+        # batched embed sweep plus index adds in insertion order — so an
+        # insert-heavy phase never pays per-put embedding or index costs.
+        self._pending_puts: Dict[str, CacheEntry] = {}
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -303,10 +340,106 @@ class SemanticCache:
 
     def _best_match(self, query_vec: np.ndarray) -> Optional[Tuple[str, float]]:
         """Nearest cached key and its similarity, via the vector index."""
-        if isinstance(self.index, FlatIndex):
+        if hasattr(self.index, "search_top1"):
             return self.index.search_top1(query_vec, refine_exact=True)
         hits = self.index.search(query_vec, k=1)
         return hits[0] if hits else None
+
+    # --------------------------------------------------------- batch probes
+
+    def batch_probe(self, queries: Sequence[str]) -> Optional["_BatchProbe"]:
+        """Precompute best matches for a whole batch with one matrix pass.
+
+        Called by the serving layer when a scheduler batch is drained: all
+        batch keys are embedded in one :meth:`EmbeddingModel.embed_batch`
+        sweep and scored against the index in one matrix-matrix product
+        (instead of a gemv per request). The probe is installed for the
+        *calling thread*; subsequent :meth:`lookup`/:meth:`peek` calls on
+        that thread reuse the precomputed winner instead of re-scanning.
+
+        Exactness: the probe records the insert-log position and eviction
+        count at snapshot time. A later lookup takes the snapshot winner
+        and merges it with scalar similarities of entries inserted *after*
+        the snapshot, in insertion order with a strict ``>`` — exactly the
+        first-inserted-strictly-greatest rule the sequential scan applies —
+        so the merged result is bit-identical to an unprobed lookup. Any
+        eviction after the snapshot invalidates the probe (lookups fall
+        back to the full scan); correctness never depends on the probe.
+
+        Returns the probe (also threaded through ``_probe_local``), or
+        ``None`` when the index can't batch (no ``search_top1_many``).
+        Call :meth:`end_probe` when the batch is done.
+        """
+        if not hasattr(self.index, "search_top1_many"):
+            return None
+        if getattr(self.index, "metric", Metric.COSINE) is not Metric.COSINE:
+            return None  # delta merge below assumes cosine scalar sims
+        unique = list(dict.fromkeys(queries))
+        if not unique:
+            return None
+        vectors = self.embedder.embed_batch(unique)
+        with self._lock:
+            if self._pending_puts:
+                self._flush_puts()
+            # Rotate the insert log so it can't grow without bound; any
+            # probe older than the rotation simply falls back.
+            if len(self._insert_log) > 4096:
+                self._insert_log_base += len(self._insert_log)
+                self._insert_log = []
+            if self.entries:
+                hits = self.index.search_top1_many(vectors, refine_exact=True)
+            else:
+                hits = [None] * len(unique)
+            probe = _BatchProbe(
+                best={q: hit for q, hit in zip(unique, hits)},
+                vectors={q: vectors[i] for i, q in enumerate(unique)},
+                log_pos=self._insert_log_base + len(self._insert_log),
+                evictions=self.stats.evictions,
+            )
+        self._probe_local.probe = probe
+        return probe
+
+    def end_probe(self) -> None:
+        """Drop the calling thread's active batch probe (if any)."""
+        self._probe_local.probe = None
+
+    def _probe_best(
+        self, query: str, query_vec: np.ndarray
+    ) -> Optional[Tuple[str, float]]:
+        """Best match via the thread's batch probe, or the full scan.
+
+        Must be called under the cache lock."""
+        if query in self.entries:
+            # Exact requery returns its own entry: distinct texts can share
+            # one embedding (same feature multiset), and a similarity scan
+            # would tie-break to whichever was inserted first.
+            return query, 1.0
+        if self._pending_puts:
+            self._flush_puts()
+        probe: Optional[_BatchProbe] = getattr(self._probe_local, "probe", None)
+        if (
+            probe is None
+            or query not in probe.best
+            or probe.evictions != self.stats.evictions
+            or probe.log_pos < self._insert_log_base
+        ):
+            return self._best_match(query_vec)
+        best = probe.best[query]
+        delta = self._insert_log[probe.log_pos - self._insert_log_base :]
+        if delta:
+            best_sim = best[1] if best is not None else -np.inf
+            best_key = best[0] if best is not None else None
+            for key in delta:
+                entry = self.entries.get(key)
+                if entry is None:  # evicted — but then evictions differed
+                    return self._best_match(query_vec)
+                sim = scalar_similarity(query_vec, entry.embedding, Metric.COSINE)
+                if sim > best_sim:
+                    best_sim, best_key = sim, key
+            if best_key is None:
+                return None
+            return best_key, float(best_sim)
+        return best
 
     def lookup(self, query: str) -> CacheLookup:
         """Probe the cache; updates hit statistics."""
@@ -319,7 +452,7 @@ class SemanticCache:
             if not self.entries:
                 self.stats.misses += 1
                 return CacheLookup(tier="miss")
-            best = self._best_match(query_vec)
+            best = self._probe_best(query, query_vec)
             if best is None:
                 self.stats.misses += 1
                 return CacheLookup(tier="miss")
@@ -350,7 +483,7 @@ class SemanticCache:
         with self._lock:
             if not self.entries:
                 return CacheLookup(tier="miss")
-            best = self._best_match(query_vec)
+            best = self._probe_best(query, query_vec)
             if best is None:
                 return CacheLookup(tier="miss")
             best_key, best_sim = best
@@ -370,6 +503,41 @@ class SemanticCache:
 
         With an :class:`AdmissionPredictor` configured, entries predicted
         to never be re-accessed are refused (returns None)."""
+        if self.admission is None:
+            # Fast path: one lock section for the whole refresh-or-insert.
+            # Embedding and the index add are write-behind — the entry is
+            # parked un-embedded in ``_pending_puts`` and materialized (one
+            # batched embed sweep, index adds in insertion order) by the
+            # next probe — so a put is a dict insert plus a buffer park.
+            with self._lock:
+                self._clock += 1
+                entry = self.entries.get(query)
+                if entry is not None:
+                    entry.response = response
+                    entry.cost_of_miss = cost
+                    entry.last_access = self._clock
+                    entry.touch_lrfu(self._clock, self.lrfu_lambda)
+                    return entry
+                while len(self.entries) >= self.capacity:
+                    self._evict()
+                # A fresh entry's touch_lrfu is 0*(1-λ)**age + 1 == 1.0
+                # exactly, so fold it into the constructor (saves a method
+                # call + pow on every insert; bit-identical to the seed).
+                entry = CacheEntry(
+                    key=query,
+                    embedding=None,
+                    response=response,
+                    kind=kind,
+                    cost_of_miss=cost,
+                    last_access=self._clock,
+                    inserted_at=self._clock,
+                    crf=1.0,
+                    crf_updated_at=self._clock,
+                )
+                self.entries[query] = entry
+                self._pending_puts[query] = entry
+                self._insert_log.append(query)
+                return entry
         with self._lock:
             self._clock += 1
             if query in self.entries:
@@ -410,8 +578,45 @@ class SemanticCache:
             )
             entry.touch_lrfu(self._clock, self.lrfu_lambda)
             self.entries[query] = entry
-            self.index.add(query, embedding)
+            # Park alongside the fast path's un-embedded entries so index
+            # insertion order always equals entry insertion order.
+            self._pending_puts[query] = entry
+            self._insert_log.append(query)
             return entry
+
+    def _flush_puts(self) -> None:
+        """Materialize the write-behind put buffer (under the cache lock).
+
+        Embeds every un-embedded parked entry with one
+        :meth:`EmbeddingModel.embed_batch` sweep, then pushes all parked
+        entries into the vector index in insertion order — so index row
+        order (and therefore first-inserted tie-breaks) is exactly what
+        eager per-put adds would have produced."""
+        pending = self._pending_puts
+        if not pending:
+            return
+        self._pending_puts = {}
+        missing = [key for key, entry in pending.items() if entry.embedding is None]
+        if missing:
+            matrix = self.embedder.embed_batch(missing)
+            for i, key in enumerate(missing):
+                pending[key].embedding = matrix[i]
+        for key, entry in pending.items():
+            self.index.add(key, entry.embedding)
+
+    def flush(self) -> None:
+        """Force-materialize all write-behind state now.
+
+        Flushes the cache-level put buffer (embeddings + index adds) and,
+        when the index itself buffers inserts (:class:`FlatIndex` and its
+        subclasses), the index's pending block too. Probes do this
+        automatically; call it before inspecting ``cache.index``
+        internals or measuring steady-state probe latency."""
+        with self._lock:
+            self._flush_puts()
+            flush_index = getattr(self.index, "flush", None)
+            if flush_index is not None:
+                flush_index()
 
     def _evict(self) -> None:
         if not self.entries:
@@ -434,7 +639,10 @@ class SemanticCache:
                 key=lambda e: (e.weighted_score(self._clock), e.key),
             )
         del self.entries[victim.key]
-        self.index.remove(victim.key)
+        if self._pending_puts.pop(victim.key, None) is None:
+            # Only flushed entries ever reached the index; a victim still
+            # in the put buffer just gets retracted from it.
+            self.index.remove(victim.key)
         self.stats.evictions += 1
 
 

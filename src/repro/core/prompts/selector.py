@@ -24,13 +24,36 @@ from repro.llm.embeddings import EmbeddingModel
 T = TypeVar("T")
 
 
-def _cosines_to(matrix: np.ndarray, vec: np.ndarray) -> np.ndarray:
-    """Cosine of ``vec`` against every row of ``matrix`` (0.0 on zeros)."""
+def _cosines_to(
+    matrix: np.ndarray, vec: np.ndarray, norms: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Cosine of ``vec`` against every row of ``matrix`` (0.0 on zeros).
+
+    ``norms`` may carry precomputed ``np.linalg.norm(matrix, axis=1)`` —
+    the same reduction this function would run, so passing it changes
+    nothing but the work done."""
     qn = float(np.linalg.norm(vec))
-    norms = np.linalg.norm(matrix, axis=1)
+    if norms is None:
+        norms = np.linalg.norm(matrix, axis=1)
     denom = norms * qn
     dots = matrix @ vec
     return np.divide(dots, denom, out=np.zeros_like(dots), where=denom > 0)
+
+
+def _stable_topk(sims: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the k largest sims, ordered desc with lowest-index ties.
+
+    Exactly ``np.argsort(-sims, kind="stable")[:k]``, but via a partial
+    partition: ties straddling the k-boundary are resolved explicitly by
+    index, so the result is identical to the full stable sort."""
+    n = sims.shape[0]
+    if k >= n:
+        return np.argsort(-sims, kind="stable")
+    threshold = sims[np.argpartition(-sims, k - 1)[k - 1]]
+    above = np.flatnonzero(sims > threshold)
+    ties = np.flatnonzero(sims == threshold)[: k - above.size]
+    chosen = np.concatenate([above, ties])
+    return chosen[np.argsort(-sims[chosen], kind="stable")]
 
 
 def similarity_select(
@@ -48,9 +71,9 @@ def similarity_select(
         return []
     embedder = embedder or EmbeddingModel()
     query_vec = embedder.embed(query)
-    vectors = embedder.embed_batch([text_of(c) for c in candidates])
-    sims = _cosines_to(vectors, query_vec)
-    order = np.argsort(-sims, kind="stable")[:k]
+    vectors, norms = embedder.embed_matrix([text_of(c) for c in candidates])
+    sims = _cosines_to(vectors, query_vec, norms=norms)
+    order = _stable_topk(sims, k)
     return [candidates[int(i)] for i in order]
 
 
@@ -74,8 +97,8 @@ def mmr_select(
         return []
     embedder = embedder or EmbeddingModel()
     query_vec = embedder.embed(query)
-    vectors = embedder.embed_batch([text_of(c) for c in candidates])
-    relevance = _cosines_to(vectors, query_vec)
+    vectors, norms = embedder.embed_matrix([text_of(c) for c in candidates])
+    relevance = _cosines_to(vectors, query_vec, norms=norms)
 
     n = len(candidates)
     # max similarity to any selected candidate; 0.0 while nothing selected
@@ -90,7 +113,7 @@ def mmr_select(
         best = int(np.argmax(scores))  # first max == lowest-index tie-break
         selected.append(best)
         available[best] = False
-        sims_to_best = _cosines_to(vectors, vectors[best])
+        sims_to_best = _cosines_to(vectors, vectors[best], norms=norms)
         redundancy = sims_to_best if not picked_any else np.maximum(redundancy, sims_to_best)
         picked_any = True
     return [candidates[i] for i in selected]

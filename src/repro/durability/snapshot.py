@@ -66,8 +66,13 @@ _STATS_INT_KEYS = ("scheduler_batch_sizes", "scheduler_queue_depths")
 
 
 def snapshot_cache(cache: SemanticCache) -> Dict[str, object]:
-    """Serializable snapshot of a cache's full logical state."""
+    """Serializable snapshot of a cache's full logical state.
+
+    Flushes the cache's write-behind put buffer first, so a snapshot never
+    observes (or strands) half-materialized entries: every entry it
+    records is embedded and indexed exactly as a probe would see it."""
     with cache._lock:
+        cache._flush_puts()
         entries = [
             {field: getattr(entry, field) for field in _ENTRY_FIELDS}
             for entry in cache.entries.values()
@@ -145,6 +150,8 @@ def restore_cache_into(cache: SemanticCache, data: Dict[str, object]) -> None:
             )
     with cache._lock:
         cache.entries.clear()
+        # Un-flushed write-behind puts die with the entries they shadow.
+        cache._pending_puts = {}
         # Rebuild the vector index from scratch in entry insertion order
         # rather than surgically removing rows from the old one.
         cache.index = type(cache.index)(dim=cache.embedder.dim)
@@ -164,6 +171,11 @@ def restore_cache_into(cache: SemanticCache, data: Dict[str, object]) -> None:
             )
             cache.entries[entry.key] = entry
             cache.index.add(entry.key, entry.embedding)
+        # The wholesale replacement invalidates any in-flight batch probe:
+        # advance the insert-log base past every recorded probe position so
+        # their lookups fall back to a full (fresh-index) scan.
+        cache._insert_log_base += len(cache._insert_log) + 1
+        cache._insert_log = []
         stats = data["stats"]
         cache.stats = CacheStats(**{field: stats[field] for field in _CACHE_STATS_FIELDS})
         cache._clock = int(data["clock"])

@@ -15,9 +15,10 @@ stores, semantic caches and multi-modal lakes.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from repro._util import stable_hash, words
 
 DEFAULT_DIM = 64
 DEFAULT_MEMO_SIZE = 4096
+DEFAULT_MATRIX_MEMO_SIZE = 4
 
 _STOPWORDS = frozenset(
     """
@@ -107,6 +109,9 @@ class EmbeddingModel:
         self.memo_size = memo_size
         self._memo: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self._memo_lock = threading.Lock()
+        self._matrix_memo: "OrderedDict[bytes, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
 
     def embed(self, text: str) -> np.ndarray:
         memo = self._memo
@@ -125,7 +130,81 @@ class EmbeddingModel:
         return vec
 
     def embed_batch(self, texts: List[str]) -> np.ndarray:
-        """Embed several texts; returns an (n, dim) matrix."""
+        """Embed several texts; returns an (n, dim) matrix.
+
+        One lock acquisition sweeps the memo for every text (instead of a
+        lock round-trip per text), repeated texts within the batch are
+        computed once, and only the misses run the feature-hashing loop.
+        Each row is the exact vector :meth:`embed` returns for that text —
+        per-text embeddings are a pure function of the text, so batching
+        changes the locking pattern, never the values.
+        """
         if not texts:
             return np.zeros((0, self.dim), dtype=np.float64)
-        return np.stack([self.embed(t) for t in texts])
+        memo = self._memo
+        rows: List[Optional[np.ndarray]] = [None] * len(texts)
+        misses: Dict[str, List[int]] = {}
+        with self._memo_lock:
+            for i, text in enumerate(texts):
+                vec = memo.get(text)
+                if vec is not None:
+                    memo.move_to_end(text)
+                    rows[i] = vec
+                else:
+                    misses.setdefault(text, []).append(i)
+        if misses:
+            computed: Dict[str, np.ndarray] = {}
+            for text in misses:
+                vec = embed_text(text, dim=self.dim)
+                vec.setflags(write=False)
+                computed[text] = vec
+                for i in misses[text]:
+                    rows[i] = vec
+            if self.memo_size > 0:
+                with self._memo_lock:
+                    for text, vec in computed.items():
+                        memo[text] = vec
+                        if len(memo) > self.memo_size:
+                            memo.popitem(last=False)
+        return np.stack(rows)
+
+    @staticmethod
+    def _texts_digest(texts: List[str]) -> bytes:
+        """Collision-safe content key for a text sequence.
+
+        Hashes the joined payload *and* the per-text lengths — the lengths
+        uniquely partition the joined string, so ["a\\x1fb"] and ["a", "b"]
+        can never share a key."""
+        joined = "\x1f".join(texts).encode("utf-8", "surrogatepass")
+        lengths = np.fromiter((len(t) for t in texts), dtype=np.int64)
+        digest = hashlib.blake2b(joined, digest_size=16)
+        digest.update(lengths.tobytes())
+        return digest.digest()
+
+    def embed_matrix(self, texts: List[str]) -> Tuple[np.ndarray, np.ndarray]:
+        """Embed a candidate pool once; returns ``(matrix, row_norms)``.
+
+        Selection scans the same candidate pool on every call, so even a
+        memo-hit :meth:`embed_batch` pays n dict touches plus an (n, dim)
+        stack each time. This path hashes the pool's content once and
+        caches the stacked matrix and its row norms (a small LRU of
+        :data:`DEFAULT_MATRIX_MEMO_SIZE` pools) — embeddings are a pure
+        function of the text, so a content hit can never go stale. Both
+        arrays are returned read-only; rows and norms are exactly what
+        :meth:`embed_batch` and ``np.linalg.norm(matrix, axis=1)`` produce.
+        """
+        key = self._texts_digest(texts)
+        with self._memo_lock:
+            hit = self._matrix_memo.get(key)
+            if hit is not None:
+                self._matrix_memo.move_to_end(key)
+                return hit
+        matrix = self.embed_batch(texts)
+        norms = np.linalg.norm(matrix, axis=1)
+        matrix.setflags(write=False)
+        norms.setflags(write=False)
+        with self._memo_lock:
+            self._matrix_memo[key] = (matrix, norms)
+            if len(self._matrix_memo) > DEFAULT_MATRIX_MEMO_SIZE:
+                self._matrix_memo.popitem(last=False)
+        return matrix, norms

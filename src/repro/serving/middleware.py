@@ -80,6 +80,22 @@ class Middleware:
     def embed(self, text: str) -> np.ndarray:
         return self.inner.embed(text)
 
+    def begin_batch(self, prompts: Sequence[str], model: Optional[str] = None) -> None:
+        """Amortization hook: a scheduler announces the prompts of a batch
+        it is about to complete one by one. Layers may precompute shared
+        work (batched embeddings, cache probes) for the *calling thread*;
+        the per-request ``complete`` results must be unchanged. Forwarded
+        down the stack; pure optimization, never required."""
+        begin = getattr(self.inner, "begin_batch", None)
+        if begin is not None:
+            begin(prompts, model)
+
+    def end_batch(self) -> None:
+        """Release any per-thread state installed by :meth:`begin_batch`."""
+        end = getattr(self.inner, "end_batch", None)
+        if end is not None:
+            end()
+
     def reseeded(self, offset: int) -> "Middleware":
         """A sibling layer over the seed-shifted inner provider. Mutable
         layer state (cache entries, counters) is shared, not copied."""
@@ -120,6 +136,28 @@ class SemanticCacheMiddleware(Middleware):
         # by its own lock: pruning rebuilds the dict.
         self._completions: Dict[str, Completion] = {}
         self._replay_lock = threading.Lock()
+
+    def begin_batch(self, prompts: Sequence[str], model: Optional[str] = None) -> None:
+        """Precompute this batch's cache probes in one matrix pass.
+
+        All batch keys are embedded with a single ``embed_batch`` sweep and
+        scored against the cache index with one matrix-matrix product; the
+        per-request ``complete`` calls on this thread then reuse the
+        precomputed winners (merged exactly with any concurrent inserts —
+        see :meth:`SemanticCache.batch_probe`). The admission predictor's
+        embedder memo is warmed the same way, so its later per-key embeds
+        are memo hits. Results are bit-identical to unbatched serving."""
+        keys = [
+            self.key_fn(p) if self.key_fn is not None else p for p in prompts
+        ]
+        self.cache.batch_probe(keys)
+        if self.cache.admission is not None:
+            self.cache.admission.embedder.embed_batch(list(dict.fromkeys(keys)))
+        super().begin_batch(prompts, model)
+
+    def end_batch(self) -> None:
+        self.cache.end_probe()
+        super().end_batch()
 
     def complete(self, prompt: str, model: Optional[str] = None) -> Completion:
         key = self.key_fn(prompt) if self.key_fn is not None else prompt

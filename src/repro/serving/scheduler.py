@@ -36,12 +36,13 @@ serial stream.
 from __future__ import annotations
 
 import heapq
+import multiprocessing
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.serving.stats import ServiceStats
 
@@ -50,6 +51,36 @@ if TYPE_CHECKING:  # pragma: no cover - import only for annotations
     from repro.llm.provider import CompletionProvider
 
 _SHUTDOWN = object()
+
+# Provider living inside each worker process of a dispatch="process" pool,
+# built once per process by _process_pool_init. Live providers hold locks
+# and thread state and cannot be pickled, so each worker constructs its own
+# from a module-level factory; determinism holds because completions are
+# pure functions of (seed, model, prompt) and the factory pins the seed.
+_PROCESS_PROVIDER: Optional["CompletionProvider"] = None
+
+
+def _process_pool_init(factory: Callable[..., "CompletionProvider"], kwargs: Dict) -> None:
+    global _PROCESS_PROVIDER
+    _PROCESS_PROVIDER = factory(**kwargs)
+
+
+def _process_run_batch(
+    items: List[Tuple[int, str, Optional[str]]], seed_stride: int
+) -> List[Tuple[str, object]]:
+    """Run one batch inside a worker process; mirrors the thread-mode
+    per-item loop (same reseeding rule, same per-item error isolation)."""
+    provider = _PROCESS_PROVIDER
+    assert provider is not None, "process pool initializer did not run"
+    reseedable = seed_stride and hasattr(provider, "reseeded")
+    outcomes: List[Tuple[str, object]] = []
+    for index, prompt, model in items:
+        try:
+            item_provider = provider.reseeded(index * seed_stride) if reseedable else provider
+            outcomes.append(("ok", item_provider.complete(prompt, model=model)))
+        except Exception as exc:  # per-item isolation, shipped back pickled
+            outcomes.append(("err", exc))
+    return outcomes
 
 
 def shared_prefix(prompts: List[str]) -> str:
@@ -115,6 +146,22 @@ class BatchingScheduler:
     stats:
         Shared :class:`ServiceStats`; batch sizes and queue depths are
         recorded here.
+    dispatch:
+        ``"thread"`` (default) runs batches on the dispatcher threads —
+        right for I/O-bound providers, and the only mode that can share
+        stateful stack layers (cache, budget) across requests.
+        ``"process"`` ships each batch to a spawn-based process pool for
+        CPU-heavy engines the GIL would serialize. Requires
+        ``provider_factory`` (a picklable module-level callable invoked
+        with ``factory_kwargs`` inside each worker process to build its
+        provider); results flow through the same in-order resolution
+        gate, and ``seed_stride`` reseeding applies identically, so a
+        process run is bit-identical to the serial loop whenever the
+        provider is a pure function of ``(seed, model, prompt)``.
+        Incompatible with ``combine=True``.
+    processes:
+        Worker-process count for ``dispatch="process"`` (defaults to
+        ``workers``).
     """
 
     def __init__(
@@ -128,6 +175,10 @@ class BatchingScheduler:
         combine: bool = False,
         seed_stride: int = 0,
         stats: Optional[ServiceStats] = None,
+        dispatch: str = "thread",
+        provider_factory: Optional[Callable[..., "CompletionProvider"]] = None,
+        factory_kwargs: Optional[Dict] = None,
+        processes: Optional[int] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -137,6 +188,17 @@ class BatchingScheduler:
             raise ValueError("workers must be positive")
         if max_queue <= 0:
             raise ValueError("max_queue must be positive")
+        if dispatch not in ("thread", "process"):
+            raise ValueError("dispatch must be 'thread' or 'process'")
+        if dispatch == "process":
+            if provider_factory is None:
+                raise ValueError(
+                    "dispatch='process' needs a picklable module-level "
+                    "provider_factory (worker processes each build their own "
+                    "provider; live providers hold locks and cannot cross)"
+                )
+            if combine:
+                raise ValueError("dispatch='process' does not support combine=True")
         self.provider = provider
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
@@ -145,6 +207,17 @@ class BatchingScheduler:
         self.combine = combine
         self.seed_stride = seed_stride
         self.stats = stats if stats is not None else ServiceStats()
+        self.dispatch = dispatch
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if dispatch == "process":
+            # spawn (not fork): worker state must come only from the
+            # factory, never from accidentally inherited parent memory.
+            self._pool = ProcessPoolExecutor(
+                max_workers=processes if processes is not None else workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_process_pool_init,
+                initargs=(provider_factory, dict(factory_kwargs or {})),
+            )
 
         self._lock = threading.Lock()
         self._new_request = threading.Condition(self._lock)
@@ -241,6 +314,9 @@ class BatchingScheduler:
         self._collector.join()
         for thread in self._dispatchers:
             thread.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def __enter__(self) -> "BatchingScheduler":
         return self
@@ -319,6 +395,20 @@ class BatchingScheduler:
 
     def _run_batch(self, batch: List[_Request]) -> None:
         self.stats.record_batch(len(batch), self.queue_depth)
+        if self._pool is not None:
+            # Process dispatch: ship the whole batch to one worker process
+            # (batch granularity keeps IPC amortized); the dispatcher
+            # thread blocks on the result and feeds the same in-order
+            # resolution gate as thread dispatch.
+            payload = [(r.index, r.prompt, r.model) for r in batch]
+            try:
+                outcomes = self._pool.submit(
+                    _process_run_batch, payload, self.seed_stride
+                ).result()
+            except Exception as exc:  # pool broken: fail the whole batch
+                outcomes = [("err", exc) for _ in batch]
+            self._resolve(batch, outcomes)
+            return
         outcomes: List[Tuple[str, object]] = []
         combinable = (
             self.combine
@@ -337,14 +427,31 @@ class BatchingScheduler:
             except Exception as exc:  # one combined call: the whole batch fails
                 outcomes = [("err", exc) for _ in batch]
         else:
-            for request in batch:
-                try:
-                    completion = self._provider_for(request).complete(
-                        request.prompt, model=request.model
-                    )
-                    outcomes.append(("ok", completion))
-                except Exception as exc:  # per-item isolation
-                    outcomes.append(("err", exc))
+            # Announce the drained batch so stack layers can amortize
+            # shared work (one embed_batch sweep + one cache-probe gemm per
+            # batch instead of per request). Pure optimization: per-request
+            # results are unchanged, and providers without the hook are
+            # served identically.
+            begin = getattr(self.provider, "begin_batch", None)
+            if begin is not None and len(batch) > 1:
+                model0 = batch[0].model
+                begin(
+                    [request.prompt for request in batch],
+                    model0 if all(r.model == model0 for r in batch) else None,
+                )
+            try:
+                for request in batch:
+                    try:
+                        completion = self._provider_for(request).complete(
+                            request.prompt, model=request.model
+                        )
+                        outcomes.append(("ok", completion))
+                    except Exception as exc:  # per-item isolation
+                        outcomes.append(("err", exc))
+            finally:
+                end = getattr(self.provider, "end_batch", None)
+                if end is not None and begin is not None and len(batch) > 1:
+                    end()
         self._resolve(batch, outcomes)
 
     def _resolve(self, batch: List[_Request], outcomes: List[Tuple[str, object]]) -> None:

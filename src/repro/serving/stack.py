@@ -76,6 +76,19 @@ class ServingStack:
     def embed(self, text: str) -> np.ndarray:
         return self.provider.embed(text)
 
+    def begin_batch(self, prompts: Sequence[str], model: Optional[str] = None) -> None:
+        """Forward a scheduler's batch announcement to the layers (see
+        :meth:`repro.serving.middleware.Middleware.begin_batch`). Not
+        journaled — it changes no state the replay path depends on."""
+        begin = getattr(self.provider, "begin_batch", None)
+        if begin is not None:
+            begin(prompts, model)
+
+    def end_batch(self) -> None:
+        end = getattr(self.provider, "end_batch", None)
+        if end is not None:
+            end()
+
     def reseeded(self, offset: int) -> "ServingStack":
         # Durability deliberately does not follow the clone: two journaling
         # stacks over one journal would double-record every redraw.

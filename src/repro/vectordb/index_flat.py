@@ -21,9 +21,18 @@ class FlatIndex:
     Deletion is lazy (tombstones) with periodic compaction so that ids stay
     stable for the :class:`~repro.vectordb.Collection` layer. The backing
     matrix grows by capacity doubling, so ``add`` is amortized O(1) instead
-    of the O(n) reallocation a naive ``vstack`` per insert would cost; row
-    norms are cached at insert time so cosine search never re-reduces the
-    stored matrix.
+    of the O(n) reallocation a naive ``vstack`` per insert would cost.
+
+    Inserts are **write-behind**: ``add`` only validates the vector and
+    parks it in a pending buffer; the dense-matrix append — row copy, norm
+    reduction, growth — happens lazily, for the whole buffer at once, the
+    next time anything needs the matrix (a search, ``get``, ``items``,
+    compaction). The flush is one block assignment plus one vectorized
+    norm reduction over the pending block, so an insert-heavy phase costs
+    a single amortized block operation instead of a per-insert matrix
+    touch. Row order after a flush is exactly insertion order, so search
+    results (including first-inserted tie-breaks) are identical to eager
+    per-insert appends.
     """
 
     def __init__(self, dim: int, metric: Metric = Metric.COSINE) -> None:
@@ -31,6 +40,7 @@ class FlatIndex:
             raise ValueError("dim must be positive")
         self.dim = dim
         self.metric = metric
+        self._row_shape = (dim,)
         self._buf = np.zeros((0, dim), dtype=np.float64)
         self._norms_buf = np.zeros(0, dtype=np.float64)
         self._live_buf = np.zeros(0, dtype=bool)
@@ -38,12 +48,15 @@ class FlatIndex:
         self._ids: List[str] = []
         self._live: Dict[str, int] = {}
         self._tombstones = 0
+        # Write-behind insert buffer: id -> vector, in insertion order
+        # (dicts preserve it). Ids here are NOT in _live/_ids yet.
+        self._pending: Dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:
-        return len(self._live)
+        return len(self._live) + len(self._pending)
 
     def __contains__(self, vector_id: str) -> bool:
-        return vector_id in self._live
+        return vector_id in self._live or vector_id in self._pending
 
     # Dense view of the used rows — everything below searches this.
     @property
@@ -51,6 +64,13 @@ class FlatIndex:
         return self._buf[: self._size]
 
     def _check(self, vector: np.ndarray) -> np.ndarray:
+        if (
+            type(vector) is np.ndarray
+            and vector.ndim == 1
+            and vector.shape[0] == self.dim
+            and vector.dtype == np.float64
+        ):
+            return vector
         vector = np.asarray(vector, dtype=np.float64).reshape(-1)
         if vector.shape[0] != self.dim:
             raise DimensionMismatchError(
@@ -74,22 +94,82 @@ class FlatIndex:
         self._live_buf = live
 
     def add(self, vector_id: str, vector: np.ndarray) -> None:
-        """Insert one vector under a unique id (amortized O(1))."""
-        if vector_id in self._live:
+        """Insert one vector under a unique id (amortized O(1)).
+
+        The vector is parked in the write-behind buffer; the dense matrix
+        absorbs it (with every other parked insert) on the next search.
+        Non-float64 vectors are cast at flush time (the block assignment
+        does it for free), so the hot path is a shape check + dict set."""
+        if vector_id in self._live or vector_id in self._pending:
             raise CollectionError(f"duplicate vector id: {vector_id!r}")
-        vector = self._check(vector)
+        try:
+            if vector.shape == self._row_shape:
+                self._pending[vector_id] = vector
+                return
+        except AttributeError:
+            pass
+        self._pending[vector_id] = self._check(vector)
+
+    def add_batch(self, ids: Sequence[str], vectors: np.ndarray) -> None:
+        """Insert many vectors at once (one pending-buffer extension)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"expected (n, {self.dim}) matrix, got {vectors.shape}"
+            )
+        if len(ids) != vectors.shape[0]:
+            raise CollectionError("ids and vectors length mismatch")
+        for i, vector_id in enumerate(ids):
+            if vector_id in self._live or vector_id in self._pending:
+                raise CollectionError(f"duplicate vector id: {vector_id!r}")
+            self._pending[vector_id] = vectors[i]
+
+    def _flush_pending(self) -> None:
+        """Absorb the write-behind buffer into the dense matrix.
+
+        One growth check, one block assignment, one vectorized norm
+        reduction — the amortized form of what eager per-insert appends
+        used to pay row by row. The norm of each row is ``sqrt(row·row)``
+        exactly as the per-row BLAS reduction computed it; any last-ulp
+        difference between the block reduction and the scalar path is
+        absorbed by the ``REFINE_BAND`` re-scoring in exact searches."""
+        if not self._pending:
+            return
+        pending = self._pending
+        self._pending = {}
+        n = len(pending)
         row = self._size
-        self._grow_to(row + 1)
-        self._buf[row] = vector
-        # 1-D norm (BLAS ddot path) — matches the scalar per-pair math.
-        self._norms_buf[row] = float(np.linalg.norm(self._buf[row]))
-        self._live_buf[row] = True
-        self._size = row + 1
-        self._ids.append(vector_id)
-        self._live[vector_id] = row
+        self._grow_to(row + n)
+        if n == 1:
+            (vector,) = pending.values()
+            self._buf[row] = vector  # assignment casts to float64
+            # 1-D norm (BLAS ddot path) — matches the scalar per-pair math.
+            self._norms_buf[row] = float(np.linalg.norm(self._buf[row]))
+        else:
+            self._buf[row : row + n] = np.stack(list(pending.values()))
+            block = self._buf[row : row + n]  # float64 view post-cast
+            self._norms_buf[row : row + n] = np.sqrt(
+                np.einsum("ij,ij->i", block, block)
+            )
+        self._live_buf[row : row + n] = True
+        self._size = row + n
+        for i, vector_id in enumerate(pending):
+            self._ids.append(vector_id)
+            self._live[vector_id] = row + i
+
+    def flush(self) -> None:
+        """Absorb any write-behind inserts into the dense matrix now.
+
+        Searches do this automatically; public so whitebox consumers (and
+        the semantic cache's own flush) can force a consistent view."""
+        self._flush_pending()
 
     def remove(self, vector_id: str) -> None:
         """Delete a vector by id; raises on unknown ids."""
+        if vector_id in self._pending:
+            # Never reached the matrix: retract it from the buffer.
+            del self._pending[vector_id]
+            return
         if vector_id not in self._live:
             raise CollectionError(f"unknown vector id: {vector_id!r}")
         self._live_buf[self._live[vector_id]] = False
@@ -99,6 +179,7 @@ class FlatIndex:
             self._compact()
 
     def _compact(self) -> None:
+        self._flush_pending()
         keep = sorted(self._live.items(), key=lambda kv: kv[1])
         rows = [idx for _vid, idx in keep]
         self._buf = self._buf[rows] if rows else np.zeros((0, self.dim), dtype=np.float64)
@@ -111,6 +192,9 @@ class FlatIndex:
 
     def get(self, vector_id: str) -> np.ndarray:
         """Return a copy of the stored vector."""
+        pending = self._pending.get(vector_id)
+        if pending is not None:
+            return np.array(pending, dtype=np.float64)
         if vector_id not in self._live:
             raise CollectionError(f"unknown vector id: {vector_id!r}")
         return self._buf[self._live[vector_id]].copy()
@@ -148,6 +232,7 @@ class FlatIndex:
         bit-identical (id *and* similarity) to a Python linear scan using
         scalar per-pair similarity, which batched BLAS alone is not.
         """
+        self._flush_pending()
         if not self._live:
             return None
         query = self._check(query)
@@ -155,6 +240,11 @@ class FlatIndex:
         best_row = int(np.argmax(sims))
         if not refine_exact:
             return self._ids[best_row], float(sims[best_row])
+        return self._refine_top1(query, sims, best_row)
+
+    def _refine_top1(
+        self, query: np.ndarray, sims: np.ndarray, best_row: int
+    ) -> Tuple[str, float]:
         band = np.flatnonzero(sims >= sims[best_row] - REFINE_BAND)
         best_sim = -np.inf
         winner = best_row
@@ -163,6 +253,51 @@ class FlatIndex:
             if sim > best_sim:
                 best_sim, winner = sim, int(row)
         return self._ids[winner], float(best_sim)
+
+    def search_top1_many(
+        self, queries: np.ndarray, refine_exact: bool = False
+    ) -> List[Optional[Tuple[str, float]]]:
+        """:meth:`search_top1` for a whole query block in one gemm.
+
+        ``queries`` is an (m, dim) matrix; the result is one entry per
+        query row. The dense buffer is reduced once with a matrix-matrix
+        product instead of m separate gemvs, then each query's winner is
+        band-refined exactly as in :meth:`search_top1` — per-query results
+        are identical to m sequential calls (no index mutation happens in
+        between, and searches never mutate the index).
+        """
+        self._flush_pending()
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise DimensionMismatchError(
+                f"expected (m, {self.dim}) matrix, got {queries.shape}"
+            )
+        if not self._live:
+            return [None] * queries.shape[0]
+        matrix = self._matrix
+        if self.metric is Metric.COSINE:
+            qn = np.linalg.norm(queries, axis=1)
+            denom = self._norms_buf[: self._size][None, :] * qn[:, None]
+            dots = queries @ matrix.T
+            sims_all = np.divide(
+                dots, denom, out=np.zeros_like(dots), where=denom > 0
+            )
+        else:
+            sims_all = np.stack(
+                [similarity_matrix(row, matrix, self.metric) for row in queries]
+            )
+        if self._tombstones:
+            dead = ~self._live_buf[: self._size]
+            sims_all[:, dead] = -np.inf
+        out: List[Optional[Tuple[str, float]]] = []
+        for m in range(queries.shape[0]):
+            sims = sims_all[m]
+            best_row = int(np.argmax(sims))
+            if refine_exact:
+                out.append(self._refine_top1(queries[m], sims, best_row))
+            else:
+                out.append((self._ids[best_row], float(sims[best_row])))
+        return out
 
     def search(
         self,
@@ -174,6 +309,7 @@ class FlatIndex:
         ``allowed_ids`` (the pre-filtered candidate set)."""
         if k <= 0:
             return []
+        self._flush_pending()
         query = self._check(query)
         if allowed_ids is not None:
             candidates = [(vid, self._live[vid]) for vid in allowed_ids if vid in self._live]
@@ -187,4 +323,5 @@ class FlatIndex:
         return [(candidates[i][0], float(sims[i])) for i in order]
 
     def items(self) -> List[Tuple[str, np.ndarray]]:
+        self._flush_pending()
         return [(vid, self._buf[idx].copy()) for vid, idx in self._live.items()]

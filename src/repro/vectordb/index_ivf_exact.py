@@ -1,0 +1,291 @@
+"""Exact top-1 search with IVF-style cluster pruning.
+
+:class:`ExactIVFIndex` keeps the full :class:`~repro.vectordb.FlatIndex`
+contract — every search result is *exact*, bit-identical to the brute-force
+scan — but organizes rows into k-means clusters and uses the triangle
+inequality on the unit sphere to skip clusters that provably cannot contain
+the winner:
+
+    angle(q, x) >= angle(q, c) - radius(c)      for any member x of c
+
+so ``sim(q, x) <= cos(max(0, theta_qc - r_c))`` under cosine similarity.
+Clusters are scanned in decreasing order of that upper bound and the scan
+stops once the bound falls below the best similarity found so far (minus
+the band-refinement margin plus a float-safety slack), which guarantees the
+scalar-exact winner — including the first-inserted tie-break — was scanned.
+
+This is how the cache keeps brute-force semantics at 100k–1M entries: the
+classic IVF recall/latency trade-off is replaced by a latency-only trade
+(pruning helps exactly as much as the data is clustered, and degrades to a
+full scan — never to a wrong answer — on adversarial data).
+
+Training is lazy and amortized: k-means runs on a bounded sample the first
+time the index is searched above ``train_threshold`` rows, and re-runs only
+when the untrained tail outgrows ``retrain_fraction`` of the data. Rows
+added since the last training round form a contiguous tail block that is
+always scanned (one extra block gemv), so inserts stay write-behind cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.vectordb.distance import Metric, scalar_similarity
+from repro.vectordb.index_flat import REFINE_BAND, FlatIndex
+
+# Absorbs arccos/cos rounding in the cluster bounds: near theta=0 an
+# ~1e-13 error in a cosine maps to ~6e-7 radians, so bounds are compared
+# with this much extra headroom before a cluster is pruned.
+BOUND_SLACK = 1e-5
+
+DEFAULT_TRAIN_THRESHOLD = 4096
+DEFAULT_TRAIN_SAMPLE = 20_000
+DEFAULT_RETRAIN_FRACTION = 0.25
+_ASSIGN_CHUNK = 8192
+
+
+def _spherical_kmeans(
+    data: np.ndarray, n_clusters: int, rng: np.random.Generator, iterations: int = 8
+) -> np.ndarray:
+    """K-means on the unit sphere (assign by max cosine); returns unit
+    centroids. Memory-bounded: distances are computed in row chunks, never
+    as an (n, k, dim) broadcast."""
+    n = data.shape[0]
+    n_clusters = min(n_clusters, n)
+    norms = np.linalg.norm(data, axis=1, keepdims=True)
+    unit = np.divide(data, norms, out=np.zeros_like(data), where=norms > 0)
+    centroids = unit[rng.choice(n, size=n_clusters, replace=False)].copy()
+    for _round in range(iterations):
+        assign = _chunked_argmax(unit, centroids)
+        new_centroids = centroids.copy()
+        for c in range(n_clusters):
+            members = unit[assign == c]
+            if len(members):
+                mean = members.mean(axis=0)
+                norm = np.linalg.norm(mean)
+                new_centroids[c] = mean / norm if norm > 0 else unit[rng.integers(0, n)]
+            else:
+                new_centroids[c] = unit[rng.integers(0, n)]
+        if np.allclose(new_centroids, centroids):
+            break
+        centroids = new_centroids
+    return centroids
+
+
+def _chunked_argmax(unit_rows: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment by cosine, chunked over rows."""
+    n = unit_rows.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    for start in range(0, n, _ASSIGN_CHUNK):
+        chunk = unit_rows[start : start + _ASSIGN_CHUNK]
+        out[start : start + _ASSIGN_CHUNK] = (chunk @ centroids.T).argmax(axis=1)
+    return out
+
+
+class ExactIVFIndex(FlatIndex):
+    """A :class:`FlatIndex` whose top-1 searches prune whole clusters.
+
+    Every public result is identical to :class:`FlatIndex` (the pruning
+    bound is a proof, not a heuristic); only the amount of work differs.
+    Metrics other than cosine, and states where clustering hasn't trained
+    yet, fall back to the inherited full scan.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        metric: Metric = Metric.COSINE,
+        seed: int = 7,
+        train_threshold: int = DEFAULT_TRAIN_THRESHOLD,
+        train_sample: int = DEFAULT_TRAIN_SAMPLE,
+        retrain_fraction: float = DEFAULT_RETRAIN_FRACTION,
+    ) -> None:
+        super().__init__(dim, metric)
+        self.train_threshold = max(2, train_threshold)
+        self.train_sample = max(256, train_sample)
+        self.retrain_fraction = retrain_fraction
+        self._rng = np.random.default_rng(seed)
+        self._centroids: Optional[np.ndarray] = None  # (k, dim) unit rows
+        self._radius: Optional[np.ndarray] = None  # (k,) max member angle
+        self._cluster_rows: List[np.ndarray] = []  # row indices per cluster
+        self._trained_rows = 0  # rows >= this form the always-scanned tail
+        # Observability: how much scanning the bounds actually saved.
+        self.last_scanned_rows = 0
+        self.pruned_searches = 0
+        self.full_searches = 0
+
+    # ------------------------------------------------------------- training
+
+    @property
+    def is_trained(self) -> bool:
+        return self._centroids is not None
+
+    def _invalidate_clustering(self) -> None:
+        self._centroids = None
+        self._radius = None
+        self._cluster_rows = []
+        self._trained_rows = 0
+
+    def _compact(self) -> None:
+        # Compaction renumbers rows; drop the clustering and let the next
+        # search retrain over the compacted buffer.
+        super()._compact()
+        self._invalidate_clustering()
+
+    def _maybe_train(self) -> None:
+        size = self._size
+        if size < self.train_threshold:
+            return
+        tail = size - self._trained_rows
+        if self._centroids is not None and tail <= self.retrain_fraction * size:
+            return
+        self.train()
+
+    def train(self) -> None:
+        """(Re)cluster the current rows. Bounded work: k-means runs on at
+        most ``train_sample`` sampled rows; the full assignment + radius
+        pass is chunked matrix products."""
+        self._flush_pending()
+        size = self._size
+        if size == 0:
+            self._invalidate_clustering()
+            return
+        matrix = self._buf[:size]
+        n_clusters = int(np.clip(np.sqrt(size), 8, 1024))
+        if size > self.train_sample:
+            sample_rows = self._rng.choice(size, size=self.train_sample, replace=False)
+            sample = matrix[np.sort(sample_rows)]
+        else:
+            sample = matrix
+        centroids = _spherical_kmeans(sample, n_clusters, self._rng)
+        n_clusters = centroids.shape[0]
+
+        # Assign every row and accumulate each cluster's angular radius.
+        norms = self._norms_buf[:size]
+        assign = np.empty(size, dtype=np.int64)
+        min_cos = np.ones(n_clusters, dtype=np.float64)
+        zero_rows = norms == 0
+        for start in range(0, size, _ASSIGN_CHUNK):
+            stop = min(start + _ASSIGN_CHUNK, size)
+            chunk = matrix[start:stop]
+            chunk_norms = norms[start:stop]
+            cosines = chunk @ centroids.T
+            np.divide(
+                cosines,
+                chunk_norms[:, None],
+                out=cosines,
+                where=chunk_norms[:, None] > 0,
+            )
+            chunk_assign = cosines.argmax(axis=1)
+            assign[start:stop] = chunk_assign
+            member_cos = cosines[np.arange(stop - start), chunk_assign]
+            np.minimum.at(min_cos, chunk_assign, member_cos)
+        radius = np.arccos(np.clip(min_cos, -1.0, 1.0))
+        if zero_rows.any():
+            # Zero vectors have no direction: make their clusters unprunable.
+            radius[np.unique(assign[zero_rows])] = np.pi
+
+        order = np.argsort(assign, kind="stable")
+        boundaries = np.searchsorted(assign[order], np.arange(n_clusters + 1))
+        self._cluster_rows = [
+            order[boundaries[c] : boundaries[c + 1]] for c in range(n_clusters)
+        ]
+        self._centroids = centroids
+        self._radius = radius
+        self._trained_rows = size
+
+    # -------------------------------------------------------------- search
+
+    def _chunk_sims(self, rows: np.ndarray, query: np.ndarray, qn: float) -> np.ndarray:
+        """Cosine sims of ``query`` against the given rows (dead -> -inf)."""
+        dots = self._buf[rows] @ query
+        denom = self._norms_buf[rows] * qn
+        sims = np.divide(dots, denom, out=np.zeros_like(dots), where=denom > 0)
+        if self._tombstones:
+            sims = np.where(self._live_buf[rows], sims, -np.inf)
+        return sims
+
+    def _pruned_top1(
+        self, query: np.ndarray, refine_exact: bool
+    ) -> Tuple[str, float]:
+        assert self._centroids is not None and self._radius is not None
+        qn = float(np.linalg.norm(query))
+        qhat = query / qn
+        theta = np.arccos(np.clip(self._centroids @ qhat, -1.0, 1.0))
+        bounds = np.cos(np.maximum(0.0, theta - self._radius))
+        order = np.argsort(-bounds, kind="stable")
+
+        scanned_rows: List[np.ndarray] = []
+        scanned_sims: List[np.ndarray] = []
+        best = -np.inf
+        # The untrained tail has no bound: scan it first (one block gemv).
+        if self._trained_rows < self._size:
+            tail = np.arange(self._trained_rows, self._size)
+            sims = self._chunk_sims(tail, query, qn)
+            scanned_rows.append(tail)
+            scanned_sims.append(sims)
+            if sims.size:
+                best = max(best, float(sims.max()))
+        stop_margin = REFINE_BAND + BOUND_SLACK
+        for c in order:
+            if bounds[c] < best - stop_margin:
+                break  # no remaining cluster can hold the winner or its band
+            rows = self._cluster_rows[c]
+            if rows.size == 0:
+                continue
+            sims = self._chunk_sims(rows, query, qn)
+            scanned_rows.append(rows)
+            scanned_sims.append(sims)
+            top = float(sims.max())
+            if top > best:
+                best = top
+        rows = np.concatenate(scanned_rows)
+        sims = np.concatenate(scanned_sims)
+        self.last_scanned_rows = int(rows.size)
+        if not refine_exact:
+            top_rows = rows[sims == best]
+            winner = int(top_rows.min())  # first-inserted among blas ties
+            return self._ids[winner], best
+        band_rows = rows[sims >= best - REFINE_BAND]
+        # Ascending row order == insertion order: the strict-> refinement
+        # keeps the first-inserted winner, exactly like the full scan.
+        band_rows = np.sort(band_rows)
+        best_sim = -np.inf
+        winner = int(band_rows[0])
+        for row in band_rows:
+            sim = scalar_similarity(query, self._buf[row], self.metric)
+            if sim > best_sim:
+                best_sim, winner = sim, int(row)
+        return self._ids[winner], float(best_sim)
+
+    def search_top1(
+        self, query: np.ndarray, refine_exact: bool = False
+    ) -> Optional[Tuple[str, float]]:
+        self._flush_pending()
+        if not self._live:
+            return None
+        query = self._check(query)
+        self._maybe_train()
+        if (
+            self._centroids is None
+            or self.metric is not Metric.COSINE
+            or float(np.linalg.norm(query)) == 0.0
+        ):
+            self.full_searches += 1
+            return super().search_top1(query, refine_exact)
+        self.pruned_searches += 1
+        return self._pruned_top1(query, refine_exact)
+
+    def search_top1_many(
+        self, queries: np.ndarray, refine_exact: bool = False
+    ) -> List[Optional[Tuple[str, float]]]:
+        self._flush_pending()
+        queries = np.asarray(queries, dtype=np.float64)
+        if not self._live:
+            return [None] * queries.shape[0]
+        self._maybe_train()
+        if self._centroids is None or self.metric is not Metric.COSINE:
+            return super().search_top1_many(queries, refine_exact)
+        return [self.search_top1(q, refine_exact) for q in queries]

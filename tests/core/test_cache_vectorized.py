@@ -121,6 +121,7 @@ class TestIndexBackends:
         cache = SemanticCache(index=index)
         assert cache.index is index
         self._fill(cache, n=5)
+        cache.flush()  # puts are write-behind; materialize before inspecting
         assert len(index) == 5
 
     def test_unknown_index_kind_rejected(self):
@@ -131,6 +132,7 @@ class TestIndexBackends:
         cache = SemanticCache(capacity=4)
         self._fill(cache, n=12)
         assert len(cache) == 4
+        cache.flush()
         assert len(cache.index) == 4
         assert sorted(cache.entries) == sorted(vid for vid, _v in cache.index.items())
 

@@ -60,6 +60,7 @@ class TestSemanticCacheConcurrency:
         assert len(cache.entries) <= cache.capacity
         # Entry dict and vector index must agree exactly (no torn inserts
         # or evictions that removed one side only).
+        cache.flush()
         assert set(cache.entries) == set(cache.index._live)
 
     def test_hammer_with_admission_predictor(self):
@@ -78,6 +79,7 @@ class TestSemanticCacheConcurrency:
 
         _run_threads(worker)
         assert len(cache.entries) <= cache.capacity
+        cache.flush()
         assert set(cache.entries) == set(cache.index._live)
         assert cache.stats.reuse_hits + cache.stats.augment_hits + cache.stats.misses == (
             cache.stats.lookups
@@ -187,4 +189,5 @@ class TestFullStackConcurrency:
             == stats.cache_lookups
         )
         cache = stack.provider.cache
+        cache.flush()
         assert set(cache.entries) == set(cache.index._live)
