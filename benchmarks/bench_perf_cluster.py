@@ -1,0 +1,93 @@
+"""Perf bench: sharded multi-tenant cluster scale-out (1/2/4/8 shards).
+
+Drives :func:`repro.bench.cluster.run_cluster`: an open-loop multi-tenant
+request stream against :class:`~repro.serving.cluster.ServingCluster` at
+each shard count, gated on byte-equivalence with the serial single-stack
+reference (``diverged = 0``) and on exact per-tenant spend accounting
+(``budget_leakage = 0``), plus a serial demo of privacy-gated cross-tenant
+cache sharing. Headline: the ``scaling`` map — QPS at N shards over QPS at
+1 shard, which must clear the gate's 3x floor at 8 shards.
+
+Run standalone for the committed artifact:
+
+    PYTHONPATH=src python benchmarks/bench_perf_cluster.py
+    PYTHONPATH=src python benchmarks/bench_perf_cluster.py --smoke  # CI
+
+Smoke runs sweep only 1/2 shards and write ``BENCH_cluster.smoke.json``
+(tagged ``"smoke": true``) so the committed full-size artifact is never
+clobbered by a CI quick pass.
+"""
+
+import json
+import os
+import sys
+
+from repro.bench.cluster import DEFAULT_CLUSTER_REPORT_PATH, run_cluster
+
+
+def _report_path(smoke: bool = False) -> str:
+    default = (
+        DEFAULT_CLUSTER_REPORT_PATH.replace(".json", ".smoke.json")
+        if smoke
+        else DEFAULT_CLUSTER_REPORT_PATH
+    )
+    return os.environ.get("REPRO_BENCH_CLUSTER_PATH", default)
+
+
+def test_cluster_scaleout_equivalence(once):
+    # Small stream, 1-vs-2 shards: pytest asserts correctness (byte-equal
+    # completions, exact per-tenant accounting), not the timing headline.
+    report = once(
+        run_cluster,
+        n_tenants=3,
+        queries_per_tenant=12,
+        n_requests=72,
+        shard_counts=(1, 2),
+        overhead_ms=2.0,
+        per_item_ms=0.25,
+        smoke=True,
+    )
+    assert report.diverged == 0
+    assert report.budget_leakage == 0
+    assert report.cells["2"]["qps"] > 0
+    assert report.sharing["shares_served"] > 0
+    assert report.sharing["outsider_free_answers"] == 0
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    if smoke:
+        report = run_cluster(
+            n_tenants=3,
+            queries_per_tenant=24,
+            n_requests=180,
+            shard_counts=(1, 2),
+            overhead_ms=4.0,
+            per_item_ms=0.25,
+            write_path=_report_path(smoke=True),
+            smoke=True,
+        )
+    else:
+        report = run_cluster(
+            n_tenants=6,
+            queries_per_tenant=120,
+            n_requests=2400,
+            shard_counts=(1, 2, 4, 8),
+            write_path=_report_path(),
+        )
+    print(report.render())
+    print(report.to_json())
+    print(f"wrote {_report_path(smoke=smoke)}")
+    if report.diverged != 0:
+        print("FAIL: cluster diverged from the single-stack reference", file=sys.stderr)
+        return 1
+    if report.budget_leakage != 0:
+        print("FAIL: per-tenant spend leaked across tenants", file=sys.stderr)
+        return 1
+    with open(_report_path(smoke=smoke), "r", encoding="utf-8") as handle:
+        json.load(handle)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -10,6 +10,10 @@ violated:
   cell and ANN sweep must report zero divergence/mismatches.
 * ``repro.bench.cpu/*``: process dispatch must not diverge from the
   serial loop.
+* ``repro.bench.cluster/*``: every scale cell must report zero
+  ``budget_leakage`` (per-tenant spend exactly matches the single-stack
+  reference — no cross-tenant billing), and QPS must scale: >= 3.0x at
+  8 shards in the full sweep, >= 1.2x at 2 shards in the smoke sweep.
 * every other report: its ``diverged`` count (wherever it lives in the
   payload) must be zero.
 
@@ -24,6 +28,8 @@ import sys
 from typing import Iterator, List, Tuple
 
 PUT_FLOOR = 1.0
+CLUSTER_SCALING_FLOOR = 3.0  # QPS at 8 shards over 1 shard, full sweep
+CLUSTER_SMOKE_FLOOR = 1.2  # QPS at 2 shards over 1 shard, smoke sweep
 
 
 def _walk_diverged(node: object, path: str = "") -> Iterator[Tuple[str, int]]:
@@ -46,6 +52,34 @@ def check_report(path: str) -> List[str]:
     for where, count in _walk_diverged(report):
         if count > 0:
             problems.append(f"{path}: {where} = {count} (must be 0)")
+    if schema.startswith("repro.bench.cluster"):
+        cells = report.get("cells", {})
+        if not cells:
+            problems.append(f"{path}: no scale cells to gate on")
+        for n_shards, cell in sorted(cells.items(), key=lambda kv: int(kv[0])):
+            leakage = int(cell.get("budget_leakage", -1))
+            if leakage != 0:
+                problems.append(
+                    f"{path}: budget_leakage = {leakage} at {n_shards} shards "
+                    f"(must be 0)"
+                )
+        scaling = report.get("scaling", {})
+        if "8" in cells:
+            speedup = float(scaling.get("8", 0.0))
+            if speedup < CLUSTER_SCALING_FLOOR:
+                problems.append(
+                    f"{path}: cluster scaling {speedup:.3f}x at 8 shards below "
+                    f"the {CLUSTER_SCALING_FLOOR:.1f}x floor"
+                )
+        elif "2" in cells:
+            speedup = float(scaling.get("2", 0.0))
+            if speedup < CLUSTER_SMOKE_FLOOR:
+                problems.append(
+                    f"{path}: cluster scaling {speedup:.3f}x at 2 shards below "
+                    f"the {CLUSTER_SMOKE_FLOOR:.1f}x smoke floor"
+                )
+        else:
+            problems.append(f"{path}: no 8-shard or 2-shard cell to gate scaling on")
     if schema.startswith("repro.bench.hotpaths"):
         puts = report.get("ops", {}).get("cache_put", {})
         if not puts:

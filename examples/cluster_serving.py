@@ -1,0 +1,98 @@
+"""Sharded multi-tenant serving: one cluster, many tenants, N shards.
+
+A 4-shard `ServingCluster` serves three tenants through a consistent-hash
+router and a sharded semantic cache. Each tenant gets its own budget/quota
+policy and its own stats namespace; two tenants opt into privacy-gated
+cache sharing. The same stream is replayed on a 1-shard cluster to show
+the scale-out is byte-identical to the single stack — the shards buy
+throughput, never different answers.
+
+Run with:  python examples/cluster_serving.py
+"""
+
+import time
+
+from repro.bench.perf import SimulatedServiceProvider
+from repro.core.privacy import CacheSharingGate
+from repro.llm import LLMClient
+from repro.serving import ServingCluster, TenantPolicy
+
+TENANTS = ("retail", "finance", "research")
+
+
+def build_cluster(n_shards: int) -> ServingCluster:
+    # 6 ms per simulated service call (sleep releases the GIL, so shard
+    # workers overlap for real); retail and finance agree to share cache
+    # lines under an epsilon-budgeted disclosure gate.
+    return ServingCluster(
+        lambda shard: SimulatedServiceProvider(
+            LLMClient(), overhead_ms=6.0, per_item_ms=0.5
+        ),
+        n_shards=n_shards,
+        # Exact-match cache mode: under concurrent shard workers only
+        # key-local hits keep answers independent of cross-key timing
+        # (similarity tiers shine in serial runs — see serving_stack.py).
+        reuse_threshold=1.0,
+        augment_threshold=1.0,
+        sharing=CacheSharingGate(
+            [("retail", "finance")], epsilon_per_share=0.05, epsilon_budget=0.5
+        ),
+        policies={
+            "retail": TenantPolicy(budget_usd=0.01),
+            "finance": TenantPolicy(max_requests=200),
+            "research": TenantPolicy(),
+        },
+    )
+
+
+def make_stream():
+    prompts = [f"Question: what does data system concept #{i} mean?" for i in range(18)]
+    stream = []
+    for _round in range(3):  # each tenant re-asks its own prompts: cache traffic
+        for i, prompt in enumerate(prompts):
+            stream.append((TENANTS[i % len(TENANTS)], prompt))
+    # finance re-asks retail's questions: answered free through the privacy
+    # gate (identical text either way — completions depend on the prompt,
+    # not the tenant, so sharing changes the bill, never the answer).
+    stream += [("finance", prompts[i]) for i in range(0, len(prompts), 3)]
+    return stream
+
+
+def main() -> None:
+    stream = make_stream()
+
+    # --- the sharded cluster, driven concurrently --------------------------
+    cluster = build_cluster(n_shards=4)
+    start = time.perf_counter()
+    futures = [cluster.submit(prompt, tenant=tenant) for tenant, prompt in stream]
+    answers = [future.result().text for future in futures]
+    elapsed = time.perf_counter() - start
+    print(cluster.describe())
+    print(f"\n{len(stream)} requests across 4 shards in {elapsed:.2f}s "
+          f"({len(stream) / elapsed:.0f} req/s)")
+    print("requests by shard:", cluster.snapshot()["requests_by_shard"])
+
+    # --- per-tenant accounting --------------------------------------------
+    print("\nPer-tenant ledgers:")
+    for tenant, cell in cluster.snapshot()["tenancy"].items():
+        print(
+            f"  {tenant:9s} requests={cell['requests']:3d} "
+            f"llm_calls={cell['llm_calls']:3d} cache_hits={cell['cache_hits']:3d} "
+            f"spent=${cell['spent_usd']:.6f}"
+        )
+    gate = cluster.cache.sharing
+    print("\nCross-tenant sharing:", gate.describe())
+    print("  ledger:", gate.ledger())
+    print("\n" + cluster.report())
+    cluster.close()
+
+    # --- equivalence: the single stack answers identically -----------------
+    reference = build_cluster(n_shards=1)
+    expected = [reference.complete(p, tenant=t).text for t, p in stream]
+    reference.close()
+    assert answers == expected, "sharding must never change an answer"
+    print("\n4-shard answers are byte-identical to the 1-shard reference.")
+
+
+if __name__ == "__main__":
+    main()

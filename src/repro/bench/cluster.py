@@ -1,0 +1,357 @@
+"""Scale-out bench for the sharded multi-tenant serving cluster.
+
+Measures :class:`~repro.serving.cluster.ServingCluster` throughput at
+1/2/4/8 shards under an open-loop multi-tenant load (every request is
+submitted up front — arrivals never wait on completions, so the measured
+rate is the cluster's saturated service rate) and asserts two correctness
+invariants on *every* scale cell:
+
+* **diverged = 0** — each request's completion is byte-identical to the
+  serial single-stack reference. Completions are deterministic functions
+  of (prompt, model, seed) and the router keeps per-key order, so any
+  shard count must reproduce the reference stream exactly.
+* **budget_leakage = 0** — every tenant's LLM spend equals its reference
+  spend to the cent (totals via :func:`math.fsum`, so float summation
+  order across shard workers cannot manufacture phantom differences),
+  and the cluster-wide spend is exactly the sum over tenants. One tenant
+  billed for another tenant's call would break both at once.
+
+The divergence-gated cells run the sharded cache in exact-match mode
+(``reuse/augment thresholds = 1.0``): cross-key similarity hits are
+*deterministic* in a serial run but inherently timing-dependent when keys
+overlap in flight on different shards, so a concurrency bench that gated
+on them would be gating on the scheduler, not the cluster. Similarity
+tiers and the privacy-gated cross-tenant sharing path are exercised by
+the test suite and by this bench's separate serial ``sharing`` cell.
+
+Like :mod:`repro.bench.perf`, the LLM is wrapped in
+:class:`~repro.bench.perf.SimulatedServiceProvider` so each service call
+pays realistic GIL-releasing wall-clock; without it the bench would time
+Python overhead instead of serving structure.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._util import rng_from
+from repro.bench.perf import SimulatedServiceProvider, _latency_summary
+from repro.bench.reporting import format_table
+from repro.core.privacy.sharing import CacheSharingGate
+from repro.llm.provider import make_client
+from repro.serving.cluster import ServingCluster
+
+DEFAULT_CLUSTER_REPORT_PATH = "BENCH_cluster.json"
+CLUSTER_SCHEMA = "repro.bench.cluster/v1"
+
+_VOCAB = (
+    "select count join filter schema tuple index vector cache shard tenant "
+    "route hash ring replica budget quota probe embed merge evict"
+).split()
+
+
+def make_tenant_stream(
+    n_tenants: int,
+    queries_per_tenant: int,
+    length: int,
+    seed: int = 23,
+) -> List[Tuple[str, str]]:
+    """An interleaved multi-tenant request stream with skewed repetition.
+
+    Each tenant gets its own ``queries_per_tenant`` distinct prompts
+    (prefixed with the tenant name, so tenants never collide on keys);
+    the stream draws (tenant, prompt) pairs with Zipf-ish skew over each
+    tenant's prompts, round-robining tenants so every shard sees mixed
+    traffic."""
+    if n_tenants <= 0 or queries_per_tenant <= 0 or length <= 0:
+        raise ValueError("n_tenants, queries_per_tenant and length must be positive")
+    rng = rng_from(seed)
+    tenants = [f"tenant-{i}" for i in range(n_tenants)]
+    prompts: Dict[str, List[str]] = {}
+    for tenant in tenants:
+        prompts[tenant] = []
+        for i in range(queries_per_tenant):
+            words = " ".join(rng.choice(_VOCAB, size=int(rng.integers(3, 8))))
+            prompts[tenant].append(f"[{tenant}] Question: {words} #{i}?")
+    picks = (rng.random(length) ** 2 * queries_per_tenant).astype(int)
+    stream: List[Tuple[str, str]] = []
+    for i in range(length):
+        tenant = tenants[i % n_tenants]
+        index = min(int(picks[i]), queries_per_tenant - 1)
+        stream.append((tenant, prompts[tenant][index]))
+    return stream
+
+
+def _build_cluster(
+    n_shards: int,
+    overhead_ms: float,
+    per_item_ms: float,
+    tenant_capacity: int,
+    sharing: Optional[CacheSharingGate] = None,
+) -> ServingCluster:
+    return ServingCluster(
+        lambda shard: SimulatedServiceProvider(
+            make_client(), overhead_ms=overhead_ms, per_item_ms=per_item_ms
+        ),
+        n_shards=n_shards,
+        tenant_capacity=tenant_capacity,
+        # Exact-match mode: only a repeat of the same key hits (see module
+        # docstring) — hit patterns are then independent of cross-key
+        # timing, which is what makes diverged=0 a fair gate at any
+        # shard count.
+        reuse_threshold=1.0,
+        augment_threshold=1.0,
+        sharing=sharing,
+    )
+
+
+def _tenant_spend(
+    stream: Sequence[Tuple[str, str]], completions: Sequence[object]
+) -> Dict[str, float]:
+    """Per-tenant spend from the completion stream via order-independent
+    :func:`math.fsum` (ledger ``+=`` order varies across shard workers)."""
+    costs: Dict[str, List[float]] = {}
+    for (tenant, _prompt), completion in zip(stream, completions):
+        costs.setdefault(tenant, []).append(completion.cost)
+    return {tenant: math.fsum(values) for tenant, values in sorted(costs.items())}
+
+
+def _leakage(
+    reference: Dict[str, float], observed: Dict[str, float], ledgers: Dict[str, float]
+) -> int:
+    """Count of tenants whose accounting differs from the reference.
+
+    A tenant leaks if its completion-stream spend differs from the
+    reference run's, or if the cluster's enforcement ledger (the number
+    budget checks actually read) drifted from that spend."""
+    leaks = 0
+    for tenant in sorted(set(reference) | set(observed) | set(ledgers)):
+        expected = reference.get(tenant)
+        spent = observed.get(tenant)
+        ledger = ledgers.get(tenant)
+        if expected is None or spent is None or ledger is None:
+            leaks += 1
+        elif expected != spent or abs(ledger - spent) > 1e-9:
+            leaks += 1
+    return leaks
+
+
+@dataclass
+class ClusterReport:
+    """QPS scaling + equivalence/isolation results across shard counts."""
+
+    n_requests: int
+    n_tenants: int
+    queries_per_tenant: int
+    overhead_ms: float
+    per_item_ms: float
+    shard_counts: List[int] = field(default_factory=list)
+    cells: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    sharing: Dict[str, object] = field(default_factory=dict)
+    smoke: bool = False
+
+    @property
+    def diverged(self) -> int:
+        return sum(int(cell.get("diverged", 1)) for cell in self.cells.values())
+
+    @property
+    def budget_leakage(self) -> int:
+        return sum(int(cell.get("budget_leakage", 1)) for cell in self.cells.values())
+
+    def speedup(self, n_shards: int) -> float:
+        base = float(self.cells["1"]["qps"])
+        return float(self.cells[str(n_shards)]["qps"]) / max(base, 1e-9)
+
+    @property
+    def scaling(self) -> Dict[str, float]:
+        return {
+            str(n): round(self.speedup(n), 3)
+            for n in self.shard_counts
+            if str(n) in self.cells and "1" in self.cells
+        }
+
+    def payload(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "schema": CLUSTER_SCHEMA,
+            "n_requests": self.n_requests,
+            "n_tenants": self.n_tenants,
+            "queries_per_tenant": self.queries_per_tenant,
+            "overhead_ms": self.overhead_ms,
+            "per_item_ms": self.per_item_ms,
+            "shard_counts": self.shard_counts,
+            "cells": self.cells,
+            "scaling": self.scaling,
+            "sharing": self.sharing,
+        }
+        if self.smoke:
+            out["smoke"] = True
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.payload(), indent=2, sort_keys=True)
+
+    def write(self, path: str = DEFAULT_CLUSTER_REPORT_PATH) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
+
+    def render(self) -> str:
+        rows = []
+        for n in self.shard_counts:
+            cell = self.cells[str(n)]
+            rows.append(
+                (
+                    n,
+                    cell["qps"],
+                    cell["p50_ms"],
+                    cell["p95_ms"],
+                    round(self.speedup(n), 2),
+                    int(cell["diverged"]),
+                    int(cell["budget_leakage"]),
+                )
+            )
+        return format_table(
+            ["Shards", "QPS", "p50 ms", "p95 ms", "Speedup", "Diverged", "Leakage"],
+            rows,
+            title=(
+                f"Cluster scale-out: {self.n_requests} requests, "
+                f"{self.n_tenants} tenants (open-loop, saturated)"
+            ),
+        )
+
+
+def run_cluster(
+    n_tenants: int = 6,
+    queries_per_tenant: int = 120,
+    n_requests: int = 2400,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    overhead_ms: float = 8.0,
+    per_item_ms: float = 0.5,
+    seed: int = 23,
+    write_path: Optional[str] = None,
+    smoke: bool = False,
+) -> ClusterReport:
+    """Run the scale-out sweep and the serial sharing demo cell."""
+    if 1 not in shard_counts:
+        raise ValueError("shard_counts must include 1 (the scaling baseline)")
+    stream = make_tenant_stream(n_tenants, queries_per_tenant, n_requests, seed=seed)
+    tenant_capacity = 2 * queries_per_tenant  # no evictions: equivalence holds
+
+    # Reference: the single stack, serial, on the caller thread.
+    reference = _build_cluster(1, overhead_ms, per_item_ms, tenant_capacity)
+    try:
+        expected = [
+            reference.complete(prompt, tenant=tenant) for tenant, prompt in stream
+        ]
+    finally:
+        reference.close()
+    expected_text = [completion.text for completion in expected]
+    expected_spend = _tenant_spend(stream, expected)
+
+    report = ClusterReport(
+        n_requests=n_requests,
+        n_tenants=n_tenants,
+        queries_per_tenant=queries_per_tenant,
+        overhead_ms=overhead_ms,
+        per_item_ms=per_item_ms,
+        shard_counts=sorted(set(int(n) for n in shard_counts)),
+        smoke=smoke,
+    )
+    for n_shards in report.shard_counts:
+        cluster = _build_cluster(n_shards, overhead_ms, per_item_ms, tenant_capacity)
+        try:
+            latencies: List[float] = []
+            start = time.perf_counter()
+            submitted = []
+            for tenant, prompt in stream:  # open loop: all arrivals up front
+                t_submit = time.perf_counter()
+                future = cluster.submit(prompt, tenant=tenant)
+                future.add_done_callback(
+                    lambda _f, t0=t_submit: latencies.append(
+                        (time.perf_counter() - t0) * 1000.0
+                    )
+                )
+                submitted.append(future)
+            completions = [future.result() for future in submitted]
+            elapsed = time.perf_counter() - start
+            observed_spend = _tenant_spend(stream, completions)
+            ledgers = {
+                tenant: cluster.spent_usd(tenant) for tenant in cluster.tenants()
+            }
+            cell = _latency_summary(latencies, elapsed)
+            cell["diverged"] = sum(
+                1
+                for got, want in zip(completions, expected_text)
+                if got.text != want
+            )
+            cell["budget_leakage"] = _leakage(expected_spend, observed_spend, ledgers)
+            cell["llm_calls"] = cluster.stats.llm_calls
+            cell["cache_hit_rate"] = round(cluster.stats.cache_hit_rate, 4)
+            report.cells[str(n_shards)] = cell
+        finally:
+            cluster.close()
+
+    report.sharing = _run_sharing_cell(overhead_ms, per_item_ms, smoke=smoke)
+    if write_path is not None:
+        report.write(write_path)
+    return report
+
+
+def _run_sharing_cell(
+    overhead_ms: float, per_item_ms: float, smoke: bool = False
+) -> Dict[str, object]:
+    """Serial demo of gated cross-tenant sharing (not divergence-gated:
+    who serves whom depends on request order across tenants, which is the
+    point of making it an explicit, accounted policy decision)."""
+    n_prompts = 4 if smoke else 16
+    gate = CacheSharingGate(
+        [("tenant-0", "tenant-1")],
+        epsilon_per_share=0.1,
+        epsilon_budget=0.1 * (n_prompts - 1),
+    )
+    cluster = ServingCluster(
+        lambda shard: SimulatedServiceProvider(
+            make_client(), overhead_ms=overhead_ms, per_item_ms=per_item_ms
+        ),
+        n_shards=4,
+        sharing=gate,
+    )
+    try:
+        prompts = [f"Question: shared corpus item #{i}?" for i in range(n_prompts)]
+        for prompt in prompts:
+            cluster.complete(prompt, tenant="tenant-0")
+        shared_costs = [
+            cluster.complete(prompt, tenant="tenant-1").cost for prompt in prompts
+        ]
+        outsider_costs = [
+            cluster.complete(prompt, tenant="tenant-2").cost for prompt in prompts
+        ]
+        return {
+            "prompts": n_prompts,
+            "shares_served": gate.total_shares(),
+            "shares_denied_budget": gate.denied_budget,
+            "epsilon_spent": round(gate.epsilon_spent(), 6),
+            "epsilon_budget": gate.epsilon_budget,
+            "peer_free_answers": sum(1 for cost in shared_costs if cost == 0.0),
+            "outsider_free_answers": sum(1 for cost in outsider_costs if cost == 0.0),
+            "saved_usd": round(
+                math.fsum(cluster.cache.shared_cost_saved.values()), 6
+            ),
+            "ledger": gate.ledger(),
+        }
+    finally:
+        cluster.close()
+
+
+__all__ = [
+    "CLUSTER_SCHEMA",
+    "ClusterReport",
+    "DEFAULT_CLUSTER_REPORT_PATH",
+    "make_tenant_stream",
+    "run_cluster",
+]

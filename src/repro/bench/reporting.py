@@ -95,6 +95,18 @@ def render_service_stats(stats) -> str:
         depths = scheduler["queue_depths"]
         if depths:
             rows.append(("scheduler", "max queue depth", max(int(d) for d in depths)))
+    # Per-tenant namespaces (multi-tenant cluster): one compact block per
+    # tenant, keyed as a tenant= dimension on the layer column.
+    for tenant, child in snapshot.get("tenants", {}).items():
+        layer = f"tenant={tenant}"
+        rows.append((layer, "cache lookups", child["cache"]["lookups"]))
+        rows.append((layer, "cache hit rate", child["cache"]["hit_rate"]))
+        rows.append((layer, "llm calls", child["llm"]["calls"]))
+        rows.append((layer, "cost ($)", child["llm"]["cost_usd"]))
+        if child["budget"]["limit_usd"] is not None:
+            rows.append((layer, "budget limit ($)", child["budget"]["limit_usd"]))
+            rows.append((layer, "budget spent ($)", child["budget"]["spent_usd"]))
+            rows.append((layer, "budget rejections", child["budget"]["rejections"]))
     return format_table(["Layer", "Counter", "Value"], rows, title="Serving stack stats")
 
 

@@ -494,6 +494,32 @@ class SemanticCache:
                 return CacheLookup(tier="augment", entry=best_entry, similarity=best_sim)
             return CacheLookup(tier="miss")
 
+    def touch_hit(self, key: str, tier: str) -> CacheEntry:
+        """Apply a hit decided by an external router to entry ``key``.
+
+        The sharded cluster cache (:mod:`repro.serving.cluster`) probes
+        every partition read-only via :meth:`peek`, merges the per-shard
+        winners itself, and then applies exactly one hit — here — to the
+        winning partition, so entry hit counters, the LRFU clock and the
+        partition's :class:`CacheStats` evolve as if the winning partition
+        had served the lookup directly."""
+        if tier not in ("reuse", "augment"):
+            raise ValueError(f"tier must be 'reuse' or 'augment', got {tier!r}")
+        with self._lock:
+            entry = self.entries[key]
+            self._clock += 1
+            self.stats.lookups += 1
+            entry.last_access = self._clock
+            entry.touch_lrfu(self._clock, self.lrfu_lambda)
+            if tier == "reuse":
+                entry.reuse_hits += 1
+                self.stats.reuse_hits += 1
+                self.stats.cost_saved += entry.cost_of_miss
+            else:
+                entry.augment_hits += 1
+                self.stats.augment_hits += 1
+            return entry
+
     # ------------------------------------------------------------- updates
 
     def put(

@@ -7,6 +7,9 @@
   heterogeneous clients (the data-collaboration direction).
 * :mod:`repro.core.privacy.attacks` — membership-inference attack and its
   evaluation against DP-trained models.
+* :mod:`repro.core.privacy.sharing` — the cross-tenant cache-sharing gate
+  the serving cluster consults (group policy + epsilon-budgeted
+  disclosure accounting over a :class:`PrivacyAccountant`).
 """
 
 from repro.core.privacy.attacks import membership_inference_advantage
@@ -17,6 +20,7 @@ from repro.core.privacy.dp import (
     laplace_mechanism,
 )
 from repro.core.privacy.federated import FederatedClient, FederatedTrainer, LogisticModel
+from repro.core.privacy.sharing import CacheSharingGate, isolation_gate
 from repro.core.privacy.secure import (
     Deployment,
     SecureLLMClient,
@@ -24,6 +28,7 @@ from repro.core.privacy.secure import (
 )
 
 __all__ = [
+    "CacheSharingGate",
     "Deployment",
     "FederatedClient",
     "FederatedTrainer",
@@ -33,6 +38,7 @@ __all__ = [
     "compare_deployments",
     "dp_logistic_regression",
     "gaussian_mechanism",
+    "isolation_gate",
     "laplace_mechanism",
     "membership_inference_advantage",
 ]

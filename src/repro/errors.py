@@ -64,6 +64,14 @@ class BudgetExceededError(LLMError):
     """A spending cap configured on the client would be exceeded."""
 
 
+class QuotaExceededError(LLMError):
+    """A tenant's request quota (not its dollar budget) is exhausted.
+
+    Raised by the multi-tenant serving cluster before a request is
+    dispatched; distinct from :class:`BudgetExceededError` so callers can
+    tell "too many requests" from "too many dollars"."""
+
+
 class TransientLLMError(LLMError):
     """A service failure that a later retry may not reproduce.
 

@@ -30,9 +30,22 @@ failures with deterministic capped backoff, per-model circuit breakers
 and a graceful-degradation fallback chain — see
 :mod:`repro.serving.resilience` and the chaos benchmark in
 :mod:`repro.bench.perf`.
+
+One stack serves one client; :class:`ServingCluster`
+(:mod:`repro.serving.cluster`) is the scale-out tier: N stack replicas
+behind a consistent-hash :class:`ClusterRouter`, a sharded multi-tenant
+semantic cache, and per-tenant budgets/quotas with ``tenant=``-namespaced
+stats — byte-equivalent to the single stack at any shard count.
 """
 
 from repro.llm.provider import CompletionProvider, ReseedableProvider, make_client
+from repro.serving.cluster import (
+    ClusterLookup,
+    ClusterRouter,
+    ServingCluster,
+    ShardedSemanticCache,
+    TenantPolicy,
+)
 from repro.serving.concurrent import ConcurrentStack
 from repro.serving.middleware import (
     BudgetMiddleware,
@@ -52,6 +65,8 @@ __all__ = [
     "BatchingScheduler",
     "BudgetMiddleware",
     "CascadeMiddleware",
+    "ClusterLookup",
+    "ClusterRouter",
     "CompletionProvider",
     "ConcurrentStack",
     "LatencyHistogram",
@@ -63,7 +78,10 @@ __all__ = [
     "RetryMiddleware",
     "SemanticCacheMiddleware",
     "ServiceStats",
+    "ServingCluster",
     "ServingStack",
+    "ShardedSemanticCache",
+    "TenantPolicy",
     "build_stack",
     "last_question_key",
     "make_client",

@@ -1,0 +1,817 @@
+"""Sharded multi-tenant serving cluster.
+
+One :class:`~repro.serving.stack.ServingStack` serves one logical client;
+this module is the scale-out tier the LLM×DATA framing asks for — serving
+as a shared, multi-user database-style workload:
+
+* :class:`ClusterRouter` — a deterministic consistent-hash ring with
+  virtual nodes. Routing is a pure function of the shard set, so two
+  routers built from the same shard list agree on every key, and adding
+  or removing a shard moves only ~K/N keys (the classic ring property;
+  the hypothesis suite pins it).
+* :class:`ShardedSemanticCache` — the semantic cache partitioned across
+  shards. Each shard owns its entries and its vector index (built
+  partition-aware via :class:`~repro.vectordb.PartitionSpec`, so index
+  kind is chosen at partition-local scale); the router key is
+  ``tenant|prompt-key``. Tenants are hard-partitioned: a probe scatters
+  over the *probing tenant's* partitions only, merges per-shard winners
+  by (similarity, global insertion order) — provably the same winner an
+  unsharded per-tenant cache would pick — and applies exactly one hit to
+  the winning partition. Cross-tenant reads happen only through a
+  :class:`~repro.core.privacy.CacheSharingGate`, read-only, and never
+  mutate the owner's cache state.
+* :class:`ServingCluster` — N stack replicas behind the router, one
+  dispatch worker per shard (requests for one key always land on one
+  shard, so per-key order is preserved while shards overlap), per-tenant
+  budgets/quotas enforced at the front door, and per-tenant
+  :class:`~repro.serving.stats.ServiceStats` namespaces threaded through
+  ``snapshot()``/``report()``.
+
+Determinism: completions are pure functions of (prompt, model, seed) and
+every replica is built by the same factory, so a cluster at any shard
+count serves byte-identical completions to the single-stack (1-shard)
+reference on the same request stream — as long as the workload's semantic
+matches stay within a key (exact repeats; the bench asserts diverged=0).
+
+>>> from repro.serving.cluster import ServingCluster, TenantPolicy
+>>> cluster = ServingCluster(n_shards=4, cache=True)
+>>> cluster.set_policy("acme", TenantPolicy(budget_usd=1.0))
+>>> completion = cluster.complete("Question: What is 2+2?", tenant="acme")
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache import CacheEntry, CacheStats, EvictionPolicy, SemanticCache
+from repro.core.privacy.sharing import CacheSharingGate
+from repro.errors import BudgetExceededError, QuotaExceededError
+from repro.llm.client import Completion, Usage
+from repro.llm.embeddings import EmbeddingModel
+from repro.llm.provider import CompletionProvider, make_client
+from repro.serving.stack import ServingStack, build_stack
+from repro.serving.stats import ServiceStats
+from repro.vectordb.partition import PartitionSpec
+
+DEFAULT_TENANT = "default"
+_SEQ_INF = float("inf")
+
+
+def _stable_hash(text: str) -> int:
+    """64-bit stable hash (blake2b) — identical across processes/runs,
+    unlike Python's salted ``hash()``."""
+    return int.from_bytes(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ClusterRouter:
+    """Consistent-hash request router with virtual nodes.
+
+    Each shard contributes ``vnodes`` points on a 64-bit ring; a key is
+    owned by the first shard point clockwise of its hash. Because a
+    shard's points depend only on its own name, adding or removing a
+    shard leaves every other point fixed — only the keys that fall into
+    the changed arcs move (expected K/N of them).
+    """
+
+    def __init__(self, shards: Sequence[str], vnodes: int = 64) -> None:
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        names = list(dict.fromkeys(shards))
+        if not names:
+            raise ValueError("need at least one shard")
+        if len(names) != len(shards):
+            raise ValueError("shard names must be unique")
+        self.vnodes = vnodes
+        self._shards: List[str] = []
+        self._ring: List[Tuple[int, str]] = []  # (point, shard), sorted
+        for name in names:
+            self.add_shard(name)
+
+    # ------------------------------------------------------------ topology
+
+    @property
+    def shards(self) -> List[str]:
+        """Shard names in registration order (deterministic)."""
+        return list(self._shards)
+
+    def _points(self, shard: str) -> List[int]:
+        return [_stable_hash(f"{shard}#vnode{i}") for i in range(self.vnodes)]
+
+    def add_shard(self, shard: str) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already registered")
+        self._shards.append(shard)
+        for point in self._points(shard):
+            bisect.insort(self._ring, (point, shard))
+
+    def remove_shard(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} not registered")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.remove(shard)
+        self._ring = [(point, name) for point, name in self._ring if name != shard]
+
+    # ------------------------------------------------------------- routing
+
+    def route(self, key: str) -> str:
+        """The shard owning ``key`` (first ring point clockwise)."""
+        point = _stable_hash(key)
+        index = bisect.bisect_right(self._ring, (point, "￿"))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def route_request(self, tenant: str, key: str) -> str:
+        """Route a tenant-scoped request key (``tenant|key``)."""
+        return self.route(f"{tenant}|{key}")
+
+    def clone(self) -> "ClusterRouter":
+        """An independent router with the identical ring (same routes)."""
+        return ClusterRouter(self._shards, vnodes=self.vnodes)
+
+    def describe(self) -> str:
+        return f"ring({len(self._shards)} shards x {self.vnodes} vnodes)"
+
+
+# ===========================================================================
+# Sharded semantic cache
+# ===========================================================================
+
+
+@dataclass
+class ClusterLookup:
+    """Result of one sharded, tenant-scoped cache probe."""
+
+    tier: str  # 'reuse' | 'augment' | 'miss'
+    entry: Optional[CacheEntry] = None
+    similarity: float = 0.0
+    shard: Optional[str] = None
+    owner_tenant: Optional[str] = None
+    shared: bool = False  # served from another tenant's cache via the gate
+
+
+class ShardedSemanticCache:
+    """A :class:`~repro.core.cache.SemanticCache` partitioned over shards.
+
+    Entries are owned by ``router.route(tenant|key)``; each (shard,
+    tenant) pair holds an independent :class:`SemanticCache` partition
+    whose vector index is built partition-aware (sized to the shard's
+    share of ``tenant_capacity`` via :class:`~repro.vectordb.PartitionSpec`).
+    All partitions share one embedder, so a key is feature-hashed once
+    cluster-wide.
+
+    A probe scatters read-only (:meth:`SemanticCache.peek`) over the
+    probing tenant's partitions and merges the per-shard winners by
+    ``(similarity desc, global insertion seq asc)``. Within a shard,
+    ``search_top1`` already returns the first-inserted of any equal-top
+    group, and global order restricted to a shard preserves relative
+    order — so the merged winner is exactly the entry a single
+    per-tenant cache holding all the shards' entries would have matched.
+    The winning partition then gets exactly one :meth:`touch_hit`.
+
+    Isolation: a tenant's probe never reads another tenant's partitions
+    unless a :class:`~repro.core.privacy.CacheSharingGate` explicitly
+    allows the pair — and even then the read is via ``peek``, never
+    mutating the owner's entries, clocks or stats.
+    """
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        *,
+        tenant_capacity: int = 4096,
+        reuse_threshold: float = 0.95,
+        augment_threshold: float = 0.75,
+        policy: EvictionPolicy = EvictionPolicy.WEIGHTED,
+        embedding_dim: int = 64,
+        lrfu_lambda: float = 0.1,
+        sharing: Optional[CacheSharingGate] = None,
+    ) -> None:
+        self.router = router
+        self.reuse_threshold = reuse_threshold
+        self.augment_threshold = augment_threshold
+        self.policy = policy
+        self.lrfu_lambda = lrfu_lambda
+        self.sharing = sharing
+        self.spec = PartitionSpec(
+            dim=embedding_dim,
+            total_capacity=tenant_capacity,
+            n_partitions=len(router.shards),
+        )
+        self.embedder = EmbeddingModel(dim=embedding_dim)
+        # shard -> tenant -> partition cache (partitions created on first put)
+        self._partitions: Dict[str, Dict[str, SemanticCache]] = {
+            shard: {} for shard in router.shards
+        }
+        # Global per-tenant insertion sequence, for cross-shard tie-breaks.
+        self._seq: Dict[str, Dict[str, int]] = {}
+        self._next_seq: Dict[str, int] = {}
+        self.tenant_stats: Dict[str, CacheStats] = {}
+        self.shared_hits: Dict[str, int] = {}
+        self.shared_cost_saved: Dict[str, float] = {}
+        # One lock over partition/seq/stats maps *and* each full probe or
+        # put: scatter-merge plus the single touch_hit must be atomic so a
+        # concurrent eviction can't invalidate the merged winner.
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(
+                len(cache)
+                for tenants in self._partitions.values()
+                for cache in tenants.values()
+            )
+
+    # --------------------------------------------------------- partitions
+
+    def _partition(
+        self, shard: str, tenant: str, create: bool = False
+    ) -> Optional[SemanticCache]:
+        tenants = self._partitions[shard]
+        cache = tenants.get(tenant)
+        if cache is None and create:
+            cache = SemanticCache(
+                capacity=self.spec.partition_capacity,
+                reuse_threshold=self.reuse_threshold,
+                augment_threshold=self.augment_threshold,
+                policy=self.policy,
+                embedding_dim=self.spec.dim,
+                lrfu_lambda=self.lrfu_lambda,
+                index=self.spec.build_partition_index(),
+            )
+            cache.embedder = self.embedder  # one feature-hash memo cluster-wide
+            tenants[tenant] = cache
+        return cache
+
+    def partitions_of(self, tenant: str) -> List[Tuple[str, SemanticCache]]:
+        """The tenant's live partitions in shard registration order."""
+        with self._lock:
+            return [
+                (shard, self._partitions[shard][tenant])
+                for shard in self.router.shards
+                if tenant in self._partitions[shard]
+            ]
+
+    def stats_for(self, tenant: str) -> CacheStats:
+        with self._lock:
+            return self.tenant_stats.setdefault(tenant, CacheStats())
+
+    def entries_of(self, tenant: str) -> Dict[str, CacheEntry]:
+        """All live entries of one tenant, keyed by cache key."""
+        out: Dict[str, CacheEntry] = {}
+        for _shard, cache in self.partitions_of(tenant):
+            out.update(cache.entries)
+        return out
+
+    # ------------------------------------------------------------- probes
+
+    def _scatter_best(
+        self, tenant: str, key: str
+    ) -> Optional[Tuple[float, str, SemanticCache, CacheEntry]]:
+        """Best (similarity, shard, partition, entry) across the tenant's
+        partitions, merged with the single-cache tie-break rule. Callers
+        hold the sharded-cache lock."""
+        seq_map = self._seq.get(tenant, {})
+        best: Optional[Tuple[float, float, str, SemanticCache, CacheEntry]] = None
+        for shard, cache in (
+            (shard, self._partitions[shard][tenant])
+            for shard in self.router.shards
+            if tenant in self._partitions[shard]
+        ):
+            found = cache.peek(key)
+            if found.entry is None:
+                continue
+            seq = seq_map.get(found.entry.key, _SEQ_INF)
+            if (
+                best is None
+                or found.similarity > best[0]
+                or (found.similarity == best[0] and seq < best[1])
+            ):
+                best = (found.similarity, seq, shard, cache, found.entry)
+        if best is None:
+            return None
+        similarity, _seq, shard, cache, entry = best
+        return similarity, shard, cache, entry
+
+    def lookup(self, tenant: str, key: str) -> ClusterLookup:
+        """Tenant-scoped probe; applies hit bookkeeping to the winner."""
+        with self._lock:
+            stats = self.tenant_stats.setdefault(tenant, CacheStats())
+            stats.lookups += 1
+            # Exact requery: the single-cache rule returns the key's own
+            # entry before any similarity scan. A key normally lives on one
+            # shard only; after a reshard it may sit on its old owner, so
+            # scan all of the tenant's partitions (dict hits, O(shards)).
+            for shard in self.router.shards:
+                cache = self._partitions[shard].get(tenant)
+                if cache is not None and key in cache:
+                    entry = cache.touch_hit(key, "reuse")
+                    stats.reuse_hits += 1
+                    stats.cost_saved += entry.cost_of_miss
+                    return ClusterLookup("reuse", entry, 1.0, shard, tenant)
+            best = self._scatter_best(tenant, key)
+            if best is not None:
+                similarity, shard, cache, entry = best
+                tier = "reuse" if similarity >= self.reuse_threshold else "augment"
+                entry = cache.touch_hit(entry.key, tier)
+                if tier == "reuse":
+                    stats.reuse_hits += 1
+                    stats.cost_saved += entry.cost_of_miss
+                else:
+                    stats.augment_hits += 1
+                return ClusterLookup(tier, entry, similarity, shard, tenant)
+            stats.misses += 1
+            return self._shared_lookup(tenant, key)
+
+    def _shared_lookup(self, tenant: str, key: str) -> ClusterLookup:
+        """Cross-tenant fallback after an own-cache miss (lock held).
+
+        Only *reuse*-tier matches are served across tenants — an augment
+        hit would splice the owner's (query, answer) pair into the
+        consumer's prompt, a much broader disclosure than replaying one
+        vetted answer. The owner's cache is read via ``peek`` only."""
+        gate = self.sharing
+        if gate is None:
+            return ClusterLookup("miss")
+        for owner in gate.peers(tenant):
+            if not gate.allows(tenant, owner):
+                continue
+            best = self._scatter_best(owner, key)
+            if best is None:
+                continue
+            similarity, shard, _cache, entry = best
+            if similarity < self.reuse_threshold:
+                continue
+            gate.record_share(tenant, owner)
+            self.shared_hits[tenant] = self.shared_hits.get(tenant, 0) + 1
+            self.shared_cost_saved[tenant] = (
+                self.shared_cost_saved.get(tenant, 0.0) + entry.cost_of_miss
+            )
+            return ClusterLookup(
+                "reuse", entry, similarity, shard, owner_tenant=owner, shared=True
+            )
+        return ClusterLookup("miss")
+
+    # ------------------------------------------------------------- updates
+
+    def put(
+        self, tenant: str, key: str, response: str, kind: str = "original", cost: float = 0.0
+    ) -> Optional[CacheEntry]:
+        """Insert (or refresh) an entry in the owning shard's partition."""
+        with self._lock:
+            for shard in self.router.shards:
+                cache = self._partitions[shard].get(tenant)
+                if cache is not None and key in cache:
+                    return cache.put(key, response, kind=kind, cost=cost)
+            shard = self.router.route_request(tenant, key)
+            cache = self._partition(shard, tenant, create=True)
+            seq_map = self._seq.setdefault(tenant, {})
+            seq_map[key] = self._next_seq.get(tenant, 0)
+            self._next_seq[tenant] = seq_map[key] + 1
+            # The seq map outlives evicted entries (ties only consult live
+            # keys); prune it once it clearly outgrows the live set.
+            if len(seq_map) > 4 * self.spec.total_capacity:
+                live = set()
+                for other in self.router.shards:
+                    partition = self._partitions[other].get(tenant)
+                    if partition is not None:
+                        live.update(partition.entries)
+                self._seq[tenant] = {k: v for k, v in seq_map.items() if k in live}
+            return cache.put(key, response, kind=kind, cost=cost)
+
+    def describe(self) -> str:
+        return (
+            f"sharded-cache[{self.router.describe()}, "
+            f"{self.spec.describe()}, "
+            f"{self.sharing.describe() if self.sharing else 'sharing: closed'}]"
+        )
+
+
+# ===========================================================================
+# Tenant policies
+# ===========================================================================
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant governance: a dollar budget and a request quota.
+
+    ``budget_usd`` caps the tenant's *LLM spend* (cache hits are free and
+    keep flowing after exhaustion, like
+    :class:`~repro.serving.middleware.BudgetMiddleware` below the cache);
+    ``max_requests`` caps total requests accepted, hits included."""
+
+    budget_usd: Optional[float] = None
+    max_requests: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.budget_usd is not None and self.budget_usd < 0:
+            raise ValueError("budget_usd must be non-negative")
+        if self.max_requests is not None and self.max_requests < 0:
+            raise ValueError("max_requests must be non-negative")
+
+
+@dataclass
+class _TenantLedger:
+    """Authoritative per-tenant accounting (survives stats resets)."""
+
+    spent_usd: float = 0.0
+    requests: int = 0
+    rejections: int = 0
+    llm_calls: int = 0
+    cache_hits: int = 0
+
+
+# ===========================================================================
+# The cluster
+# ===========================================================================
+
+
+class _ShardWorker(threading.Thread):
+    """One dispatch thread per shard: drains the shard's FIFO queue.
+
+    Per-key order is preserved cluster-wide because the router sends every
+    request for a key to the same shard, and this worker serves its queue
+    in submission order."""
+
+    def __init__(self, cluster: "ServingCluster", shard: str) -> None:
+        super().__init__(daemon=True, name=f"shard-{shard}")
+        self.cluster = cluster
+        self.shard = shard
+        self.requests: "queue.Queue[Optional[Tuple[str, str, Optional[str], Future]]]" = (
+            queue.Queue()
+        )
+
+    def run(self) -> None:
+        while True:
+            item = self.requests.get()
+            if item is None:
+                return
+            prompt, tenant, model, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(self.cluster._serve(prompt, tenant, model))
+            except BaseException as exc:  # noqa: BLE001 - delivered via future
+                future.set_exception(exc)
+
+
+class ServingCluster:
+    """N serving-stack replicas behind a consistent-hash router.
+
+    ``provider_factory(shard_name)`` builds each replica's terminal
+    provider; every factory call must construct an identically-seeded
+    provider for the cluster to stay byte-equivalent to its single-shard
+    reference. The semantic cache is cluster-level and sharded
+    (:class:`ShardedSemanticCache`) — replicas themselves are built
+    *without* a cache layer so hit accounting lives in exactly one place.
+
+    Multi-tenancy: every request names a tenant. The front door enforces
+    the tenant's :class:`TenantPolicy` (quota on accept, budget before
+    dispatch), charges its ledger, and mirrors its traffic into a
+    per-tenant :class:`ServiceStats` namespace (``stats.tenant(name)``),
+    so ``snapshot()["tenants"]`` reads like one report per tenant.
+    """
+
+    def __init__(
+        self,
+        provider_factory: Optional[Callable[[str], CompletionProvider]] = None,
+        *,
+        n_shards: int = 2,
+        shard_names: Optional[Sequence[str]] = None,
+        vnodes: int = 64,
+        cache: object = True,
+        key_fn: Optional[Callable[[str], str]] = None,
+        cache_kind: str = "original",
+        tenant_capacity: int = 4096,
+        reuse_threshold: float = 0.95,
+        augment_threshold: float = 0.75,
+        eviction_policy: EvictionPolicy = EvictionPolicy.WEIGHTED,
+        sharing: Optional[CacheSharingGate] = None,
+        policies: Optional[Dict[str, TenantPolicy]] = None,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        if shard_names is None:
+            if n_shards <= 0:
+                raise ValueError("n_shards must be positive")
+            shard_names = [f"shard-{i}" for i in range(n_shards)]
+        self.router = ClusterRouter(shard_names, vnodes=vnodes)
+        self.stats = stats if stats is not None else ServiceStats()
+        self.provider_factory = (
+            provider_factory if provider_factory is not None else (lambda shard: make_client())
+        )
+        self.stacks: Dict[str, ServingStack] = {
+            shard: build_stack(self.provider_factory(shard), stats=self.stats)
+            for shard in self.router.shards
+        }
+        if isinstance(cache, ShardedSemanticCache):
+            self.cache: Optional[ShardedSemanticCache] = cache
+        elif cache:
+            self.cache = ShardedSemanticCache(
+                self.router,
+                tenant_capacity=tenant_capacity,
+                reuse_threshold=reuse_threshold,
+                augment_threshold=augment_threshold,
+                policy=eviction_policy,
+                sharing=sharing,
+            )
+        else:
+            self.cache = None
+        self.key_fn = key_fn
+        self.cache_kind = cache_kind
+        self.default_policy = TenantPolicy()
+        self._policies: Dict[str, TenantPolicy] = dict(policies or {})
+        self._ledgers: Dict[str, _TenantLedger] = {}
+        self._completions: Dict[Tuple[str, str], Completion] = {}
+        self.requests_by_shard: Dict[str, int] = {shard: 0 for shard in self.router.shards}
+        self._lock = threading.RLock()
+        self._workers: Optional[Dict[str, _ShardWorker]] = None
+        self._closed = False
+        # Ledgers are authoritative; re-publish them into the (freshly
+        # zeroed) tenant namespaces after every stats.reset() — the same
+        # pattern BudgetMiddleware uses for its single-stack ledger.
+        self.stats.register_reset_hook(self._republish_ledgers)
+
+    # ----------------------------------------------------------- tenancy
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        with self._lock:
+            self._policies[tenant] = policy
+            ledger = self._ledgers.get(tenant)
+        tstats = self.stats.tenant(tenant)
+        with tstats.lock:
+            tstats.budget_limit_usd = policy.budget_usd
+            if ledger is not None:
+                tstats.budget_spent_usd = ledger.spent_usd
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self._policies.get(tenant, self.default_policy)
+
+    def ledger_for(self, tenant: str) -> _TenantLedger:
+        with self._lock:
+            return self._ledgers.setdefault(tenant, _TenantLedger())
+
+    def spent_usd(self, tenant: str) -> float:
+        return self.ledger_for(tenant).spent_usd
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return sorted(self._ledgers)
+
+    def _republish_ledgers(self) -> None:
+        with self._lock:
+            ledgers = dict(self._ledgers)
+        for tenant, ledger in ledgers.items():
+            tstats = self.stats.tenant(tenant)
+            with tstats.lock:
+                tstats.budget_limit_usd = self.policy_for(tenant).budget_usd
+                tstats.budget_spent_usd = ledger.spent_usd
+                tstats.budget_rejections = ledger.rejections
+
+    # ----------------------------------------------------------- serving
+
+    def _admit(self, tenant: str) -> _TenantLedger:
+        """Quota check + request accounting (the front door)."""
+        policy = self.policy_for(tenant)
+        with self._lock:
+            ledger = self._ledgers.setdefault(tenant, _TenantLedger())
+            if policy.max_requests is not None and ledger.requests >= policy.max_requests:
+                ledger.rejections += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} quota of {policy.max_requests} requests exhausted"
+                )
+            ledger.requests += 1
+        return ledger
+
+    def _replay(self, owner: str, entry: CacheEntry, similarity: float, shared: bool) -> Completion:
+        marker: Dict[str, object] = {
+            "tier": "reuse",
+            "similarity": round(similarity, 6),
+        }
+        if shared:
+            marker["shared_from"] = owner
+        original = self._completions.get((owner, entry.key))
+        if original is not None:
+            metadata = dict(original.metadata)
+            metadata["serving.cache"] = marker
+            return original.with_usage(
+                Usage(prompt_tokens=0, completion_tokens=0),
+                0.0,
+                latency_ms=0.0,
+                metadata=metadata,
+            )
+        return Completion(
+            text=entry.response,
+            model="cache",
+            usage=Usage(prompt_tokens=0, completion_tokens=0),
+            cost=0.0,
+            latency_ms=0.0,
+            confidence=1.0,
+            engine="cache",
+            metadata={"serving.cache": marker},
+        )
+
+    def _serve(self, prompt: str, tenant: str, model: Optional[str]) -> Completion:
+        ledger = self._admit(tenant)
+        policy = self.policy_for(tenant)
+        tstats = self.stats.tenant(tenant)
+        key = self.key_fn(prompt) if self.key_fn is not None else prompt
+        effective_prompt = prompt
+        if self.cache is not None:
+            probe_start = time.perf_counter()
+            found = self.cache.lookup(tenant, key)
+            probe_ms = (time.perf_counter() - probe_start) * 1000.0
+            for section in (self.stats, tstats):
+                with section.lock:
+                    section.cache_lookups += 1
+                    section.cache_lookup_ms += probe_ms
+                    if found.tier == "reuse" and found.entry is not None:
+                        section.cache_reuse_hits += 1
+                        section.cache_cost_saved += found.entry.cost_of_miss
+                    elif found.tier == "augment" and found.entry is not None:
+                        section.cache_augment_hits += 1
+                    else:
+                        section.cache_misses += 1
+            if found.tier == "reuse" and found.entry is not None:
+                with self._lock:
+                    ledger.cache_hits += 1
+                return self._replay(
+                    found.owner_tenant if found.owner_tenant is not None else tenant,
+                    found.entry,
+                    found.similarity,
+                    found.shared,
+                )
+            if found.tier == "augment" and found.entry is not None:
+                effective_prompt = (
+                    f"Example: Question: {found.entry.key} "
+                    f"Answer: {found.entry.response}\n" + prompt
+                )
+        if policy.budget_usd is not None:
+            with self._lock:
+                spent = ledger.spent_usd
+                if spent >= policy.budget_usd:
+                    ledger.rejections += 1
+                    with tstats.lock:
+                        tstats.budget_rejections += 1
+                    raise BudgetExceededError(
+                        f"tenant {tenant!r} budget ${policy.budget_usd:.4f} "
+                        f"exhausted (spent ${spent:.4f})"
+                    )
+        shard = self.router.route_request(tenant, key)
+        completion = self.stacks[shard].complete(effective_prompt, model=model)
+        with self._lock:
+            ledger.spent_usd += completion.cost
+            ledger.llm_calls += 1
+            self.requests_by_shard[shard] += 1
+            spent = ledger.spent_usd
+        with tstats.lock:
+            tstats.budget_limit_usd = policy.budget_usd
+            tstats.budget_spent_usd = spent
+        tstats.record_llm_call(
+            completion.model, completion.usage, completion.cost, completion.latency_ms
+        )
+        if self.cache is not None:
+            put_start = time.perf_counter()
+            admitted = self.cache.put(
+                tenant, key, completion.text, kind=self.cache_kind, cost=completion.cost
+            )
+            put_ms = (time.perf_counter() - put_start) * 1000.0
+            for section in (self.stats, tstats):
+                with section.lock:
+                    section.cache_put_ms += put_ms
+            if admitted is not None:
+                with self._lock:
+                    self._completions[(tenant, key)] = completion
+                    if len(self._completions) > 8 * self.cache.spec.total_capacity:
+                        live = {
+                            (t, k)
+                            for t in list(self._ledgers)
+                            for k in self.cache.entries_of(t)
+                        }
+                        self._completions = {
+                            pair: c for pair, c in self._completions.items() if pair in live
+                        }
+        return completion
+
+    def complete(
+        self, prompt: str, tenant: str = DEFAULT_TENANT, model: Optional[str] = None
+    ) -> Completion:
+        """Serve one request inline on the calling thread (serial mode)."""
+        return self._serve(prompt, tenant, model)
+
+    # -------------------------------------------------------- concurrency
+
+    def _ensure_workers(self) -> Dict[str, _ShardWorker]:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cluster is closed")
+            if self._workers is None:
+                self._workers = {}
+                for shard in self.router.shards:
+                    worker = _ShardWorker(self, shard)
+                    worker.start()
+                    self._workers[shard] = worker
+            return self._workers
+
+    def submit(
+        self, prompt: str, tenant: str = DEFAULT_TENANT, model: Optional[str] = None
+    ) -> "Future[Completion]":
+        """Enqueue one request on its shard's dispatch worker."""
+        key = self.key_fn(prompt) if self.key_fn is not None else prompt
+        shard = self.router.route_request(tenant, key)
+        future: "Future[Completion]" = Future()
+        self._ensure_workers()[shard].requests.put((prompt, tenant, model, future))
+        return future
+
+    def complete_many(
+        self,
+        requests: Sequence[Tuple[str, str]],
+        model: Optional[str] = None,
+    ) -> List[Completion]:
+        """Serve ``(tenant, prompt)`` pairs across the shard workers;
+        results come back in request order (first failure re-raises)."""
+        futures = [self.submit(prompt, tenant=tenant, model=model) for tenant, prompt in requests]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Stop the shard workers (idempotent)."""
+        with self._lock:
+            workers, self._workers = self._workers, None
+            self._closed = True
+        if workers:
+            for worker in workers.values():
+                worker.requests.put(None)
+            for worker in workers.values():
+                worker.join()
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- reporting
+
+    def describe(self) -> str:
+        shard = self.router.shards[0]
+        return (
+            f"{self.router.describe()} -> {len(self.stacks)} x "
+            f"[{self.stacks[shard].describe()}]"
+            + (f" | {self.cache.describe()}" if self.cache is not None else "")
+        )
+
+    def report(self) -> str:
+        return self.stats.render()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Cluster snapshot: shared stack stats (with tenant namespaces)
+        plus routing/tenancy dimensions the stacks can't see."""
+        with self._lock:
+            tenancy = {
+                tenant: {
+                    "requests": ledger.requests,
+                    "llm_calls": ledger.llm_calls,
+                    "cache_hits": ledger.cache_hits,
+                    "spent_usd": round(ledger.spent_usd, 6),
+                    "rejections": ledger.rejections,
+                    "budget_usd": self.policy_for(tenant).budget_usd,
+                    "quota": self.policy_for(tenant).max_requests,
+                }
+                for tenant, ledger in sorted(self._ledgers.items())
+            }
+            by_shard = dict(sorted(self.requests_by_shard.items()))
+        out: Dict[str, object] = {
+            "stats": self.stats.snapshot(),
+            "tenancy": tenancy,
+            "requests_by_shard": by_shard,
+            "router": self.router.describe(),
+        }
+        if self.cache is not None and self.cache.sharing is not None:
+            gate = self.cache.sharing
+            out["sharing"] = {
+                "ledger": gate.ledger(),
+                "epsilon_spent": round(gate.epsilon_spent(), 6),
+                "epsilon_budget": gate.epsilon_budget,
+                "denied_budget": gate.denied_budget,
+            }
+        return out
+
+
+__all__ = [
+    "ClusterLookup",
+    "ClusterRouter",
+    "DEFAULT_TENANT",
+    "ServingCluster",
+    "ShardedSemanticCache",
+    "TenantPolicy",
+]

@@ -166,6 +166,15 @@ class ServiceStats:
     _reset_hooks: List[Callable[[], None]] = field(
         default_factory=list, repr=False, compare=False
     )
+    # Per-tenant namespaces (see :meth:`tenant`): child ServiceStats keyed
+    # by tenant name, registered lazily by the multi-tenant cluster. Like
+    # the lock and the hooks, the registry itself survives `reset()` — but
+    # every child is reset *with* the parent, so a cluster-level reset can
+    # never leak stale tenant counters (namespaces registered after
+    # construction included; see the reset() loop).
+    _tenants: Dict[str, "ServiceStats"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------ locking
 
@@ -173,6 +182,27 @@ class ServiceStats:
     def lock(self) -> threading.RLock:
         """The stats lock; middleware holds it around counter updates."""
         return self._lock
+
+    def tenant(self, name: str) -> "ServiceStats":
+        """The per-tenant namespace for ``name`` (created on first use).
+
+        Namespaces are plain child :class:`ServiceStats` instances: the
+        serving cluster records a tenant's cache traffic, LLM calls and
+        budget state into its namespace with the same record methods the
+        middleware uses, and :meth:`snapshot`/:meth:`render` thread a
+        ``tenant=`` dimension through the report. Children reset with the
+        parent (see :meth:`reset`)."""
+        with self._lock:
+            child = self._tenants.get(name)
+            if child is None:
+                child = ServiceStats()
+                self._tenants[name] = child
+            return child
+
+    def tenant_names(self) -> List[str]:
+        """Registered tenant namespaces, sorted."""
+        with self._lock:
+            return sorted(self._tenants)
 
     def register_reset_hook(self, hook: Callable[[], None]) -> None:
         """Run ``hook`` after every :meth:`reset` (outside the stats lock),
@@ -244,9 +274,16 @@ class ServiceStats:
         return total / self.scheduler_batches
 
     def snapshot(self) -> Dict[str, object]:
-        """A plain-dict snapshot, layer by layer (stable keys for reports)."""
+        """A plain-dict snapshot, layer by layer (stable keys for reports).
+
+        When per-tenant namespaces are registered (see :meth:`tenant`) the
+        snapshot carries an additional ``"tenants"`` section mapping each
+        tenant name to its own full snapshot."""
         with self._lock:
-            return {
+            tenants = dict(sorted(self._tenants.items()))
+        tenant_section = {name: child.snapshot() for name, child in tenants.items()}
+        with self._lock:
+            out: Dict[str, object] = {
                 "llm": {
                     "calls": self.llm_calls,
                     "prompt_tokens": self.prompt_tokens,
@@ -309,24 +346,38 @@ class ServiceStats:
                     },
                 },
             }
+        if tenant_section:
+            out["tenants"] = tenant_section
+        return out
 
     def reset(self) -> None:
-        """Zero every counter; the lock and registered hooks survive.
+        """Zero every counter; the lock, hooks and tenant registry survive.
 
         Layers holding authoritative state elsewhere (see
         :meth:`register_reset_hook`) then re-publish it, so e.g.
         ``budget_spent_usd`` reflects the live ledger — which resets do
-        *not* clear — rather than reading zero until the next charge."""
+        *not* clear — rather than reading zero until the next charge.
+
+        Per-tenant namespaces (:meth:`tenant`) are reset recursively —
+        including ones registered *after* this instance was constructed —
+        so a cluster-level reset can never leave a tenant reporting stale
+        counters while the parent reads zero. The registry itself (and each
+        child object identity) is kept: layers holding a namespace
+        reference keep writing to the same, now-zeroed, instance."""
         fresh = ServiceStats()
         with self._lock:
             for name in fresh.__dataclass_fields__:
-                if name in ("_lock", "_reset_hooks"):
+                if name in ("_lock", "_reset_hooks", "_tenants"):
                     continue
                 setattr(self, name, getattr(fresh, name))
             hooks = list(self._reset_hooks)
+            tenants = list(self._tenants.values())
         # Outside the stats lock: hooks take their own layer locks, and the
         # charge path acquires (layer lock -> stats lock) — holding the
-        # stats lock here would invert that order and risk deadlock.
+        # stats lock here would invert that order and risk deadlock. Tenant
+        # children likewise reset under their own locks.
+        for child in tenants:
+            child.reset()
         for hook in hooks:
             hook()
 

@@ -31,6 +31,7 @@ from repro.vectordb.index_flat import FlatIndex
 from repro.vectordb.index_hnsw import HNSWIndex
 from repro.vectordb.index_ivf import IVFIndex
 from repro.vectordb.index_ivf_exact import ExactIVFIndex
+from repro.vectordb.partition import PartitionSpec
 from repro.vectordb.tuning import (
     FLAT_MAX_ENTRIES,
     TuningResult,
@@ -50,6 +51,7 @@ __all__ = [
     "IVFIndex",
     "Metric",
     "MetadataFilter",
+    "PartitionSpec",
     "SearchHit",
     "SearchReport",
     "TuningResult",

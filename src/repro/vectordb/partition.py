@@ -1,0 +1,78 @@
+"""Partition-aware index construction for sharded corpora.
+
+A sharded semantic cache splits one logical corpus across N shard-local
+partitions (router key = tenant + prompt hash), so the right index *kind*
+is a per-partition decision, not a corpus-level one: a 400k-entry corpus
+split 8 ways is eight 50k partitions, each best served by a plain
+:class:`~repro.vectordb.FlatIndex` gemv — while the same corpus unsharded
+wants the cluster-pruned :class:`~repro.vectordb.ExactIVFIndex`. This is
+exactly the "IVF partitions map onto shards" observation: the shard hash
+*is* the coarse quantizer, so per-partition indexes start one level
+shallower than a monolithic one.
+
+:class:`PartitionSpec` captures the split (how many partitions a corpus of
+``total_capacity`` expected rows is divided into) and builds each
+partition's index via :func:`~repro.vectordb.tuning.auto_index` at the
+*partition-local* expected size. A spec is a pure value object: two specs
+with equal fields build identical index stacks, which keeps resharded
+clusters reconstructible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.vectordb.distance import Metric
+from repro.vectordb.index_flat import FlatIndex
+from repro.vectordb.tuning import auto_index
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """How one logical vector corpus is split across shard partitions."""
+
+    dim: int
+    total_capacity: int
+    n_partitions: int = 1
+    metric: Metric = Metric.COSINE
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ValueError("dim must be positive")
+        if self.total_capacity <= 0:
+            raise ValueError("total_capacity must be positive")
+        if self.n_partitions <= 0:
+            raise ValueError("n_partitions must be positive")
+
+    @property
+    def partition_capacity(self) -> int:
+        """Expected rows per partition under a balanced hash (ceil)."""
+        return -(-self.total_capacity // self.n_partitions)
+
+    def build_partition_index(self) -> FlatIndex:
+        """One shard-local index sized to the partition-local load."""
+        return auto_index(self.dim, self.partition_capacity, metric=self.metric)
+
+    def build(self) -> List[FlatIndex]:
+        """All ``n_partitions`` indexes (independent instances)."""
+        return [self.build_partition_index() for _ in range(self.n_partitions)]
+
+    def resharded(self, n_partitions: int) -> "PartitionSpec":
+        """The same corpus split across a different shard count."""
+        return PartitionSpec(
+            dim=self.dim,
+            total_capacity=self.total_capacity,
+            n_partitions=n_partitions,
+            metric=self.metric,
+        )
+
+    def describe(self) -> str:
+        kind = type(self.build_partition_index()).__name__
+        return (
+            f"{self.n_partitions} x {kind}(dim={self.dim}, "
+            f"~{self.partition_capacity} rows/partition)"
+        )
+
+
+__all__ = ["PartitionSpec"]

@@ -1,0 +1,118 @@
+"""Property-based tests of the consistent-hash router (hypothesis).
+
+The two properties the cluster design leans on:
+
+* **Determinism** — routing is a pure function of the shard set: a
+  reconstructed (cloned or re-built) router agrees on every key, so any
+  process can compute a request's owner without coordination.
+* **Minimal movement** — adding or removing one shard remaps only the
+  keys falling into the changed ring arcs: about K/N of them in
+  expectation, and never keys between two surviving shards' points. A
+  modulo router would remap nearly everything.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.cluster import ClusterRouter
+
+_shard_lists = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+_keys = st.lists(
+    st.text(alphabet="abcdefghijklmnop0123456789|", min_size=1, max_size=24),
+    min_size=1,
+    max_size=200,
+    unique=True,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=_shard_lists, keys=_keys)
+def test_routing_is_deterministic_across_rebuilds(shards, keys):
+    router = ClusterRouter(shards)
+    rebuilt = ClusterRouter(list(shards))
+    cloned = router.clone()
+    for key in keys:
+        owner = router.route(key)
+        assert owner in shards
+        assert rebuilt.route(key) == owner
+        assert cloned.route(key) == owner
+        # repeated calls on one instance are stable too
+        assert router.route(key) == owner
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=_shard_lists, keys=_keys)
+def test_add_shard_moves_only_keys_to_the_new_shard(shards, keys):
+    router = ClusterRouter(shards)
+    before = {key: router.route(key) for key in keys}
+    router.add_shard("zz-new")
+    moved = 0
+    for key in keys:
+        after = router.route(key)
+        if after != before[key]:
+            # every remapped key must have moved TO the new shard — a key
+            # hopping between two old shards would mean unrelated arcs
+            # changed, which consistent hashing forbids
+            assert after == "zz-new"
+            moved += 1
+    # expected movement is K/(N+1); allow generous slack for small K and
+    # vnode variance, but far below the ~K remap of a modulo router
+    n_after = len(shards) + 1
+    expected = len(keys) / n_after
+    assert moved <= expected * 3 + 8
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=_shard_lists, keys=_keys)
+def test_remove_shard_moves_only_the_removed_shards_keys(shards, keys):
+    router = ClusterRouter(shards)
+    router.add_shard("zz-doomed")
+    before = {key: router.route(key) for key in keys}
+    router.remove_shard("zz-doomed")
+    for key in keys:
+        after = router.route(key)
+        if before[key] == "zz-doomed":
+            assert after in shards  # orphaned keys land on survivors
+        else:
+            # keys owned by a surviving shard never move on removal
+            assert after == before[key]
+
+
+@settings(max_examples=30, deadline=None)
+@given(shards=_shard_lists, keys=_keys)
+def test_add_then_remove_restores_original_routing(shards, keys):
+    router = ClusterRouter(shards)
+    before = {key: router.route(key) for key in keys}
+    router.add_shard("zz-transient")
+    router.remove_shard("zz-transient")
+    assert {key: router.route(key) for key in keys} == before
+
+
+def test_ring_spreads_keys_across_shards():
+    router = ClusterRouter([f"shard-{i}" for i in range(8)])
+    owners = {router.route(f"tenant-{i % 5}|query #{i}") for i in range(2000)}
+    assert len(owners) == 8  # every shard owns a share of a large keyspace
+
+
+def test_router_rejects_bad_topologies():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ClusterRouter([])
+    with pytest.raises(ValueError):
+        ClusterRouter(["a", "a"])
+    with pytest.raises(ValueError):
+        ClusterRouter(["a"], vnodes=0)
+    router = ClusterRouter(["a", "b"])
+    with pytest.raises(ValueError):
+        router.add_shard("a")
+    with pytest.raises(ValueError):
+        router.remove_shard("missing")
+    router.remove_shard("b")
+    with pytest.raises(ValueError):
+        router.remove_shard("a")  # never empty the ring
