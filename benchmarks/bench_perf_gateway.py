@@ -1,0 +1,105 @@
+"""Perf bench: async gateway latency under open-loop Poisson load.
+
+Drives :func:`repro.bench.gateway.run_gateway`: seeded Poisson arrivals at
+0.5x/1x/2x the backend's analytic saturation rate, gateway (admission
+control: priority classes + EDF + bounded queues + shedding) vs baseline
+(same machinery, pure FIFO, nothing shed), both scored on per-class
+goodput — full answers delivered within the class SLO. Headline: at 2x
+saturation the interactive class must hold >= 90% goodput behind the
+gateway while the FIFO baseline collapses. Every run also re-proves the
+determinism contract (workers=1, no deadlines, bit-identical to the
+serial loop — ``diverged`` must be 0) and the deterministic
+expired-in-queue degradation demo.
+
+Run standalone for the committed artifact:
+
+    PYTHONPATH=src python benchmarks/bench_perf_gateway.py
+    PYTHONPATH=src python benchmarks/bench_perf_gateway.py --smoke  # CI
+
+Smoke runs sweep only the 2x overload point with a shorter window and
+write ``BENCH_gateway.smoke.json`` (tagged ``"smoke": true``) so the
+committed full-size artifact is never clobbered by a CI quick pass.
+"""
+
+import json
+import os
+import sys
+
+from repro.bench.gateway import (
+    DEFAULT_GATEWAY_REPORT_PATH,
+    HIGH_PRIORITY_CLASS,
+    run_gateway,
+)
+
+
+def _report_path(smoke: bool = False) -> str:
+    default = (
+        DEFAULT_GATEWAY_REPORT_PATH.replace(".json", ".smoke.json")
+        if smoke
+        else DEFAULT_GATEWAY_REPORT_PATH
+    )
+    return os.environ.get("REPRO_BENCH_GATEWAY_PATH", default)
+
+
+def test_gateway_overload_goodput(once):
+    # One small 2x-overload cell: pytest asserts the correctness story
+    # (zero divergence, baseline worse than gateway on the high-priority
+    # class), not the timing headline.
+    report = once(
+        run_gateway,
+        service_ms=10.0,
+        workers=2,
+        load_fractions=(2.0,),
+        duration_s=0.5,
+        smoke=True,
+    )
+    assert report.diverged == 0
+    cell = report.cells["2"]
+    gateway_goodput = cell["gateway"]["classes"][HIGH_PRIORITY_CLASS]["goodput"]
+    baseline_goodput = cell["baseline"]["classes"][HIGH_PRIORITY_CLASS]["goodput"]
+    assert gateway_goodput > baseline_goodput
+    assert report.degradation["degraded"] > 0
+    assert report.degradation["shed_at_submit"] == 1
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    if smoke:
+        report = run_gateway(
+            service_ms=20.0,
+            workers=2,
+            load_fractions=(2.0,),
+            duration_s=1.0,
+            equivalence_n=24,
+            write_path=_report_path(smoke=True),
+            smoke=True,
+        )
+    else:
+        report = run_gateway(write_path=_report_path())
+    print(report.render())
+    print(report.to_json())
+    print(f"wrote {_report_path(smoke=smoke)}")
+    if report.diverged != 0:
+        print(
+            "FAIL: gateway (workers=1, no deadlines) diverged from the serial loop",
+            file=sys.stderr,
+        )
+        return 1
+    top_load = max(report.cells, key=float)
+    cell = report.cells[top_load]
+    gateway_goodput = cell["gateway"]["classes"][HIGH_PRIORITY_CLASS]["goodput"]
+    baseline_goodput = cell["baseline"]["classes"][HIGH_PRIORITY_CLASS]["goodput"]
+    if gateway_goodput <= baseline_goodput:
+        print(
+            f"FAIL: admission control did not beat the FIFO baseline at "
+            f"{top_load}x load ({gateway_goodput} <= {baseline_goodput})",
+            file=sys.stderr,
+        )
+        return 1
+    with open(_report_path(smoke=smoke), "r", encoding="utf-8") as handle:
+        json.load(handle)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

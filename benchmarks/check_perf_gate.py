@@ -14,8 +14,18 @@ violated:
   ``budget_leakage`` (per-tenant spend exactly matches the single-stack
   reference — no cross-tenant billing), and QPS must scale: >= 3.0x at
   8 shards in the full sweep, >= 1.2x at 2 shards in the smoke sweep.
+* ``repro.bench.gateway/*``: zero divergence from the serial loop, and at
+  the highest-load cell the high-priority class must hold its goodput
+  floor behind the gateway (>= 0.90 full, >= 0.75 smoke) while the FIFO
+  baseline does strictly worse (and, in the full sweep, falls below the
+  floor — the cell must be at >= 2x saturation for the claim to mean
+  anything).
 * every other report: its ``diverged`` count (wherever it lives in the
   payload) must be zero.
+
+A missing, unreadable, or pre-gate (no ``schema`` field) artifact fails
+with a one-line message naming the file and the regeneration command —
+never a traceback.
 
 Usage:
 
@@ -30,6 +40,10 @@ from typing import Iterator, List, Tuple
 PUT_FLOOR = 1.0
 CLUSTER_SCALING_FLOOR = 3.0  # QPS at 8 shards over 1 shard, full sweep
 CLUSTER_SMOKE_FLOOR = 1.2  # QPS at 2 shards over 1 shard, smoke sweep
+GATEWAY_GOODPUT_FLOOR = 0.90  # high-priority in-deadline goodput, full sweep
+GATEWAY_SMOKE_GOODPUT_FLOOR = 0.75  # shorter smoke window, noisier tail
+
+_REGEN_HINT = "regenerate with the matching benchmarks/bench_perf_*.py run"
 
 
 def _walk_diverged(node: object, path: str = "") -> Iterator[Tuple[str, int]]:
@@ -43,10 +57,72 @@ def _walk_diverged(node: object, path: str = "") -> Iterator[Tuple[str, int]]:
                 yield from _walk_diverged(value, where)
 
 
+def _check_gateway(path: str, report: dict) -> List[str]:
+    """Gate the gateway report: goodput floors at the highest-load cell."""
+    problems: List[str] = []
+    cells = report.get("cells")
+    if not isinstance(cells, dict) or not cells:
+        return [f"{path}: no load cells to gate on (older gateway schema? {_REGEN_HINT})"]
+    try:
+        top = max(cells, key=float)
+    except (TypeError, ValueError):
+        return [f"{path}: unparseable load-cell keys (older gateway schema? {_REGEN_HINT})"]
+    smoke = bool(report.get("smoke", False))
+    floor = GATEWAY_SMOKE_GOODPUT_FLOOR if smoke else GATEWAY_GOODPUT_FLOOR
+    if float(top) < 2.0:
+        problems.append(
+            f"{path}: highest load cell is {top}x saturation — the goodput "
+            f"floor is only meaningful at >= 2x overload"
+        )
+    high = str(report.get("high_priority_class", "interactive"))
+    cell = cells.get(top, {})
+    gateway = cell.get("gateway", {}).get("classes", {}).get(high, {})
+    baseline = cell.get("baseline", {}).get("classes", {}).get(high, {})
+    if "goodput" not in gateway or "goodput" not in baseline:
+        problems.append(
+            f"{path}: load cell {top}x carries no per-class goodput "
+            f"(older gateway schema? {_REGEN_HINT})"
+        )
+        return problems
+    gateway_goodput = float(gateway["goodput"])
+    baseline_goodput = float(baseline["goodput"])
+    if gateway_goodput < floor:
+        problems.append(
+            f"{path}: {high} goodput {gateway_goodput:.3f} at {top}x load "
+            f"below the {floor:.2f} floor"
+        )
+    if baseline_goodput >= gateway_goodput:
+        problems.append(
+            f"{path}: FIFO baseline goodput {baseline_goodput:.3f} is not "
+            f"worse than the gateway's {gateway_goodput:.3f} at {top}x load "
+            f"— admission control is buying nothing"
+        )
+    if not smoke and baseline_goodput >= floor:
+        problems.append(
+            f"{path}: FIFO baseline held {baseline_goodput:.3f} goodput at "
+            f"{top}x load — the overload cell is not actually overloaded"
+        )
+    return problems
+
+
 def check_report(path: str) -> List[str]:
     """Return a list of gate violations for one report file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        report = json.load(handle)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        return [f"{path}: missing bench artifact — {_REGEN_HINT}"]
+    except OSError as exc:
+        return [f"{path}: unreadable bench artifact ({exc}) — {_REGEN_HINT}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc}) — {_REGEN_HINT}"]
+    if not isinstance(report, dict):
+        return [f"{path}: report is not a JSON object — {_REGEN_HINT}"]
+    if "schema" not in report:
+        return [
+            f"{path}: no 'schema' field — artifact predates the perf gate "
+            f"(older schema); {_REGEN_HINT}"
+        ]
     problems = []
     schema = str(report.get("schema", ""))
     for where, count in _walk_diverged(report):
@@ -80,6 +156,8 @@ def check_report(path: str) -> List[str]:
                 )
         else:
             problems.append(f"{path}: no 8-shard or 2-shard cell to gate scaling on")
+    if schema.startswith("repro.bench.gateway"):
+        problems.extend(_check_gateway(path, report))
     if schema.startswith("repro.bench.hotpaths"):
         puts = report.get("ops", {}).get("cache_put", {})
         if not puts:
@@ -103,8 +181,11 @@ def main(argv: List[str]) -> int:
     for path in paths:
         try:
             problems = check_report(path)
-        except (OSError, ValueError) as exc:
-            problems = [f"{path}: unreadable report ({exc})"]
+        except Exception as exc:  # never a traceback: name the file and move on
+            problems = [
+                f"{path}: malformed report ({type(exc).__name__}: {exc}) — "
+                f"{_REGEN_HINT}"
+            ]
         if problems:
             failures.extend(problems)
         else:

@@ -1366,3 +1366,11 @@ from repro.bench.recovery import (  # noqa: E402
     RecoveryReport,
     run_recovery,
 )
+
+# Gateway latency-under-load benchmark (open-loop Poisson) likewise.
+from repro.bench.gateway import (  # noqa: E402
+    DEFAULT_GATEWAY_REPORT_PATH,
+    GATEWAY_SCHEMA,
+    GatewayReport,
+    run_gateway,
+)

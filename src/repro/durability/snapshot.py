@@ -57,7 +57,8 @@ _ENTRY_FIELDS = (
 )
 _METER_FIELDS = ("calls", "prompt_tokens", "completion_tokens", "cost")
 # ServiceStats fields that are not counters (or not serializable).
-_STATS_SKIP = ("_lock", "_reset_hooks", "latency_hist")
+# Histogram fields are serialized explicitly (see snapshot_stats).
+_STATS_SKIP = ("_lock", "_reset_hooks", "latency_hist", "gateway_queue_wait_hist")
 # Dict-valued stats fields whose keys are ints (JSON forces string keys).
 _STATS_INT_KEYS = ("scheduler_batch_sizes", "scheduler_queue_depths")
 
@@ -243,6 +244,9 @@ def snapshot_stats(stats: ServiceStats) -> Dict[str, object]:
                 }
             data[name] = value
         data["latency_hist"] = _snapshot_histogram(stats.latency_hist)
+        data["gateway_queue_wait_hist"] = _snapshot_histogram(
+            stats.gateway_queue_wait_hist
+        )
     return data
 
 
@@ -265,6 +269,11 @@ def restore_stats_into(stats: ServiceStats, data: Dict[str, object]) -> None:
                     }
             setattr(stats, name, value)
         stats.latency_hist = _restore_histogram(data["latency_hist"])  # type: ignore[arg-type]
+        # Tolerate snapshots written before the gateway existed.
+        if "gateway_queue_wait_hist" in data:
+            stats.gateway_queue_wait_hist = _restore_histogram(
+                data["gateway_queue_wait_hist"]  # type: ignore[arg-type]
+            )
 
 
 # ================================================================ Completion

@@ -103,6 +103,37 @@ class ResilienceExhaustedError(LLMError):
     answer — the typed end of the graceful-degradation chain."""
 
 
+class DeadlineExceededError(LLMError):
+    """A request's deadline expired before a full answer could be produced.
+
+    Raised by the async gateway when a request is shed: either it arrived
+    already expired (``deadline_ms <= 0``), or its deadline lapsed while it
+    sat in an admission queue and no degraded answer could be served.
+    Carries the deadline and how long the request actually waited so
+    callers can distinguish "hopeless on arrival" from "starved in queue".
+    """
+
+    def __init__(
+        self, message: str, deadline_ms: float = 0.0, waited_ms: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.deadline_ms = deadline_ms
+        self.waited_ms = waited_ms
+
+
+class SchedulerClosedError(ReproError, RuntimeError):
+    """The scheduler (or gateway) was closed while — or before — a submit
+    was in flight.
+
+    Subclasses :class:`RuntimeError` for backward compatibility with
+    callers that guarded ``submit`` with ``except RuntimeError``; new code
+    should catch this type. Notably raised by a submitter that was blocked
+    on a full bounded queue when ``close()`` landed: close wakes every
+    blocked submitter, and each raises this instead of waiting forever on
+    a condition nobody will signal again.
+    """
+
+
 class SimulatedCrashError(LLMError):
     """The :class:`~repro.llm.faults.CrashPoint` fault fired: the simulated
     process died mid-request.

@@ -47,6 +47,12 @@ from repro.serving.cluster import (
     TenantPolicy,
 )
 from repro.serving.concurrent import ConcurrentStack
+from repro.serving.gateway import (
+    AsyncGateway,
+    GatewayRequest,
+    GatewayResult,
+    GatewayTicket,
+)
 from repro.serving.middleware import (
     BudgetMiddleware,
     CascadeMiddleware,
@@ -62,6 +68,7 @@ from repro.serving.stack import ServingStack, build_stack
 from repro.serving.stats import LatencyHistogram, ServiceStats
 
 __all__ = [
+    "AsyncGateway",
     "BatchingScheduler",
     "BudgetMiddleware",
     "CascadeMiddleware",
@@ -69,6 +76,9 @@ __all__ = [
     "ClusterRouter",
     "CompletionProvider",
     "ConcurrentStack",
+    "GatewayRequest",
+    "GatewayResult",
+    "GatewayTicket",
     "LatencyHistogram",
     "MetricsMiddleware",
     "Middleware",

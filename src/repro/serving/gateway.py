@@ -1,0 +1,741 @@
+"""Async gateway: SLO-aware admission control in front of the serving tier.
+
+The thread-based :class:`~repro.serving.scheduler.BatchingScheduler` is
+closed-loop: a caller blocks until its future resolves, and overload shows
+up as unbounded queue wait rather than shed load. :class:`AsyncGateway` is
+the open-loop front door — an asyncio layer that decides, per request,
+whether to *serve*, *wait*, *degrade* or *shed*:
+
+* **Priority classes** — requests name a class (default
+  ``interactive > standard > batch``); the dispatch pump always drains the
+  highest non-empty class first (strict priority), and within a class
+  picks the earliest absolute deadline (EDF), breaking ties by submission
+  order. With one class and no deadlines this degenerates to FIFO, which
+  is what keeps the deterministic core intact (see below).
+* **Admission control** — each class has a bounded queue
+  (``max_queue_per_class``); a submit against a full queue parks on an
+  asyncio future until the pump drains a slot (backpressure) instead of
+  growing the queue without bound.
+* **Load shedding** — a request whose ``deadline_ms`` is already ``<= 0``
+  at submit is *never* dispatched: it fails immediately with a typed
+  :class:`~repro.errors.DeadlineExceededError`. A request whose deadline
+  lapses while it waits in queue is not forwarded to the primary model
+  either — serving it would burn capacity on an answer nobody can use.
+* **Graceful degradation** — instead of a bare timeout, an
+  expired-in-queue request is routed through the existing
+  :meth:`~repro.serving.resilience.ResilienceMiddleware.degrade` fallback
+  chain (cheaper models → read-only cache peek → typed error), so the
+  caller gets a cheap partial answer *now* rather than a full answer too
+  late. With no resilience layer in the stack the request is shed.
+
+Determinism contract: the pump forwards requests to the backend in a
+total order that is a pure function of (class priority, deadline,
+submission sequence). With ``workers=1`` and no deadlines, the forward
+order *is* the submission order, so the gateway is bit-identical to a
+serial ``ServingStack.complete`` loop over the same request stream —
+every stateful layer (cache, budget, meter) mutates in exactly the same
+sequence. The latency-under-load benchmark
+(:mod:`repro.bench.gateway`) re-proves this equivalence on every run.
+
+The backend can be anything with a future-returning ``submit``
+(:class:`~repro.serving.scheduler.BatchingScheduler`,
+:class:`~repro.serving.concurrent.ConcurrentStack`,
+:class:`~repro.serving.cluster.ServingCluster`) or any plain
+:class:`~repro.llm.provider.CompletionProvider`, which the gateway wraps
+in its own single-worker scheduler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    AsyncIterator,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import DeadlineExceededError, SchedulerClosedError
+from repro.llm.client import Completion
+from repro.serving.cluster import DEFAULT_TENANT, ServingCluster
+from repro.serving.resilience import ResilienceMiddleware
+from repro.serving.scheduler import BatchingScheduler
+from repro.serving.stats import ServiceStats
+
+DEFAULT_CLASSES = ("interactive", "standard", "batch")
+
+
+@dataclass(frozen=True)
+class GatewayRequest:
+    """One request as the gateway sees it.
+
+    ``deadline_ms`` is relative to submission time (simulated SLO):
+    ``None`` means "no deadline — never shed, never degraded".
+    ``priority`` must name one of the gateway's classes; ``None`` uses
+    the gateway's default class. ``tenant`` is forwarded when the
+    backend is a :class:`~repro.serving.cluster.ServingCluster`.
+    """
+
+    prompt: str
+    model: Optional[str] = None
+    priority: Optional[str] = None
+    deadline_ms: Optional[float] = None
+    tenant: Optional[str] = None
+
+
+@dataclass
+class GatewayTicket:
+    """Handle for one admitted (or immediately shed) request.
+
+    ``future`` is an asyncio future resolving to the :class:`Completion`
+    (full or degraded) or raising the terminal error. ``status`` moves
+    ``queued -> ok | degraded | shed | error``; ``late`` marks a full
+    answer that resolved after its deadline (delivered, but it counts
+    against goodput)."""
+
+    seq: int
+    request: GatewayRequest
+    priority: str
+    enqueued_at: float
+    abs_deadline: Optional[float]
+    future: "asyncio.Future[Completion]"
+    status: str = "queued"
+    queue_ms: float = 0.0
+    late: bool = False
+
+
+@dataclass
+class GatewayResult:
+    """One element of a :meth:`AsyncGateway.complete_many` stream."""
+
+    index: int
+    request: GatewayRequest
+    status: str  # ok | degraded | shed | error
+    completion: Optional[Completion] = None
+    error: Optional[BaseException] = None
+    queue_ms: float = 0.0
+    late: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.completion is not None
+
+
+def _find_resilience(root: object) -> Optional[ResilienceMiddleware]:
+    """Walk a stack's provider/inner chain for the resilience layer."""
+    seen = set()
+    node = root
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        if isinstance(node, ResilienceMiddleware):
+            return node
+        node = getattr(node, "provider", None) or getattr(node, "inner", None)
+    return None
+
+
+class AsyncGateway:
+    """Asyncio front door with priority classes, deadlines and shedding.
+
+    Parameters
+    ----------
+    backend:
+        A future-returning scheduler-like object (``submit`` →
+        ``concurrent.futures.Future``), a :class:`ServingCluster`, or a
+        plain completion provider (wrapped in an internally owned
+        ``BatchingScheduler`` that the gateway closes with itself).
+    classes:
+        Priority classes, highest priority first.
+    default_class:
+        Class used when a request names none; defaults to ``"standard"``
+        when present, else the first class.
+    max_queue_per_class:
+        Bound on each class's admission queue; submits beyond it park on
+        backpressure until the pump frees a slot.
+    max_inflight:
+        Requests forwarded to the backend but not yet resolved. Clamped
+        to the backend's own queue bound when known, so forwarding never
+        blocks the event loop.
+    shed_expired:
+        When False the gateway never sheds or degrades — expired requests
+        are forwarded anyway (the "no admission control" baseline in the
+        benchmark).
+    degrader:
+        ``"auto"`` (find :class:`ResilienceMiddleware` in the backend's
+        layer chain), ``None`` (shed instead of degrading), a
+        ``ResilienceMiddleware``, or any ``(prompt, model) ->
+        Completion`` callable.
+    clock:
+        Monotonic-seconds callable; injectable for deterministic tests.
+    workers, max_batch_size, max_wait_ms, combine, max_queue, seed_stride:
+        Passed to the internally owned scheduler when ``backend`` is a
+        plain provider; ignored otherwise.
+    """
+
+    def __init__(
+        self,
+        backend: object,
+        *,
+        classes: Sequence[str] = DEFAULT_CLASSES,
+        default_class: Optional[str] = None,
+        max_queue_per_class: int = 256,
+        max_inflight: Optional[int] = None,
+        shed_expired: bool = True,
+        degrader: Union[str, None, ResilienceMiddleware, Callable] = "auto",
+        clock: Callable[[], float] = time.monotonic,
+        stats: Optional[ServiceStats] = None,
+        workers: int = 1,
+        max_batch_size: int = 8,
+        max_wait_ms: float = 0.0,
+        combine: bool = False,
+        max_queue: int = 1024,
+        seed_stride: int = 0,
+    ) -> None:
+        if not classes:
+            raise ValueError("at least one priority class is required")
+        if len(set(classes)) != len(classes):
+            raise ValueError("priority classes must be unique")
+        if max_queue_per_class < 1:
+            raise ValueError("max_queue_per_class must be >= 1")
+        self.classes: Tuple[str, ...] = tuple(classes)
+        if default_class is None:
+            default_class = "standard" if "standard" in self.classes else self.classes[0]
+        if default_class not in self.classes:
+            raise ValueError(f"default_class {default_class!r} not in classes")
+        self.default_class = default_class
+        self.max_queue_per_class = max_queue_per_class
+        self.shed_expired = shed_expired
+        self._clock = clock
+
+        # ---- backend wiring -------------------------------------------
+        self._owns_backend = False
+        backend_queue_bound: Optional[int] = None
+        if isinstance(backend, ServingCluster):
+            self._backend = backend
+
+            def forward(req: GatewayRequest):
+                return backend.submit(
+                    req.prompt, tenant=req.tenant or DEFAULT_TENANT, model=req.model
+                )
+
+        elif hasattr(backend, "submit"):
+            self._backend = backend
+            scheduler = getattr(backend, "scheduler", backend)
+            backend_queue_bound = getattr(scheduler, "max_queue", None)
+
+            def forward(req: GatewayRequest):
+                return backend.submit(req.prompt, model=req.model)
+
+        else:  # plain provider: own a single-worker scheduler
+            owned = BatchingScheduler(
+                backend,
+                max_batch_size=max_batch_size,
+                max_wait_ms=max_wait_ms,
+                workers=workers,
+                max_queue=max_queue,
+                combine=combine,
+                seed_stride=seed_stride,
+                stats=stats or getattr(backend, "stats", None),
+            )
+            self._backend = owned
+            self._owns_backend = True
+            backend_queue_bound = owned.max_queue
+
+            def forward(req: GatewayRequest):
+                return owned.submit(req.prompt, model=req.model)
+
+        self._forward = forward
+        if max_inflight is None:
+            max_inflight = 64
+        if backend_queue_bound is not None:
+            max_inflight = min(max_inflight, backend_queue_bound)
+        self.max_inflight = max(1, max_inflight)
+
+        # ---- degradation wiring ---------------------------------------
+        self._degrade_fn: Optional[Callable[[str, Optional[str]], Completion]] = None
+        if degrader == "auto":
+            root = getattr(self._backend, "provider", None) or getattr(
+                self._backend, "stack", None
+            )
+            if root is None and not isinstance(backend, ServingCluster):
+                root = backend
+            layer = _find_resilience(root) if root is not None else None
+            if layer is not None:
+                self._degrade_fn = layer.degrade
+        elif isinstance(degrader, ResilienceMiddleware):
+            self._degrade_fn = degrader.degrade
+        elif callable(degrader):
+            self._degrade_fn = degrader  # type: ignore[assignment]
+        elif degrader is not None:
+            raise ValueError(f"unsupported degrader: {degrader!r}")
+
+        self.stats = stats or getattr(self._backend, "stats", None) or ServiceStats()
+
+        # ---- queueing state (event-loop thread only) ------------------
+        # Per class: min-heap of (abs_deadline | +inf, seq, ticket) — EDF
+        # within class, submission order as the tie-break.
+        self._queues: Dict[str, List[Tuple[float, int, GatewayTicket]]] = {
+            cls: [] for cls in self.classes
+        }
+        self._waiters: Dict[str, Deque["asyncio.Future[None]"]] = {
+            cls: deque() for cls in self.classes
+        }
+        self._seq = 0
+        self._inflight = 0
+        self._started = False
+        self._closing = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._pump_task: Optional["asyncio.Task[None]"] = None
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> "AsyncGateway":
+        """Bind to the running loop and start the dispatch pump."""
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._pump_task = self._loop.create_task(self._pump())
+        self._started = True
+        return self
+
+    async def __aenter__(self) -> "AsyncGateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop accepting; drain queued + inflight work; close an owned
+        backend. Submits parked on backpressure raise
+        :class:`SchedulerClosedError` immediately."""
+        if not self._started:
+            if self._owns_backend:
+                self._backend.close()
+            return
+        self._closing = True
+        for dq in self._waiters.values():
+            while dq:
+                waiter = dq.popleft()
+                if not waiter.done():
+                    waiter.set_exception(SchedulerClosedError("gateway is closed"))
+        assert self._wake is not None and self._pump_task is not None
+        self._wake.set()
+        await self._pump_task
+        if self._owns_backend:
+            # close() joins scheduler threads — do it off the loop.
+            assert self._loop is not None
+            await self._loop.run_in_executor(None, self._backend.close)
+
+    # ---------------------------------------------------------- submission
+
+    def _coerce(self, request: Union[str, GatewayRequest]) -> GatewayRequest:
+        if isinstance(request, GatewayRequest):
+            return request
+        return GatewayRequest(prompt=request)
+
+    async def enqueue(
+        self,
+        request: Union[str, GatewayRequest],
+        *,
+        model: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> GatewayTicket:
+        """Admit one request; returns its ticket (future may already have
+        failed for an expired-at-submit shed). Parks on backpressure while
+        the class queue is full. Keyword overrides beat the request's own
+        fields when both are given."""
+        req = self._coerce(request)
+        if model or priority or deadline_ms is not None or tenant:
+            req = GatewayRequest(
+                prompt=req.prompt,
+                model=model or req.model,
+                priority=priority or req.priority,
+                deadline_ms=deadline_ms if deadline_ms is not None else req.deadline_ms,
+                tenant=tenant or req.tenant,
+            )
+        cls = req.priority or self.default_class
+        if cls not in self._queues:
+            raise ValueError(f"unknown priority class {cls!r}")
+        if not self._started:
+            await self.start()
+        if self._closing:
+            raise SchedulerClosedError("gateway is closed")
+        assert self._loop is not None and self._wake is not None
+
+        self.stats.record_gateway_submit(cls)
+        now = self._clock()
+        abs_deadline = None
+        if req.deadline_ms is not None:
+            abs_deadline = now + req.deadline_ms / 1000.0
+
+        ticket = GatewayTicket(
+            seq=-1,
+            request=req,
+            priority=cls,
+            enqueued_at=now,
+            abs_deadline=abs_deadline,
+            future=self._loop.create_future(),
+        )
+        # Shed on arrival: an already-expired request never takes a queue
+        # slot and is never dispatched.
+        if self.shed_expired and req.deadline_ms is not None and req.deadline_ms <= 0:
+            self._resolve_shed(ticket, "shed_at_submit", waited_ms=0.0)
+            return ticket
+
+        # Backpressure: park until the pump frees a slot in this class.
+        while len(self._queues[cls]) >= self.max_queue_per_class:
+            if self._closing:
+                raise SchedulerClosedError("gateway closed while submit waited")
+            waiter: "asyncio.Future[None]" = self._loop.create_future()
+            self._waiters[cls].append(waiter)
+            self.stats.record_gateway_backpressure()
+            try:
+                await waiter
+            finally:
+                if not waiter.done():
+                    waiter.cancel()
+                try:
+                    self._waiters[cls].remove(waiter)
+                except ValueError:
+                    pass
+        if self._closing:
+            raise SchedulerClosedError("gateway closed while submit waited")
+
+        # The deadline aged while we waited for admission; shed now rather
+        # than occupy a slot with a hopeless request.
+        if self.shed_expired and abs_deadline is not None and self._clock() >= abs_deadline:
+            waited = (self._clock() - now) * 1000.0
+            self._resolve_shed(ticket, "shed_at_submit", waited_ms=waited)
+            return ticket
+
+        ticket.seq = self._seq
+        self._seq += 1
+        key = abs_deadline if abs_deadline is not None else math.inf
+        heapq.heappush(self._queues[cls], (key, ticket.seq, ticket))
+        self._wake.set()
+        return ticket
+
+    async def submit(
+        self,
+        request: Union[str, GatewayRequest],
+        *,
+        model: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> Completion:
+        """Admit one request and await its completion (full or degraded).
+
+        Raises :class:`~repro.errors.DeadlineExceededError` if the request
+        was shed, or whatever terminal error the backend raised."""
+        ticket = await self.enqueue(
+            request,
+            model=model,
+            priority=priority,
+            deadline_ms=deadline_ms,
+            tenant=tenant,
+        )
+        return await ticket.future
+
+    async def complete_many(
+        self,
+        requests: Sequence[Union[str, GatewayRequest]],
+        *,
+        as_completed: bool = False,
+    ) -> AsyncIterator[GatewayResult]:
+        """Stream results for a batch of requests as they become available.
+
+        Partial results: each request yields a :class:`GatewayResult`
+        whether it produced a full answer, a degraded answer, or was shed
+        — the stream never aborts on a per-request failure. Default order
+        is submission order (each result yielded as soon as it and all its
+        predecessors are done); ``as_completed=True`` yields in completion
+        order instead."""
+        reqs = [self._coerce(r) for r in requests]
+        if not self._started:
+            await self.start()
+        done_q: "asyncio.Queue[Tuple[int, GatewayTicket]]" = asyncio.Queue()
+        tickets: List[Optional[GatewayTicket]] = [None] * len(reqs)
+        failures: List[Tuple[int, BaseException]] = []
+
+        async def produce() -> None:
+            for i, req in enumerate(reqs):
+                try:
+                    ticket = await self.enqueue(req)
+                except Exception as exc:  # gateway closed mid-stream
+                    failures.append((i, exc))
+                    done_q.put_nowait((i, self._failed_ticket(req, exc)))
+                    continue
+                tickets[i] = ticket
+                ticket.future.add_done_callback(
+                    lambda _f, i=i, t=ticket: done_q.put_nowait((i, t))
+                )
+
+        producer = asyncio.ensure_future(produce())
+        try:
+            if as_completed:
+                for _ in range(len(reqs)):
+                    index, ticket = await done_q.get()
+                    yield self._result_of(index, ticket)
+            else:
+                await producer
+                for index, maybe in enumerate(tickets):
+                    if maybe is None:
+                        exc = next(e for i, e in failures if i == index)
+                        yield self._result_of(
+                            index, self._failed_ticket(reqs[index], exc)
+                        )
+                        continue
+                    try:
+                        await maybe.future
+                    except Exception:
+                        pass
+                    yield self._result_of(index, maybe)
+        finally:
+            if not producer.done():
+                producer.cancel()
+            await asyncio.gather(producer, return_exceptions=True)
+
+    async def complete_all(
+        self, requests: Sequence[Union[str, GatewayRequest]]
+    ) -> List[Completion]:
+        """Completions for every request, in submission order; raises on
+        the first shed/error (the strict path used by determinism checks)."""
+        out: List[Completion] = []
+        async for result in self.complete_many(requests):
+            if result.error is not None:
+                raise result.error
+            assert result.completion is not None
+            out.append(result.completion)
+        return out
+
+    def _failed_ticket(self, req: GatewayRequest, exc: BaseException) -> GatewayTicket:
+        assert self._loop is not None
+        future: "asyncio.Future[Completion]" = self._loop.create_future()
+        future.set_exception(exc)
+        future.exception()  # consumed; silence "never retrieved"
+        return GatewayTicket(
+            seq=-1,
+            request=req,
+            priority=req.priority or self.default_class,
+            enqueued_at=self._clock(),
+            abs_deadline=None,
+            future=future,
+            status="error",
+        )
+
+    # ------------------------------------------------------------- pumping
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Current per-class admission queue depths."""
+        return {cls: len(heap) for cls, heap in self._queues.items()}
+
+    async def _pump(self) -> None:
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            self._advance()
+            if (
+                self._closing
+                and self._inflight == 0
+                and not any(self._queues.values())
+            ):
+                return
+
+    def _advance(self) -> None:
+        """Forward queued requests while inflight slots are free: strict
+        class priority, EDF within class, shed/degrade expired work."""
+        while self._inflight < self.max_inflight:
+            ticket = self._pop_next()
+            if ticket is None:
+                return
+            now = self._clock()
+            if (
+                self.shed_expired
+                and ticket.abs_deadline is not None
+                and now >= ticket.abs_deadline
+            ):
+                self._expire(ticket, now)
+                continue
+            self._dispatch(ticket, now)
+
+    def _pop_next(self) -> Optional[GatewayTicket]:
+        for cls in self.classes:
+            heap = self._queues[cls]
+            if heap:
+                _, _, ticket = heapq.heappop(heap)
+                self._release_slot(cls)
+                return ticket
+        return None
+
+    def _release_slot(self, cls: str) -> None:
+        waiters = self._waiters[cls]
+        while waiters:
+            waiter = waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+
+    def _dispatch(self, ticket: GatewayTicket, now: float) -> None:
+        self._inflight += 1
+        ticket.queue_ms = (now - ticket.enqueued_at) * 1000.0
+        try:
+            backend_future = self._forward(ticket.request)
+        except Exception as exc:
+            self._inflight -= 1
+            ticket.status = "error"
+            self.stats.record_gateway_outcome(
+                ticket.priority, "error", queue_wait_ms=ticket.queue_ms
+            )
+            if not ticket.future.done():
+                ticket.future.set_exception(exc)
+            return
+        assert self._loop is not None
+        backend_future.add_done_callback(
+            lambda f: self._loop.call_soon_threadsafe(self._on_backend_done, ticket, f)
+        )
+
+    def _on_backend_done(self, ticket: GatewayTicket, backend_future) -> None:
+        self._inflight -= 1
+        exc = backend_future.exception()
+        if exc is not None:
+            ticket.status = "error"
+            self.stats.record_gateway_outcome(
+                ticket.priority, "error", queue_wait_ms=ticket.queue_ms
+            )
+            if not ticket.future.done():
+                ticket.future.set_exception(exc)
+        else:
+            completion = backend_future.result()
+            if ticket.abs_deadline is not None and self._clock() > ticket.abs_deadline:
+                # Delivered, but after the deadline: mark it so callers
+                # (and goodput accounting) can tell. No-deadline requests
+                # are returned untouched — that is the determinism path.
+                ticket.late = True
+                metadata = dict(completion.metadata)
+                metadata["serving.gateway"] = {
+                    "late": True,
+                    "deadline_ms": ticket.request.deadline_ms,
+                    "queue_ms": round(ticket.queue_ms, 4),
+                }
+                completion = completion.with_usage(
+                    completion.usage, completion.cost, metadata=metadata
+                )
+            ticket.status = "ok"
+            self.stats.record_gateway_outcome(
+                ticket.priority, "ok", queue_wait_ms=ticket.queue_ms, late=ticket.late
+            )
+            if not ticket.future.done():
+                ticket.future.set_result(completion)
+        assert self._wake is not None
+        self._wake.set()
+
+    # ------------------------------------------------------ shed / degrade
+
+    def _resolve_shed(
+        self, ticket: GatewayTicket, status: str, waited_ms: float
+    ) -> None:
+        ticket.status = "shed"
+        ticket.queue_ms = waited_ms
+        self.stats.record_gateway_outcome(
+            ticket.priority, status, queue_wait_ms=waited_ms
+        )
+        error = DeadlineExceededError(
+            f"request shed: deadline of {ticket.request.deadline_ms}ms expired "
+            f"after waiting {waited_ms:.1f}ms in class {ticket.priority!r}",
+            deadline_ms=ticket.request.deadline_ms or 0.0,
+            waited_ms=waited_ms,
+        )
+        if not ticket.future.done():
+            ticket.future.set_exception(error)
+
+    def _expire(self, ticket: GatewayTicket, now: float) -> None:
+        """Deadline lapsed in queue: degrade through the resilience chain
+        when one is wired, otherwise shed."""
+        waited_ms = (now - ticket.enqueued_at) * 1000.0
+        if self._degrade_fn is None:
+            self._resolve_shed(ticket, "shed", waited_ms)
+            return
+        self._inflight += 1  # degradation occupies an inflight slot too
+        ticket.queue_ms = waited_ms
+        assert self._loop is not None
+        degrade_future = self._loop.run_in_executor(
+            None, self._degrade_fn, ticket.request.prompt, ticket.request.model
+        )
+        degrade_future.add_done_callback(
+            lambda f: self._on_degrade_done(ticket, waited_ms, f)
+        )
+
+    def _on_degrade_done(
+        self, ticket: GatewayTicket, waited_ms: float, degrade_future
+    ) -> None:
+        self._inflight -= 1
+        exc = degrade_future.exception()
+        if exc is not None:
+            # The fallback chain came up empty too: shed, chaining the
+            # exhaustion error as the cause.
+            ticket.status = "shed"
+            self.stats.record_gateway_outcome(
+                ticket.priority, "shed", queue_wait_ms=waited_ms
+            )
+            error = DeadlineExceededError(
+                f"request shed: deadline expired in queue and degradation "
+                f"failed ({type(exc).__name__})",
+                deadline_ms=ticket.request.deadline_ms or 0.0,
+                waited_ms=waited_ms,
+            )
+            error.__cause__ = exc
+            if not ticket.future.done():
+                ticket.future.set_exception(error)
+        else:
+            completion = degrade_future.result()
+            metadata = dict(completion.metadata)
+            metadata["serving.gateway"] = {
+                "degraded": True,
+                "reason": "deadline expired in queue",
+                "deadline_ms": ticket.request.deadline_ms,
+                "queue_ms": round(waited_ms, 4),
+            }
+            completion = completion.with_usage(
+                completion.usage, completion.cost, metadata=metadata
+            )
+            ticket.status = "degraded"
+            self.stats.record_gateway_outcome(
+                ticket.priority, "degraded", queue_wait_ms=waited_ms
+            )
+            if not ticket.future.done():
+                ticket.future.set_result(completion)
+        assert self._wake is not None
+        self._wake.set()
+
+    def _result_of(self, index: int, ticket: GatewayTicket) -> GatewayResult:
+        future = ticket.future
+        error: Optional[BaseException] = None
+        completion: Optional[Completion] = None
+        if future.done():
+            error = future.exception()
+            if error is None:
+                completion = future.result()
+        return GatewayResult(
+            index=index,
+            request=ticket.request,
+            status=ticket.status,
+            completion=completion,
+            error=error,
+            queue_ms=ticket.queue_ms,
+            late=ticket.late,
+        )

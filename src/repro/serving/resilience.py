@@ -331,6 +331,19 @@ class ResilienceMiddleware(Middleware):
 
     # ------------------------------------------------------------ degradation
 
+    def degrade(self, prompt: str, model: Optional[str] = None) -> Completion:
+        """Serve a degraded answer without touching the primary model.
+
+        Public entry into the fallback chain — cheaper fallback models,
+        then a read-only cache peek, then a typed
+        :class:`~repro.errors.ResilienceExhaustedError`. The async gateway
+        calls this for requests whose deadline expired while they sat in
+        an admission queue: a cheap partial answer now instead of a full
+        answer that would arrive too late (or a bare timeout).
+        """
+        model_name = resolve_model_name(self.inner, model)
+        return self._degrade(prompt, model_name, 0.0, None)
+
     def _degrade(
         self,
         prompt: str,

@@ -44,6 +44,7 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from repro.errors import SchedulerClosedError
 from repro.serving.stats import ServiceStats
 
 if TYPE_CHECKING:  # pragma: no cover - import only for annotations
@@ -259,15 +260,31 @@ class BatchingScheduler:
         Explicit indexes must eventually cover a contiguous range: the
         collector will not coalesce past a gap until it fills (or the
         scheduler closes).
+
+        Raises :class:`~repro.errors.SchedulerClosedError` if the
+        scheduler is closed — including when ``close()`` lands while this
+        submitter is blocked on a full queue: close wakes every blocked
+        submitter, and each raises instead of waiting forever.
         """
         with self._lock:
             if self._closed:
-                raise RuntimeError("scheduler is closed")
+                raise SchedulerClosedError("scheduler is closed")
             if index is None:
-                while len(self._pending) >= self.max_queue and not self._closed:
+                # Backpressure wait. _closed is re-checked on *every*
+                # wakeup before going back to sleep: close() flips the
+                # flag and notify_all()s this condition under the same
+                # lock, so a submitter parked here can never miss the
+                # close and wait on a condition nobody signals again.
+                while len(self._pending) >= self.max_queue:
+                    if self._closed:
+                        raise SchedulerClosedError(
+                            "scheduler closed while submit waited for queue space"
+                        )
                     self._not_full.wait()
                 if self._closed:
-                    raise RuntimeError("scheduler is closed")
+                    raise SchedulerClosedError(
+                        "scheduler closed while submit waited for queue space"
+                    )
                 index = self._next_auto
                 self._next_auto += 1
             else:
@@ -292,21 +309,26 @@ class BatchingScheduler:
             raise ValueError("n must be non-negative")
         with self._lock:
             if self._closed:
-                raise RuntimeError("scheduler is closed")
+                raise SchedulerClosedError("scheduler is closed")
             base = self._next_auto
             self._next_auto += n
             return base
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting requests; drain and join the worker threads."""
+        """Stop accepting requests; drain and join the worker threads.
+
+        Wakes every submitter blocked on a full queue (each raises
+        :class:`~repro.errors.SchedulerClosedError`); requests already
+        accepted are still dispatched and their futures resolved."""
         with self._lock:
-            if self._closed:
-                if wait:
-                    self._join()
-                return
-            self._closed = True
-            self._new_request.notify_all()
-            self._not_full.notify_all()
+            if not self._closed:
+                self._closed = True
+                self._new_request.notify_all()
+                self._not_full.notify_all()
+        # Join strictly outside the lock: the collector needs it to drain
+        # the remaining pending requests, and the dispatchers take it for
+        # stats. Joining under the lock deadlocks a close(wait=True) that
+        # follows a close(wait=False) while workers are still draining.
         if wait:
             self._join()
 
@@ -355,13 +377,23 @@ class BatchingScheduler:
                     # Deadline counts from the oldest *submission* in the
                     # batch (not from drain time), as the flush contract
                     # promises; submission times need not be in index
-                    # order, hence the min.
-                    candidate = request.enqueued_at + self.max_wait_ms / 1000.0
-                    if deadline is None or candidate < deadline:
-                        deadline = candidate
+                    # order, hence the min. With max_wait_ms=0 there is no
+                    # deadline to track at all — see the flush below.
+                    if self.max_wait_ms > 0:
+                        candidate = request.enqueued_at + self.max_wait_ms / 1000.0
+                        if deadline is None or candidate < deadline:
+                            deadline = candidate
                     self._not_full.notify()
                 if len(batch) >= self.max_batch_size:
                     return batch  # flush on size
+                if batch and self.max_wait_ms == 0:
+                    # max_wait_ms=0 means "flush immediately, never spin":
+                    # whatever is contiguous right now goes out without
+                    # consulting the clock. The old path computed a
+                    # deadline of enqueued_at + 0 — already in the past —
+                    # and re-derived `remaining <= 0` from the clock on
+                    # every flush.
+                    return batch
                 if self._closed:
                     if batch:
                         return batch

@@ -154,6 +154,21 @@ class ServiceStats:
     scheduler_batch_sizes: Dict[int, int] = field(default_factory=dict)
     scheduler_queue_depths: Dict[int, int] = field(default_factory=dict)
 
+    # Gateway (repro.serving.gateway): admission control under overload.
+    gateway_submitted: int = 0
+    gateway_completed: int = 0
+    gateway_shed: int = 0  # expired requests dropped (includes shed_at_submit)
+    gateway_shed_at_submit: int = 0  # arrived already expired, never queued
+    gateway_degraded: int = 0  # expired in queue, answered via resilience chain
+    gateway_late: int = 0  # full answer delivered after its deadline
+    gateway_backpressure_waits: int = 0  # submits parked on a full class queue
+    # Per-priority-class breakdown: class -> counter dict.
+    gateway_by_class: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Queue-wait distribution (enqueue -> dispatch/shed), wall-clock ms.
+    gateway_queue_wait_hist: LatencyHistogram = field(
+        default_factory=LatencyHistogram, compare=False
+    )
+
     # One lock shared by every layer of the stack; `reset()` deliberately
     # keeps it (replacing a held lock would break mutual exclusion).
     _lock: threading.RLock = field(
@@ -252,6 +267,58 @@ class ServiceStats:
                 self.scheduler_queue_depths.get(queue_depth, 0) + 1
             )
 
+    def _gateway_class(self, priority: str) -> Dict[str, int]:
+        """Per-class counter bucket; caller holds the lock."""
+        bucket = self.gateway_by_class.get(priority)
+        if bucket is None:
+            bucket = {"submitted": 0, "completed": 0, "shed": 0, "degraded": 0, "late": 0}
+            self.gateway_by_class[priority] = bucket
+        return bucket
+
+    def record_gateway_submit(self, priority: str) -> None:
+        """One request entered the gateway (counted before admission)."""
+        with self._lock:
+            self.gateway_submitted += 1
+            self._gateway_class(priority)["submitted"] += 1
+
+    def record_gateway_backpressure(self) -> None:
+        """One submit parked on a full per-class admission queue."""
+        with self._lock:
+            self.gateway_backpressure_waits += 1
+
+    def record_gateway_outcome(
+        self,
+        priority: str,
+        status: str,
+        queue_wait_ms: float = 0.0,
+        late: bool = False,
+    ) -> None:
+        """Terminal gateway outcome for one request.
+
+        ``status`` is one of ``ok`` (full answer), ``degraded`` (expired in
+        queue, answered via the resilience fallback chain), ``shed``
+        (expired in queue, dropped), ``shed_at_submit`` (arrived already
+        expired) or ``error`` (backend raised)."""
+        with self._lock:
+            bucket = self._gateway_class(priority)
+            self.gateway_queue_wait_hist.record(queue_wait_ms)
+            if status == "ok":
+                self.gateway_completed += 1
+                bucket["completed"] += 1
+            elif status == "degraded":
+                self.gateway_degraded += 1
+                bucket["degraded"] += 1
+            elif status == "shed":
+                self.gateway_shed += 1
+                bucket["shed"] += 1
+            elif status == "shed_at_submit":
+                self.gateway_shed += 1
+                self.gateway_shed_at_submit += 1
+                bucket["shed"] += 1
+            if late:
+                self.gateway_late += 1
+                bucket["late"] += 1
+
     # ------------------------------------------------------------ reading
 
     @property
@@ -343,6 +410,20 @@ class ServiceStats:
                     },
                     "queue_depths": {
                         str(k): v for k, v in sorted(self.scheduler_queue_depths.items())
+                    },
+                },
+                "gateway": {
+                    "submitted": self.gateway_submitted,
+                    "completed": self.gateway_completed,
+                    "shed": self.gateway_shed,
+                    "shed_at_submit": self.gateway_shed_at_submit,
+                    "degraded": self.gateway_degraded,
+                    "late": self.gateway_late,
+                    "backpressure_waits": self.gateway_backpressure_waits,
+                    "queue_wait": self.gateway_queue_wait_hist.snapshot(),
+                    "by_class": {
+                        cls: dict(counters)
+                        for cls, counters in sorted(self.gateway_by_class.items())
                     },
                 },
             }

@@ -1,0 +1,162 @@
+"""The perf gate must fail loudly and legibly — never with a traceback.
+
+check_perf_gate.py is a standalone script (no package), so load it via
+importlib and drive ``check_report``/``main`` directly against synthetic
+artifacts: missing files, pre-schema payloads, and gateway reports on both
+sides of the goodput floor.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+GATE_PATH = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "check_perf_gate.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_perf_gate", GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _gateway_report(
+    *,
+    smoke=False,
+    top_load="2",
+    gateway_goodput=0.95,
+    baseline_goodput=0.10,
+    diverged=0,
+):
+    return {
+        "schema": "repro.bench.gateway/v1",
+        "smoke": smoke,
+        "high_priority_class": "interactive",
+        "equivalence": {"diverged": diverged},
+        "cells": {
+            top_load: {
+                "gateway": {
+                    "classes": {"interactive": {"goodput": gateway_goodput}}
+                },
+                "baseline": {
+                    "classes": {"interactive": {"goodput": baseline_goodput}}
+                },
+            }
+        },
+    }
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload) if isinstance(payload, dict) else payload)
+    return str(path)
+
+
+class TestArtifactHygiene:
+    def test_missing_file_is_one_clear_line(self, gate):
+        problems = gate.check_report("BENCH_does_not_exist.json")
+        assert len(problems) == 1
+        assert "missing bench artifact" in problems[0]
+        assert "regenerate" in problems[0]
+
+    def test_invalid_json_named_not_raised(self, gate, tmp_path):
+        path = _write(tmp_path, "BENCH_bad.json", "{not json")
+        problems = gate.check_report(path)
+        assert len(problems) == 1
+        assert "not valid JSON" in problems[0]
+
+    def test_non_object_report(self, gate, tmp_path):
+        path = _write(tmp_path, "BENCH_list.json", "[1, 2, 3]")
+        problems = gate.check_report(path)
+        assert "not a JSON object" in problems[0]
+
+    def test_pre_gate_artifact_without_schema(self, gate, tmp_path):
+        path = _write(tmp_path, "BENCH_old.json", {"cells": {}, "diverged": 0})
+        problems = gate.check_report(path)
+        assert len(problems) == 1
+        assert "older schema" in problems[0]
+
+    def test_main_never_tracebacks_on_malformed_report(self, gate, tmp_path, capsys):
+        # A shape main()'s per-file try/except has to absorb: schema claims
+        # cluster but cells is a list, so .items() raises deep inside.
+        path = _write(
+            tmp_path,
+            "BENCH_malformed.json",
+            {"schema": "repro.bench.cluster/v1", "cells": [1, 2]},
+        )
+        rc = gate.main([path])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "malformed report" in err
+        assert "Traceback" not in err
+
+
+class TestGatewayBranch:
+    def test_good_full_report_passes(self, gate, tmp_path):
+        path = _write(tmp_path, "BENCH_gateway.json", _gateway_report())
+        assert gate.check_report(path) == []
+
+    def test_goodput_below_floor_fails(self, gate, tmp_path):
+        report = _gateway_report(gateway_goodput=0.50)
+        path = _write(tmp_path, "BENCH_gateway.json", report)
+        problems = gate.check_report(path)
+        assert any("below the 0.90 floor" in p for p in problems)
+
+    def test_smoke_floor_is_lower(self, gate, tmp_path):
+        report = _gateway_report(smoke=True, gateway_goodput=0.80)
+        path = _write(tmp_path, "BENCH_gateway.smoke.json", report)
+        assert gate.check_report(path) == []
+
+    def test_baseline_not_worse_fails(self, gate, tmp_path):
+        report = _gateway_report(gateway_goodput=0.95, baseline_goodput=0.97)
+        path = _write(tmp_path, "BENCH_gateway.json", report)
+        problems = gate.check_report(path)
+        assert any("admission control is buying nothing" in p for p in problems)
+
+    def test_full_sweep_baseline_above_floor_fails(self, gate, tmp_path):
+        # Full sweep only: if FIFO also holds the floor, the "overload"
+        # cell is not actually overloaded.
+        report = _gateway_report(gateway_goodput=0.99, baseline_goodput=0.92)
+        path = _write(tmp_path, "BENCH_gateway.json", report)
+        problems = gate.check_report(path)
+        assert any("not actually overloaded" in p for p in problems)
+
+    def test_under_2x_top_cell_flagged(self, gate, tmp_path):
+        report = _gateway_report(top_load="1")
+        path = _write(tmp_path, "BENCH_gateway.json", report)
+        problems = gate.check_report(path)
+        assert any("only meaningful at >= 2x" in p for p in problems)
+
+    def test_diverged_nonzero_fails(self, gate, tmp_path):
+        report = _gateway_report(diverged=3)
+        path = _write(tmp_path, "BENCH_gateway.json", report)
+        problems = gate.check_report(path)
+        assert any("= 3 (must be 0)" in p for p in problems)
+
+    def test_gateway_schema_without_cells_is_older_schema(self, gate, tmp_path):
+        path = _write(
+            tmp_path, "BENCH_gateway.json", {"schema": "repro.bench.gateway/v1"}
+        )
+        problems = gate.check_report(path)
+        assert any("older gateway schema" in p for p in problems)
+
+    def test_cells_without_goodput_is_older_schema(self, gate, tmp_path):
+        report = {
+            "schema": "repro.bench.gateway/v1",
+            "cells": {"2": {"gateway": {}, "baseline": {}}},
+        }
+        path = _write(tmp_path, "BENCH_gateway.json", report)
+        problems = gate.check_report(path)
+        assert any("no per-class goodput" in p for p in problems)
+
+
+class TestCommittedArtifacts:
+    def test_committed_reports_still_pass_the_gate(self, gate):
+        repo = GATE_PATH.parents[1]
+        artifacts = sorted(repo.glob("BENCH_*.json"))
+        assert artifacts, "no committed BENCH_*.json artifacts found"
+        for artifact in artifacts:
+            assert gate.check_report(str(artifact)) == [], artifact.name

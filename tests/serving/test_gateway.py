@@ -1,0 +1,462 @@
+"""AsyncGateway: determinism, priority/EDF ordering, shed/degrade, streams.
+
+The load-bearing contract is bit-identical equivalence with the serial
+loop (workers=1, no deadlines) — the hypothesis properties at the bottom
+hammer it across random class interleavings, plus the invariant that an
+expired-at-submit request is *never* dispatched to the provider.
+"""
+
+import asyncio
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeadlineExceededError, SchedulerClosedError
+from repro.llm.client import LLMClient
+from repro.serving import AsyncGateway, GatewayRequest, build_stack
+
+
+class ManualClock:
+    """Injectable monotonic clock so deadline tests never sleep."""
+
+    def __init__(self):
+        self.t = 1000.0
+
+    def now(self):
+        return self.t
+
+    def advance(self, seconds):
+        self.t += seconds
+
+
+class RecordingProvider:
+    """Wraps a client; records every prompt the backend actually sees."""
+
+    def __init__(self, seed=0):
+        self.inner = LLMClient(seed=seed)
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def complete(self, prompt, model=None):
+        with self._lock:
+            self.calls.append(prompt)
+        return self.inner.complete(prompt, model=model)
+
+    def embed(self, text):
+        return self.inner.embed(text)
+
+
+class GatedProvider(RecordingProvider):
+    """Blocks every completion until ``release`` is set."""
+
+    def __init__(self, seed=0):
+        super().__init__(seed=seed)
+        self.release = threading.Event()
+
+    def complete(self, prompt, model=None):
+        assert self.release.wait(timeout=10)
+        return super().complete(prompt, model=model)
+
+
+def questions(n, tag="gw"):
+    return [f"Question: what about {tag} item {i}?" for i in range(n)]
+
+
+class TestGatewayBasics:
+    def test_submit_returns_completion(self):
+        async def run():
+            async with AsyncGateway(LLMClient()) as gateway:
+                return await gateway.submit("Question: what is a gateway?")
+
+        completion = asyncio.run(run())
+        assert completion.text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AsyncGateway(LLMClient(), classes=())
+        with pytest.raises(ValueError):
+            AsyncGateway(LLMClient(), classes=("a", "a"))
+        with pytest.raises(ValueError):
+            AsyncGateway(LLMClient(), classes=("a", "b"), default_class="c")
+        with pytest.raises(ValueError):
+            AsyncGateway(LLMClient(), max_queue_per_class=0)
+        with pytest.raises(ValueError):
+            AsyncGateway(LLMClient(), degrader=42)
+
+    def test_unknown_priority_class_rejected(self):
+        async def run():
+            async with AsyncGateway(LLMClient()) as gateway:
+                await gateway.submit("Question: hm?", priority="platinum")
+
+        with pytest.raises(ValueError, match="platinum"):
+            asyncio.run(run())
+
+    def test_submit_after_close_raises(self):
+        async def run():
+            gateway = AsyncGateway(LLMClient())
+            async with gateway:
+                await gateway.submit("Question: warm-up?")
+            with pytest.raises(SchedulerClosedError):
+                await gateway.submit("Question: too late?")
+
+        asyncio.run(run())
+
+    def test_stats_snapshot_has_gateway_section(self):
+        async def run():
+            async with AsyncGateway(LLMClient()) as gateway:
+                await gateway.submit("Question: stats?", priority="interactive")
+                return gateway.stats.snapshot()
+
+        snap = asyncio.run(run())
+        gateway_section = snap["gateway"]
+        assert gateway_section["submitted"] == 1
+        assert gateway_section["completed"] == 1
+        assert gateway_section["shed"] == 0
+        assert gateway_section["by_class"]["interactive"]["completed"] == 1
+
+
+class TestDeterminism:
+    def test_workers1_no_deadlines_bit_identical_to_serial(self):
+        # Repeated prompts through *stateful* cache-fronted stacks: the
+        # gateway's forward order must equal submission order so cache
+        # state mutates identically.
+        pool = questions(6, "determinism")
+        prompts = [pool[i % len(pool)] for i in range(18)]
+        serial_stack = build_stack(LLMClient(), cache=True)
+        expected = [serial_stack.complete(p) for p in prompts]
+
+        gateway_stack = build_stack(LLMClient(), cache=True)
+
+        async def run():
+            async with AsyncGateway(
+                gateway_stack, classes=("all",), workers=1
+            ) as gateway:
+                return await gateway.complete_all(prompts)
+
+        got = asyncio.run(run())
+        assert got == expected
+        assert (
+            gateway_stack.stats.cache_reuse_hits
+            == serial_stack.stats.cache_reuse_hits
+        )
+
+
+class TestOrdering:
+    def test_strict_class_priority(self):
+        provider = RecordingProvider()
+
+        async def run():
+            async with AsyncGateway(provider, max_inflight=1) as gateway:
+                tickets = []
+                for cls in ("batch", "standard", "interactive", "batch", "interactive"):
+                    tickets.append(
+                        await gateway.enqueue(
+                            GatewayRequest(f"Question: {cls} #{len(tickets)}?", priority=cls)
+                        )
+                    )
+                await asyncio.gather(*(t.future for t in tickets))
+
+        asyncio.run(run())
+        classes = [prompt.split()[1] for prompt in provider.calls]
+        assert classes == ["interactive", "interactive", "standard", "batch", "batch"]
+
+    def test_edf_within_class_seq_tiebreak(self):
+        provider = RecordingProvider()
+        clock = ManualClock()
+
+        async def run():
+            async with AsyncGateway(
+                provider, clock=clock.now, max_inflight=1
+            ) as gateway:
+                tickets = [
+                    await gateway.enqueue(
+                        GatewayRequest("Question: slack?", priority="standard", deadline_ms=60_000)
+                    ),
+                    await gateway.enqueue(
+                        GatewayRequest("Question: urgent?", priority="standard", deadline_ms=5_000)
+                    ),
+                    await gateway.enqueue(
+                        GatewayRequest("Question: none-a?", priority="standard")
+                    ),
+                    await gateway.enqueue(
+                        GatewayRequest("Question: none-b?", priority="standard")
+                    ),
+                ]
+                await asyncio.gather(*(t.future for t in tickets))
+
+        asyncio.run(run())
+        # Earliest deadline first; no-deadline (+inf key) last, in
+        # submission order.
+        assert provider.calls == [
+            "Question: urgent?",
+            "Question: slack?",
+            "Question: none-a?",
+            "Question: none-b?",
+        ]
+
+
+class TestShedAndDegrade:
+    def test_shed_at_submit_never_dispatched(self):
+        provider = RecordingProvider()
+
+        async def run():
+            async with AsyncGateway(provider) as gateway:
+                with pytest.raises(DeadlineExceededError) as excinfo:
+                    await gateway.submit("Question: hopeless?", deadline_ms=0)
+                return excinfo.value
+
+        error = asyncio.run(run())
+        assert error.deadline_ms == 0
+        assert provider.calls == []
+
+    def test_expired_in_queue_sheds_without_degrader(self):
+        provider = RecordingProvider()
+        clock = ManualClock()
+
+        async def run():
+            async with AsyncGateway(
+                provider, clock=clock.now, degrader=None
+            ) as gateway:
+                ticket = await gateway.enqueue(
+                    GatewayRequest("Question: expiring?", deadline_ms=5.0)
+                )
+                clock.advance(0.010)  # expire before the pump first runs
+                with pytest.raises(DeadlineExceededError):
+                    await ticket.future
+                return ticket
+
+        ticket = asyncio.run(run())
+        assert ticket.status == "shed"
+        assert provider.calls == []
+
+    def test_expired_in_queue_degrades_through_resilience(self):
+        stack = build_stack(LLMClient(), cache=True, resilience=True)
+        clock = ManualClock()
+
+        async def run():
+            async with AsyncGateway(stack, clock=clock.now) as gateway:
+                ticket = await gateway.enqueue(
+                    GatewayRequest("Question: expiring?", deadline_ms=5.0)
+                )
+                clock.advance(0.010)
+                completion = await ticket.future
+                return ticket, completion
+
+        ticket, completion = asyncio.run(run())
+        assert ticket.status == "degraded"
+        marker = completion.metadata["serving.gateway"]
+        assert marker["degraded"] is True
+        assert stack.stats.fallback_model_answers >= 1
+
+    def test_late_completion_marked_but_delivered(self):
+        provider = GatedProvider()
+        clock = ManualClock()
+
+        async def run():
+            async with AsyncGateway(provider, clock=clock.now) as gateway:
+                ticket = await gateway.enqueue(
+                    GatewayRequest("Question: slow?", deadline_ms=100.0)
+                )
+                while gateway._inflight == 0:  # let the pump dispatch it
+                    await asyncio.sleep(0.001)
+                clock.advance(0.5)  # deadline lapses while inflight
+                provider.release.set()
+                completion = await ticket.future
+                return ticket, completion
+
+        ticket, completion = asyncio.run(run())
+        assert ticket.status == "ok"
+        assert ticket.late
+        assert completion.metadata["serving.gateway"]["late"] is True
+
+    def test_shed_expired_false_forwards_anyway(self):
+        provider = RecordingProvider()
+
+        async def run():
+            async with AsyncGateway(provider, shed_expired=False) as gateway:
+                return await gateway.submit("Question: stale?", deadline_ms=0)
+
+        completion = asyncio.run(run())
+        assert completion.text
+        assert len(provider.calls) == 1
+
+
+class TestBackpressure:
+    def test_full_class_queue_parks_then_admits(self):
+        provider = GatedProvider()
+
+        async def run():
+            async with AsyncGateway(
+                provider, classes=("all",), max_queue_per_class=1, max_inflight=1
+            ) as gateway:
+                tasks = [
+                    asyncio.ensure_future(gateway.submit(p))
+                    for p in questions(4, "backpressure")
+                ]
+                await asyncio.sleep(0.01)  # some submits are now parked
+                provider.release.set()
+                return await asyncio.gather(*tasks), gateway.stats
+
+        completions, stats = asyncio.run(run())
+        assert all(c.text for c in completions)
+        assert stats.gateway_backpressure_waits >= 1
+
+    def test_close_wakes_parked_submitters(self):
+        provider = GatedProvider()
+
+        async def run():
+            gateway = AsyncGateway(
+                provider, classes=("all",), max_queue_per_class=1, max_inflight=1
+            )
+            async with gateway:
+                accepted = asyncio.ensure_future(
+                    gateway.submit("Question: admitted?")
+                )
+                await asyncio.sleep(0.01)
+                parked = [
+                    asyncio.ensure_future(gateway.submit(p))
+                    for p in questions(3, "parked")
+                ]
+                await asyncio.sleep(0.01)
+                provider.release.set()  # let the drain finish
+                close_task = asyncio.ensure_future(gateway.close())
+                results = await asyncio.gather(*parked, return_exceptions=True)
+                await close_task
+                return await accepted, results
+
+        completion, results = asyncio.run(run())
+        assert completion.text
+        assert any(isinstance(r, SchedulerClosedError) for r in results)
+
+
+class TestStreams:
+    def test_complete_many_ordered_with_partial_failures(self):
+        prompts = [
+            GatewayRequest("Question: fine a?"),
+            GatewayRequest("Question: hopeless?", deadline_ms=0),
+            GatewayRequest("Question: fine b?"),
+        ]
+
+        async def run():
+            async with AsyncGateway(LLMClient()) as gateway:
+                return [r async for r in gateway.complete_many(prompts)]
+
+        results = asyncio.run(run())
+        assert [r.index for r in results] == [0, 1, 2]
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert isinstance(results[1].error, DeadlineExceededError)
+        assert results[1].status == "shed"
+
+    def test_complete_many_as_completed_yields_everything(self):
+        prompts = questions(5, "stream")
+
+        async def run():
+            async with AsyncGateway(LLMClient()) as gateway:
+                return [
+                    r
+                    async for r in gateway.complete_many(prompts, as_completed=True)
+                ]
+
+        results = asyncio.run(run())
+        assert sorted(r.index for r in results) == [0, 1, 2, 3, 4]
+        assert all(r.ok for r in results)
+
+    def test_complete_all_raises_on_shed(self):
+        async def run():
+            async with AsyncGateway(LLMClient()) as gateway:
+                await gateway.complete_all(
+                    ["Question: fine?", GatewayRequest("Question: dead?", deadline_ms=0)]
+                )
+
+        with pytest.raises(DeadlineExceededError):
+            asyncio.run(run())
+
+
+# ---------------------------------------------------------------- properties
+
+class_indexes = st.lists(
+    st.integers(min_value=0, max_value=2), min_size=1, max_size=12
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(assignment=class_indexes)
+def test_property_class_interleavings_match_serial(assignment):
+    """Any interleaving of priority classes, no deadlines: every request's
+    result is bit-identical to the serial loop's result for that prompt."""
+    classes = ("interactive", "standard", "batch")
+    prompts = questions(len(assignment), "prop")
+    serial = LLMClient(seed=7)
+    expected = {p: serial.complete(p) for p in prompts}
+
+    async def run():
+        async with AsyncGateway(LLMClient(seed=7), workers=1) as gateway:
+            reqs = [
+                GatewayRequest(p, priority=classes[k])
+                for p, k in zip(prompts, assignment)
+            ]
+            return [r async for r in gateway.complete_many(reqs)]
+
+    results = asyncio.run(run())
+    assert all(r.ok for r in results)
+    for result in results:
+        assert result.completion == expected[result.request.prompt]
+
+
+@settings(max_examples=15, deadline=None)
+@given(picks=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=14))
+def test_property_single_class_cache_stack_matches_serial(picks):
+    """Single class, stateful cache-fronted stack, workers=1: the ordered
+    result list is bit-identical to running the serial loop — same cache
+    hits, same texts, same costs."""
+    pool = questions(4, "cacheprop")
+    prompts = [pool[k] for k in picks]
+    serial_stack = build_stack(LLMClient(), cache=True)
+    expected = [serial_stack.complete(p) for p in prompts]
+
+    gateway_stack = build_stack(LLMClient(), cache=True)
+
+    async def run():
+        async with AsyncGateway(gateway_stack, classes=("all",), workers=1) as gateway:
+            return await gateway.complete_all(prompts)
+
+    assert asyncio.run(run()) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    deadlines=st.lists(
+        st.one_of(
+            st.just(None),
+            st.floats(min_value=-50.0, max_value=0.0),
+            st.just(60_000.0),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_property_expired_at_submit_always_shed_never_dispatched(deadlines):
+    """deadline_ms <= 0 at submit: always DeadlineExceededError, and the
+    provider never sees the prompt; everything else completes."""
+    provider = RecordingProvider()
+    reqs = [
+        GatewayRequest(f"Question: prop item {i}?", deadline_ms=d)
+        for i, d in enumerate(deadlines)
+    ]
+
+    async def run():
+        async with AsyncGateway(provider) as gateway:
+            return [r async for r in gateway.complete_many(reqs)]
+
+    results = asyncio.run(run())
+    for result, deadline in zip(results, deadlines):
+        if deadline is not None and deadline <= 0:
+            assert isinstance(result.error, DeadlineExceededError)
+            assert result.request.prompt not in provider.calls
+        else:
+            assert result.ok
+    shed = sum(1 for d in deadlines if d is not None and d <= 0)
+    assert len(provider.calls) == len(deadlines) - shed

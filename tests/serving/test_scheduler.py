@@ -5,6 +5,7 @@ import time
 
 import pytest
 
+from repro.errors import SchedulerClosedError
 from repro.llm.client import LLMClient
 from repro.serving import (
     BatchingScheduler,
@@ -114,6 +115,102 @@ class TestBatchingScheduler:
         scheduler = BatchingScheduler(RecordingProvider())
         scheduler.close()
         scheduler.close()
+
+    def test_close_wakes_submitters_blocked_on_full_queue(self):
+        # Regression: a submitter parked in the backpressure wait while the
+        # queue was full used to raise a bare RuntimeError at best — and
+        # could hang forever if close() landed between its _closed check
+        # and the condition wait. close() must wake every blocked
+        # submitter, and each must raise the typed SchedulerClosedError.
+        release = threading.Event()
+
+        class GatedProvider:
+            def __init__(self):
+                self.inner = LLMClient()
+
+            def complete(self, prompt, model=None):
+                release.wait(timeout=10)
+                return self.inner.complete(prompt, model=model)
+
+            def embed(self, text):
+                return self.inner.embed(text)
+
+        scheduler = BatchingScheduler(
+            GatedProvider(), max_batch_size=1, max_wait_ms=0.0, workers=1, max_queue=2
+        )
+        outcomes = []
+        lock = threading.Lock()
+
+        def submit_one(i):
+            try:
+                future = scheduler.submit(f"Question: q{i}?")
+                with lock:
+                    outcomes.append(("accepted", future))
+            except SchedulerClosedError as exc:
+                with lock:
+                    outcomes.append(("closed", exc))
+
+        # The worker blocks on `release`, so the pipeline (worker + batch
+        # queue + pending) absorbs only a handful of these; the rest park
+        # in submit's backpressure wait.
+        threads = [
+            threading.Thread(target=submit_one, args=(i,), daemon=True)
+            for i in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if scheduler.queue_depth >= 2 and any(t.is_alive() for t in threads):
+                break
+            time.sleep(0.005)
+        assert scheduler.queue_depth >= 2  # queue full, submitters parked
+
+        scheduler.close(wait=False)  # the worker is still gated: don't join
+        for thread in threads:
+            thread.join(timeout=5)
+        # The regression: with the hang, parked submitters never wake.
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(outcomes) == 12
+        assert all(
+            isinstance(exc, SchedulerClosedError)
+            for kind, exc in outcomes
+            if kind == "closed"
+        )
+        assert any(kind == "closed" for kind, _ in outcomes)
+
+        release.set()  # let the gated worker drain the accepted requests
+        scheduler.close(wait=True)
+        for kind, value in outcomes:
+            if kind == "accepted":
+                assert value.result(timeout=10).text
+
+    def test_max_wait_zero_flushes_immediately_without_spinning(self, monkeypatch):
+        # Regression: max_wait_ms=0 computed a flush deadline of
+        # enqueued_at + 0 — already in the past — and re-derived
+        # `remaining <= 0` from the clock on every flush. Pin the
+        # semantics: "flush immediately, never spin" — the collector must
+        # not consult the clock at all. (_Request.enqueued_at captured the
+        # real time.monotonic at class-definition time, so the patch below
+        # counts only the collector's deadline arithmetic.)
+        scheduler = BatchingScheduler(
+            RecordingProvider(), max_batch_size=4, max_wait_ms=0.0, workers=1
+        )
+        time.sleep(0.05)  # let thread startup settle before counting
+        calls = []
+        real_monotonic = time.monotonic
+
+        def counting_monotonic():
+            calls.append(1)
+            return real_monotonic()
+
+        monkeypatch.setattr(time, "monotonic", counting_monotonic)
+        futures = [scheduler.submit(f"Question: q{i}?") for i in range(16)]
+        for future in futures:
+            assert future.result(timeout=10).text
+        scheduler.close()
+        monkeypatch.undo()
+        assert calls == []  # zero clock reads: flushed immediately, no spin
 
     def test_exception_propagates_and_isolates(self):
         bad = "Question: explode?"

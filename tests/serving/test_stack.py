@@ -93,6 +93,7 @@ class TestComposedStack:
             "budget",
             "resilience",
             "scheduler",
+            "gateway",
         }
         assert snapshot["llm"]["calls"] == stack.stats.llm_calls
         assert snapshot["latency"]["count"] == stack.stats.llm_calls
